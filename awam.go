@@ -1,0 +1,389 @@
+// Package awam is an abstract WAM: a compiled dataflow analyzer for
+// logic programs, reproducing "Compiling Dataflow Analysis of Logic
+// Programs" (Tan & Lin, PLDI 1992).
+//
+// The package bundles a complete pipeline behind a small, string-oriented
+// API:
+//
+//   - a Prolog reader and a clause compiler producing standard WAM code,
+//   - a concrete WAM that executes that code (Run, RunMain),
+//   - the abstract WAM that reinterprets the same code over a mode/type/
+//     aliasing domain with an extension-table fixpoint (Analyze),
+//   - an analysis-driven code specializer (Optimize),
+//   - the Section 5 source transformation printer (Transform), and
+//   - a Prolog-hosted analyzer running on the concrete WAM (the paper's
+//     comparison baseline, HostedAnalyze).
+//
+// Quick start:
+//
+//	sys, _ := awam.Load("main :- append([1,2],[3],X), use(X). ...")
+//	analysis, _ := sys.Analyze()
+//	fmt.Print(analysis.Report())
+package awam
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"awam/internal/compiler"
+	"awam/internal/core"
+	"awam/internal/domain"
+	"awam/internal/machine"
+	"awam/internal/optimize"
+	"awam/internal/parser"
+	"awam/internal/plmeta"
+	"awam/internal/term"
+	"awam/internal/transform"
+	"awam/internal/wam"
+)
+
+// System is a loaded, compiled logic program.
+type System struct {
+	tab  *term.Tab
+	prog *term.Program
+	mod  *wam.Module
+}
+
+// Load parses and compiles Prolog source text.
+func Load(source string) (*System, error) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, source)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &System{tab: tab, prog: prog, mod: mod}, nil
+}
+
+// LoadFile loads a program from a file.
+func LoadFile(path string) (*System, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(string(src))
+}
+
+// Disasm returns the WAM code listing.
+func (s *System) Disasm() string { return s.mod.Disasm() }
+
+// CodeSize returns the static instruction count (Table 1 "Size").
+func (s *System) CodeSize() int { return s.mod.Size() }
+
+// Predicates lists the defined predicates as name/arity strings.
+func (s *System) Predicates() []string {
+	out := make([]string, len(s.prog.Order))
+	for i, fn := range s.prog.Order {
+		out[i] = s.tab.FuncString(fn)
+	}
+	return out
+}
+
+// Transform returns the Section 5 extension-table transformation of the
+// program.
+func (s *System) Transform() string { return transform.Program(s.tab, s.prog) }
+
+// Solution is one answer of a concrete execution.
+type Solution struct {
+	// OK reports whether the goal (still) has a solution.
+	OK bool
+	// Bindings maps query-variable names to their values, written as
+	// Prolog terms.
+	Bindings map[string]string
+
+	sys *System
+	sol *machine.Solution
+}
+
+// Run executes a goal on the concrete WAM and returns its first
+// solution.
+func (s *System) Run(goal string) (*Solution, error) {
+	m := machine.New(s.mod)
+	m.Out = os.Stdout
+	sol, err := m.Solve(goal)
+	if err != nil {
+		return nil, err
+	}
+	out := &Solution{sys: s, sol: sol}
+	out.refresh()
+	return out, nil
+}
+
+// RunMain executes main/0 and reports success.
+func (s *System) RunMain() (bool, error) {
+	m := machine.New(s.mod)
+	m.Out = os.Stdout
+	return m.RunMain()
+}
+
+// Next backtracks into the next solution.
+func (sol *Solution) Next() (bool, error) {
+	ok, err := sol.sol.Next()
+	sol.refresh()
+	return ok, err
+}
+
+func (sol *Solution) refresh() {
+	sol.OK = sol.sol.OK
+	sol.Bindings = make(map[string]string)
+	if !sol.OK {
+		return
+	}
+	for name, tm := range sol.sol.Bindings() {
+		sol.Bindings[name] = sol.sys.tab.Write(tm)
+	}
+}
+
+// AnalyzeOption configures Analyze.
+type AnalyzeOption func(*analyzeCfg)
+
+type analyzeCfg struct {
+	cfg   core.Config
+	entry string
+}
+
+// WithDepth sets the term-depth restriction (default 4, as in the
+// paper).
+func WithDepth(k int) AnalyzeOption {
+	return func(c *analyzeCfg) { c.cfg.Depth = k }
+}
+
+// WithHashTable replaces the paper's linear extension table by a hashed
+// one.
+func WithHashTable() AnalyzeOption {
+	return func(c *analyzeCfg) { c.cfg.Table = core.TableHash }
+}
+
+// WithoutIndexing makes the abstract machine explore every clause
+// regardless of indexing instructions.
+func WithoutIndexing() AnalyzeOption {
+	return func(c *analyzeCfg) { c.cfg.Indexing = false }
+}
+
+// WithWorklist selects the dependency-tracking worklist fixpoint instead
+// of the paper's naive iteration. Results are identical; the worklist
+// executes fewer abstract instructions.
+func WithWorklist() AnalyzeOption {
+	return func(c *analyzeCfg) { c.cfg.Strategy = core.StrategyWorklist }
+}
+
+// WithEntry analyzes from an explicit calling pattern, e.g.
+// "append(list(g), list(g), var)", instead of main/0.
+func WithEntry(pattern string) AnalyzeOption {
+	return func(c *analyzeCfg) { c.entry = pattern }
+}
+
+// Analysis holds a finished dataflow analysis.
+type Analysis struct {
+	sys *System
+	res *core.Result
+	an  *core.Analyzer
+}
+
+// AnalysisStats are run statistics (the paper's Table 1 columns).
+type AnalysisStats struct {
+	// Exec is the number of abstract WAM instructions executed.
+	Exec int64
+	// Iterations is the number of fixpoint passes.
+	Iterations int
+	// TableSize is the number of calling patterns in the extension
+	// table.
+	TableSize int
+}
+
+// Analyze runs the compiled dataflow analysis (the paper's abstract
+// WAM).
+func (s *System) Analyze(opts ...AnalyzeOption) (*Analysis, error) {
+	c := analyzeCfg{cfg: core.DefaultConfig()}
+	for _, o := range opts {
+		o(&c)
+	}
+	a := core.NewWith(s.mod, c.cfg)
+	var res *core.Result
+	var err error
+	if c.entry == "" {
+		res, err = a.AnalyzeAll()
+	} else {
+		var cp *domain.Pattern
+		cp, err = domain.ParseAbs(s.tab, c.entry)
+		if err != nil {
+			return nil, err
+		}
+		res, err = a.Analyze(cp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{sys: s, res: res, an: a}, nil
+}
+
+// Report renders the extension table with modes and aliasing.
+func (a *Analysis) Report() string { return a.res.Report() }
+
+// Marshal serializes the analysis to a text summary loadable with
+// LoadAnalysis (separate-compilation workflows).
+func (a *Analysis) Marshal() string { return a.res.Marshal() }
+
+// LoadAnalysis reads a summary produced by Analysis.Marshal for this
+// system's programs.
+func (s *System) LoadAnalysis(text string) (*Analysis, error) {
+	res, err := core.Unmarshal(s.tab, text)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{sys: s, res: res, an: core.New(s.mod)}, nil
+}
+
+// Determinacy reports, per calling pattern, whether at most one clause
+// can match ("det pred(...)" / "nondet(N) pred(...)" lines).
+func (a *Analysis) Determinacy() string {
+	return core.DeterminacyReport(a.sys.tab, a.an.Determinacy(a.res))
+}
+
+// CallGraphDot renders the analysis-annotated call graph in Graphviz
+// DOT.
+func (a *Analysis) CallGraphDot() string {
+	return core.CallGraphDot(a.sys.mod, a.res)
+}
+
+// Stats returns the run statistics.
+func (a *Analysis) Stats() AnalysisStats {
+	return AnalysisStats{
+		Exec:       a.res.Steps,
+		Iterations: a.res.Iterations,
+		TableSize:  a.res.TableSize,
+	}
+}
+
+// findPred resolves a "name/arity" string.
+func (a *Analysis) findPred(pred string) (term.Functor, bool) {
+	for _, fn := range a.res.Predicates() {
+		if a.sys.tab.FuncString(fn) == pred {
+			return fn, true
+		}
+	}
+	return term.Functor{}, false
+}
+
+// CallingPatterns returns the calling patterns recorded for a predicate
+// given as "name/arity".
+func (a *Analysis) CallingPatterns(pred string) []string {
+	fn, ok := a.findPred(pred)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, e := range a.res.EntriesFor(fn) {
+		out = append(out, e.CP.String(a.sys.tab))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuccessPattern returns the lubbed success pattern of a predicate, and
+// whether any call of it can succeed.
+func (a *Analysis) SuccessPattern(pred string) (string, bool) {
+	fn, ok := a.findPred(pred)
+	if !ok {
+		return "", false
+	}
+	succ := a.res.SuccessFor(fn)
+	if succ == nil {
+		return "", false
+	}
+	return succ.String(a.sys.tab), true
+}
+
+// Modes returns the derived mode declaration of a predicate.
+func (a *Analysis) Modes(pred string) (string, bool) {
+	fn, ok := a.findPred(pred)
+	if !ok {
+		return "", false
+	}
+	cp := a.res.CallFor(fn)
+	if cp == nil {
+		return "", false
+	}
+	return core.Modes(a.sys.tab, cp, a.res.SuccessFor(fn)), true
+}
+
+// AliasPairs returns the 1-based argument pairs that may share variables
+// on success.
+func (a *Analysis) AliasPairs(pred string) [][2]int {
+	fn, ok := a.findPred(pred)
+	if !ok {
+		return nil
+	}
+	succ := a.res.SuccessFor(fn)
+	if succ == nil {
+		return nil
+	}
+	pairs := succ.ArgSharePairs()
+	out := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]int{p[0] + 1, p[1] + 1}
+	}
+	return out
+}
+
+// OptimizeStats reports what Optimize changed.
+type OptimizeStats struct {
+	// Specialized counts rewritten instructions by kind.
+	Specialized map[string]int
+	// Total is the number of rewritten instructions.
+	Total int
+	// PredsTouched is the number of predicates with rewrites.
+	PredsTouched int
+}
+
+// Optimize returns a new System whose code is specialized using the
+// analysis (read-only unification where arguments are proven nonvar).
+func (s *System) Optimize(a *Analysis) (*System, OptimizeStats) {
+	opt, stats := optimize.Specialize(s.mod, a.res)
+	return &System{tab: s.tab, prog: s.prog, mod: opt},
+		OptimizeStats{Specialized: stats.Specialized, Total: stats.Total, PredsTouched: stats.PredsTouched}
+}
+
+// StripUnreachable returns a new System without the predicates the
+// analysis proved unreachable from its entry point, and their
+// name/arity strings.
+func (s *System) StripUnreachable(a *Analysis) (*System, []string) {
+	stripped, removed := optimize.StripUnreachable(s.mod, a.res)
+	names := make([]string, len(removed))
+	for i, fn := range removed {
+		names[i] = s.tab.FuncString(fn)
+	}
+	return &System{tab: s.tab, prog: s.prog, mod: stripped}, names
+}
+
+// HostedResult is the outcome of the Prolog-hosted analysis.
+type HostedResult struct {
+	// Entries are "pattern -> success" strings of the mode table.
+	Entries []string
+	// Steps is the number of concrete WAM instructions the hosted
+	// analyzer executed.
+	Steps int64
+	// Elapsed is the analysis wall time.
+	Elapsed time.Duration
+}
+
+// HostedAnalyze runs the Prolog-hosted mode analyzer (the paper's
+// comparison baseline) on this program.
+func (s *System) HostedAnalyze() (*HostedResult, error) {
+	r, err := plmeta.NewRunner(s.tab, s.prog)
+	if err != nil {
+		return nil, err
+	}
+	tbl, steps, dur, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &HostedResult{Entries: r.TableEntries(tbl), Steps: steps, Elapsed: dur}, nil
+}
+
+// Version identifies the library.
+const Version = "1.0.0"

@@ -1,0 +1,290 @@
+package awam
+
+import (
+	"testing"
+
+	"awam/internal/baseline"
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/core"
+	"awam/internal/machine"
+	"awam/internal/optimize"
+	"awam/internal/parser"
+	"awam/internal/plmeta"
+	"awam/internal/term"
+	"awam/internal/transrun"
+	"awam/internal/wam"
+)
+
+// The benchmarks below regenerate the measured columns of the paper's
+// evaluation:
+//
+//	Table 1 "Ours"     -> BenchmarkAnalyze/*
+//	Table 1 "Aquarius" -> BenchmarkHostedAnalyze/*
+//	Table 1 "PLM"      -> BenchmarkCompile/*
+//	Table 2 sweep      -> BenchmarkDepth/*, BenchmarkTableRepr/*,
+//	                      BenchmarkIndexing/*, BenchmarkMetaInterpreter/*
+//	Figure 1 left path -> BenchmarkConcreteRun/*
+//	E11 payoff         -> BenchmarkOptimizedRun/*
+//
+// cmd/benchtab renders the same measurements as the paper's tables.
+
+type built struct {
+	tab  *term.Tab
+	prog *term.Program
+	mod  *wam.Module
+}
+
+func buildBench(b *testing.B, name string) built {
+	b.Helper()
+	p, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built{tab: tab, prog: prog, mod: mod}
+}
+
+// BenchmarkAnalyze is Table 1's "Ours" column: the compiled abstract-WAM
+// analysis, full fixpoint, per benchmark.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.New(env.mod).AnalyzeMain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHostedAnalyze is Table 1's "Aquarius" column stand-in: a mode
+// analyzer written in Prolog executing on the concrete WAM.
+func BenchmarkHostedAnalyze(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			runner, err := plmeta.NewRunner(env.tab, env.prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetaInterpreter measures the Go meta-interpreting analyzer
+// (same abstract domain as the compiled one).
+func BenchmarkMetaInterpreter(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.New(env.tab, env.prog).AnalyzeMain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile is Table 1's "PLM" column stand-in: Prolog -> WAM
+// compilation time.
+func BenchmarkCompile(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := compiler.Compile(env.tab, env.prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcreteRun executes each benchmark's main/0 on the concrete
+// WAM (Figure 1's compiled-execution path).
+func BenchmarkConcreteRun(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := machine.New(env.mod)
+				ok, err := m.RunMain()
+				if err != nil || !ok {
+					b.Fatalf("run: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizedRun executes the analysis-specialized modules; the
+// delta against BenchmarkConcreteRun is the E11 payoff.
+func BenchmarkOptimizedRun(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			res, err := core.New(env.mod).AnalyzeMain()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt, _ := optimize.Specialize(env.mod, res)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := machine.New(opt)
+				ok, err := m.RunMain()
+				if err != nil || !ok {
+					b.Fatalf("run: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDepth sweeps the term-depth restriction k (experiment E9 /
+// the Table 2 configuration sweep) on the structurally richest
+// benchmarks.
+func BenchmarkDepth(b *testing.B) {
+	for _, name := range []string{"qsort", "serialise", "zebra"} {
+		for _, k := range []int{2, 4, 8} {
+			name, k := name, k
+			b.Run(benchLabel(name, "k", k), func(b *testing.B) {
+				env := buildBench(b, name)
+				cfg := core.Config{Depth: k, Table: core.TableLinear, Indexing: true}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.NewWith(env.mod, cfg).AnalyzeMain(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableRepr compares the paper's linear extension table with
+// the hashed ablation (experiment E8).
+func BenchmarkTableRepr(b *testing.B) {
+	for _, name := range []string{"qsort", "queens_8", "zebra"} {
+		for _, kind := range []core.TableKind{core.TableLinear, core.TableHash} {
+			name, kind := name, kind
+			label := name + "/linear"
+			if kind == core.TableHash {
+				label = name + "/hash"
+			}
+			b.Run(label, func(b *testing.B) {
+				env := buildBench(b, name)
+				cfg := core.Config{Depth: 4, Table: kind, Indexing: true}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.NewWith(env.mod, cfg).AnalyzeMain(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIndexing compares indexing-aware clause selection with
+// explore-all (Section 5's indexing discussion).
+func BenchmarkIndexing(b *testing.B) {
+	for _, name := range []string{"qsort", "query", "serialise"} {
+		for _, idx := range []bool{true, false} {
+			name, idx := name, idx
+			label := name + "/indexed"
+			if !idx {
+				label = name + "/all-clauses"
+			}
+			b.Run(label, func(b *testing.B) {
+				env := buildBench(b, name)
+				cfg := core.Config{Depth: 4, Table: core.TableLinear, Indexing: idx}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.NewWith(env.mod, cfg).AnalyzeMain(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchLabel(name, param string, v int) string {
+	return name + "/" + param + "=" + string(rune('0'+v))
+}
+
+// BenchmarkStrategy compares the paper's naive fixpoint iteration with
+// the dependency-tracking worklist (Section 6's future work, implemented
+// in internal/core/worklist.go).
+func BenchmarkStrategy(b *testing.B) {
+	for _, name := range []string{"qsort", "zebra", "serialise"} {
+		for _, strat := range []core.Strategy{core.StrategyNaive, core.StrategyWorklist} {
+			name, strat := name, strat
+			label := name + "/naive"
+			if strat == core.StrategyWorklist {
+				label = name + "/worklist"
+			}
+			b.Run(label, func(b *testing.B) {
+				env := buildBench(b, name)
+				cfg := core.DefaultConfig()
+				cfg.Strategy = strat
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.NewWith(env.mod, cfg).AnalyzeMain(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTransformedAnalyze measures the paper's transforming
+// approach: the analysis partially evaluated into a Prolog program,
+// executed on the concrete WAM (internal/transrun).
+func BenchmarkTransformedAnalyze(b *testing.B) {
+	for _, name := range bench.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			env := buildBench(b, name)
+			runner, err := transrun.NewRunner(env.tab, env.prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Command benchtab regenerates the paper's evaluation tables on this
+// machine.
+//
+// Usage:
+//
+//	benchtab -table 1          # Table 1: analyzer efficiency
+//	benchtab -table 2          # Table 2: speed ratios / config sweep
+//	benchtab -table ablation   # term-depth restriction sweep
+//	benchtab -table all        # everything
+//	benchtab -quick            # smaller timing samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"awam/internal/harness"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, all")
+	quick := flag.Bool("quick", false, "use short timing samples")
+	flag.Parse()
+
+	opts := harness.DefaultMeasureOptions()
+	if *quick {
+		opts.MinSampleTime = 5 * time.Millisecond
+	}
+
+	needRows := *table == "1" || *table == "2" || *table == "all"
+	var rows []*harness.Metrics
+	var err error
+	if needRows {
+		fmt.Fprintln(os.Stderr, "measuring benchmarks (this repeats each analysis until stable)...")
+		rows, err = harness.MeasureAll(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch *table {
+	case "1":
+		harness.WriteTable1(os.Stdout, rows)
+	case "2":
+		configs, err := harness.MeasureConfigs(opts, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteTable2(os.Stdout, rows, configs)
+	case "ablation":
+		ab, err := harness.MeasureAblation(opts, []int{2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteAblation(os.Stdout, ab)
+	case "all":
+		harness.WriteTable1(os.Stdout, rows)
+		fmt.Println()
+		configs, err := harness.MeasureConfigs(opts, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteTable2(os.Stdout, rows, configs)
+		fmt.Println()
+		ab, err := harness.MeasureAblation(opts, []int{2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteAblation(os.Stdout, ab)
+	default:
+		fmt.Fprintln(os.Stderr, "benchtab: unknown table", *table)
+		os.Exit(2)
+	}
+}

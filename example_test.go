@@ -1,0 +1,108 @@
+package awam_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"awam"
+)
+
+// The examples below double as documentation and as tests: `go test`
+// verifies their output.
+
+func ExampleLoad() {
+	sys, err := awam.Load(`
+		greeting(hello).
+		greeting(salut).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, _ := sys.Run("greeting(G)")
+	fmt.Println(sol.Bindings["G"])
+	// Output: hello
+}
+
+func ExampleSystem_Analyze() {
+	sys, err := awam.Load(`
+		main :- double([1,2,3], D), out(D).
+		double([], []).
+		double([X|Xs], [Y|Ys]) :- Y is X * 2, double(Xs, Ys).
+		out(_).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, _ := sys.Analyze()
+	succ, _ := analysis.SuccessPattern("double/2")
+	mode, _ := analysis.Modes("double/2")
+	fmt.Println(succ)
+	fmt.Println(mode)
+	// Output:
+	// double(list(int), list(int))
+	// double(+g, -g)
+}
+
+func ExampleSystem_Run_backtracking() {
+	sys, err := awam.Load(`
+		edge(a, b). edge(b, c). edge(a, d).
+		path(X, X).
+		path(X, Z) :- edge(X, Y), path(Y, Z).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, _ := sys.Run("path(a, T)")
+	var targets []string
+	for sol.OK {
+		targets = append(targets, sol.Bindings["T"])
+		if ok, _ := sol.Next(); !ok {
+			break
+		}
+	}
+	sort.Strings(targets)
+	fmt.Println(targets)
+	// Output: [a b c d]
+}
+
+func ExampleSystem_Optimize() {
+	sys, err := awam.Load(`
+		main :- last([1,2,3], _).
+		last([X], X) :- !.
+		last([_|T], X) :- last(T, X).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, _ := sys.Analyze()
+	_, stats := sys.Optimize(analysis)
+	fmt.Println(stats.Total > 0)
+	// Output: true
+}
+
+func ExampleSystem_Transform() {
+	sys, err := awam.Load("p(a).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sys.Transform())
+	// Output:
+	// p'(X1) :-
+	//	abstract([X1], [Xa1]),
+	//	( explored(p(Xa1)) -> lookupET(p(Xa1))
+	//	; assert(explored(p(Xa1))), p(Xa1)
+	//	).
+	// p(a) :- updateET(p(a)), fail.
+	// p(Lub1) :- lookupET(p(Lub1)).
+}
+
+func ExampleAnalysis_AliasPairs() {
+	sys, err := awam.Load("same(X, X).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, _ := sys.Analyze(awam.WithEntry("same(var, var)"))
+	fmt.Println(analysis.AliasPairs("same/2"))
+	// Output: [[1 2]]
+}

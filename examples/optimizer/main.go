@@ -1,0 +1,58 @@
+// Optimizer: the paper's motivation in action. The analysis proves qsort
+// is always called with a ground list, so the head unification code can
+// drop its write-mode and binding paths; the specialized module runs the
+// same workload and the machine verifies no specialized instruction ever
+// meets an unbound variable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"awam"
+)
+
+const program = `
+main :- qsort([27,74,17,33,94,18,46,83,65,2,
+               32,53,28,85,99,47,28,82,6,11], S, []), out(S).
+
+qsort([X|L], R, R0) :-
+	partition(L, X, L1, L2),
+	qsort(L2, R1, R0),
+	qsort(L1, R, [X|R1]).
+qsort([], R, R).
+
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+
+out(_).
+`
+
+func main() {
+	sys, err := awam.Load(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := sys.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	modes, _ := analysis.Modes("qsort/3")
+	fmt.Println("inferred modes:   ", modes)
+	modes, _ = analysis.Modes("partition/4")
+	fmt.Println("inferred modes:   ", modes)
+
+	opt, stats := sys.Optimize(analysis)
+	fmt.Printf("\nspecialized %d instructions in %d predicates:\n", stats.Total, stats.PredsTouched)
+	for what, n := range stats.Specialized {
+		fmt.Printf("  %3dx  %s\n", n, what)
+	}
+
+	ok, err := opt.RunMain()
+	if err != nil {
+		log.Fatal("optimized run failed — the analysis would be unsound: ", err)
+	}
+	fmt.Printf("\noptimized module runs main/0: %v (no specialized instruction met a variable)\n", ok)
+}

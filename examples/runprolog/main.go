@@ -1,0 +1,58 @@
+// Runprolog: the concrete side of Figure 1. A complete Prolog workload —
+// the zebra puzzle — compiled to WAM code and executed with full
+// backtracking, demonstrating that the substrate under the analyzer is a
+// real logic programming system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"awam"
+)
+
+const zebra = `
+zebra(Houses, Water, Zebra) :-
+	Houses = [house(_, norwegian, _, _, _), _,
+	          house(_, _, _, milk, _), _, _],
+	member(house(red, englishman, _, _, _), Houses),
+	member(house(_, spaniard, dog, _, _), Houses),
+	member(house(green, _, _, coffee, _), Houses),
+	member(house(_, ukrainian, _, tea, _), Houses),
+	right_of(house(green, _, _, _, _), house(ivory, _, _, _, _), Houses),
+	member(house(_, _, snails, _, winston), Houses),
+	member(house(yellow, _, _, _, kools), Houses),
+	next_to(house(_, _, _, _, chesterfields), house(_, _, fox, _, _), Houses),
+	next_to(house(_, _, _, _, kools), house(_, _, horse, _, _), Houses),
+	member(house(_, _, _, orange_juice, lucky_strike), Houses),
+	member(house(_, japanese, _, _, parliaments), Houses),
+	next_to(house(_, norwegian, _, _, _), house(blue, _, _, _, _), Houses),
+	member(house(_, Water, _, water, _), Houses),
+	member(house(_, Zebra, zebra, _, _), Houses).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+right_of(R, L, [L, R|_]).
+right_of(R, L, [_|T]) :- right_of(R, L, T).
+next_to(X, Y, L) :- right_of(X, Y, L).
+next_to(X, Y, L) :- right_of(Y, X, L).
+`
+
+func main() {
+	sys, err := awam.Load(zebra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %v to %d WAM instructions\n\n", sys.Predicates(), sys.CodeSize())
+
+	sol, err := sys.Run("zebra(Houses, Water, Zebra)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sol.OK {
+		log.Fatal("puzzle unexpectedly unsolvable")
+	}
+	fmt.Println("the", sol.Bindings["Water"], "drinks water")
+	fmt.Println("the", sol.Bindings["Zebra"], "owns the zebra")
+	fmt.Println("\nhouses:", sol.Bindings["Houses"])
+}

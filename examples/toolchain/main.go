@@ -1,0 +1,82 @@
+// Toolchain: the full analysis-driven workflow on one program — analyze
+// with the worklist fixpoint, inspect determinacy, save the summary,
+// reload it, specialize and strip the code with it, and emit the
+// annotated call graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"awam"
+)
+
+const program = `
+main :- run([5,3,8,1], S), out(S).
+
+run(L, S) :- msort(L, S).
+
+msort([], []).
+msort([X], [X]) :- !.
+msort(L, S) :-
+	split(L, A, B),
+	msort(A, SA),
+	msort(B, SB),
+	merge(SA, SB, S).
+
+split([], [], []).
+split([X|R], [X|A], B) :- split(R, B, A).
+
+merge([], L, L) :- !.
+merge(L, [], L) :- !.
+merge([X|Xs], [Y|Ys], [X|R]) :- X =< Y, !, merge(Xs, [Y|Ys], R).
+merge(Xs, [Y|Ys], [Y|R]) :- merge(Xs, Ys, R).
+
+out(_).
+
+% never called:
+debug_dump(T) :- out(T), out(T).
+`
+
+func main() {
+	sys, err := awam.Load(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Analyze with the worklist fixpoint (Section 6's future work).
+	analysis, err := sys.Analyze(awam.WithWorklist())
+	if err != nil {
+		log.Fatal(err)
+	}
+	succ, _ := analysis.SuccessPattern("msort/2")
+	mode, _ := analysis.Modes("msort/2")
+	fmt.Println("msort/2:", succ, " mode", mode)
+
+	// 2. Determinacy: which call classes need no choice points?
+	fmt.Println("\ndeterminacy:")
+	fmt.Print(analysis.Determinacy())
+
+	// 3. Save the summary and reload it (separate compilation).
+	saved := analysis.Marshal()
+	reloaded, err := sys.LoadAnalysis(saved)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsummary: %d bytes, survives reload: %v\n",
+		len(saved), reloaded.Stats().TableSize == analysis.Stats().TableSize)
+
+	// 4. Optimize with the reloaded analysis.
+	opt, stats := sys.Optimize(reloaded)
+	fmt.Printf("specialized %d instructions in %d predicates\n", stats.Total, stats.PredsTouched)
+	stripped, removed := opt.StripUnreachable(reloaded)
+	fmt.Println("stripped:", removed)
+	if ok, err := stripped.RunMain(); err != nil || !ok {
+		log.Fatal("optimized+stripped program failed: ", err)
+	}
+	fmt.Println("optimized+stripped program runs: true")
+
+	// 5. The annotated call graph (pipe into `dot -Tsvg`).
+	fmt.Println("\ncall graph:")
+	fmt.Print(analysis.CallGraphDot())
+}

@@ -1,0 +1,3 @@
+module awam
+
+go 1.22

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/core"
+	"awam/internal/domain"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+func buildProg(t *testing.T, src string) (*term.Tab, *term.Program) {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tab, prog
+}
+
+func analyzeEntry(t *testing.T, tab *term.Tab, prog *term.Program, entry string) *core.Result {
+	t.Helper()
+	cp, err := domain.ParseAbs(tab, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(tab, prog).Analyze(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFigure3Baseline: the meta-interpreter reproduces the paper's
+// Section 4.1 example exactly like the compiled analyzer.
+func TestFigure3Baseline(t *testing.T) {
+	tab, prog := buildProg(t, "p(a, [f(V)|L]) :- q(V, L).\nq(_, _).\n")
+	res := analyzeEntry(t, tab, prog, "p(atom, list(g))")
+	succ := res.SuccessFor(tab.Func("p", 2))
+	if succ == nil {
+		t.Fatal("no success")
+	}
+	if got := succ.String(tab); got != "p(atom, [f(g)|list(g)])" {
+		t.Fatalf("success = %s", got)
+	}
+}
+
+func TestListInferenceBaseline(t *testing.T) {
+	tab, prog := buildProg(t, `
+concatenate([X|L1], L2, [X|L3]) :- concatenate(L1, L2, L3).
+concatenate([], L, L).
+`)
+	res := analyzeEntry(t, tab, prog, "concatenate(list(g), list(g), var)")
+	succ := res.SuccessFor(tab.Func("concatenate", 3))
+	if got := succ.String(tab); got != "concatenate(list(g), list(g), list(g))" {
+		t.Fatalf("success = %s", got)
+	}
+}
+
+func TestBuiltinsBaseline(t *testing.T) {
+	tab, prog := buildProg(t, "double(X, Y) :- Y is X + X.\n")
+	res := analyzeEntry(t, tab, prog, "double(any, var)")
+	succ := res.SuccessFor(tab.Func("double", 2))
+	if got := succ.String(tab); got != "double(g, int)" {
+		t.Fatalf("success = %s", got)
+	}
+}
+
+func TestFailureBaseline(t *testing.T) {
+	tab, prog := buildProg(t, "p(X) :- q(X).\nq(a) :- fail.\n")
+	res := analyzeEntry(t, tab, prog, "p(any)")
+	if res.SuccessFor(tab.Func("p", 1)) != nil {
+		t.Fatal("p should be bottom")
+	}
+}
+
+func TestAliasingBaseline(t *testing.T) {
+	tab, prog := buildProg(t, "eq(X, X).\n")
+	res := analyzeEntry(t, tab, prog, "eq(var, var)")
+	succ := res.SuccessFor(tab.Func("eq", 2))
+	pairs := succ.ArgSharePairs()
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Fatalf("aliasing = %v", pairs)
+	}
+}
+
+// TestCrossValidation is the repository's strongest correctness test:
+// the compiled analyzer (core) and the meta-interpreting analyzer
+// (baseline) are independent implementations of the same abstract
+// semantics and must agree on every benchmark — same calling patterns,
+// same success patterns.
+func TestCrossValidation(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab, prog := buildProg(t, p.Source)
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coreRes, err := core.New(mod).AnalyzeMain()
+			if err != nil {
+				t.Fatalf("core: %v", err)
+			}
+			baseRes, err := New(tab, prog).AnalyzeMain()
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+
+			coreKeys := make(map[string]*core.Entry)
+			for _, e := range coreRes.Entries {
+				coreKeys[e.Key] = e
+			}
+			baseKeys := make(map[string]*core.Entry)
+			for _, e := range baseRes.Entries {
+				baseKeys[e.Key] = e
+			}
+			for k, ce := range coreKeys {
+				be, ok := baseKeys[k]
+				if !ok {
+					t.Errorf("calling pattern %s only found by core", ce.CP.String(tab))
+					continue
+				}
+				if !ce.Succ.Equal(be.Succ) {
+					t.Errorf("success mismatch for %s:\n  core:     %s\n  baseline: %s",
+						ce.CP.String(tab), ce.Succ.String(tab), be.Succ.String(tab))
+				}
+			}
+			for k, be := range baseKeys {
+				if _, ok := coreKeys[k]; !ok {
+					t.Errorf("calling pattern %s only found by baseline", be.CP.String(tab))
+				}
+			}
+		})
+	}
+}
+
+// TestBaselineSlower sanity-checks the performance narrative on a real
+// benchmark: the meta-interpreter performs far more abstract operations
+// per analysis than the compiled analyzer executes instructions.
+func TestBaselineOperationCounts(t *testing.T) {
+	p, _ := bench.ByName("qsort")
+	tab, prog := buildProg(t, p.Source)
+	a := New(tab, prog)
+	if _, err := a.AnalyzeMain(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps == 0 {
+		t.Fatal("baseline should count operations")
+	}
+}
+
+// TestExtendedCrossValidation: the Go meta-interpreter agrees with the
+// compiled analyzer on the extended suite (control constructs included).
+// The meta-interpreter sees the expanded program — the compiler's view.
+func TestExtendedCrossValidation(t *testing.T) {
+	for _, p := range bench.Extended {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab, prog := buildProg(t, p.Source)
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coreRes, err := core.New(mod).AnalyzeMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			expanded, err := compiler.ExpandedProgram(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseRes, err := New(tab, expanded).AnalyzeMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			coreKeys := make(map[string]*core.Entry)
+			for _, e := range coreRes.Entries {
+				coreKeys[e.Key] = e
+			}
+			for _, be := range baseRes.Entries {
+				ce, ok := coreKeys[be.Key]
+				if !ok {
+					t.Errorf("pattern %s only in baseline", be.CP.String(tab))
+					continue
+				}
+				if !ce.Succ.Equal(be.Succ) {
+					t.Errorf("success mismatch for %s: %s vs %s",
+						be.CP.String(tab), ce.Succ.String(tab), be.Succ.String(tab))
+				}
+			}
+			if len(baseRes.Entries) != len(coreRes.Entries) {
+				t.Errorf("table sizes differ: %d vs %d", len(baseRes.Entries), len(coreRes.Entries))
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"fmt"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// builtin gives inline builtins the same abstract semantics as the core
+// analyzer (see core/builtins.go for the soundness argument).
+func (a *Analyzer) builtin(id wam.BuiltinID, g *term.Term, env map[*term.VarRef]*node) bool {
+	arg := func(i int) *node { return instantiate(a.tab, g.Args[i], env) }
+	switch id {
+	case wam.BITrue, wam.BIWrite, wam.BINl, wam.BIHalt:
+		return true
+	case wam.BIFail:
+		return false
+	case wam.BIIs:
+		if !a.unify(arg(0), mkLeaf(kIntCls)) {
+			return false
+		}
+		return a.unify(arg(1), mkLeaf(kGround))
+	case wam.BILt, wam.BILe, wam.BIGt, wam.BIGe, wam.BIArithEq, wam.BIArithNe:
+		return a.unify(arg(0), mkLeaf(kGround)) && a.unify(arg(1), mkLeaf(kGround))
+	case wam.BIUnify, wam.BIEq:
+		return a.unify(arg(0), arg(1))
+	case wam.BINotUnify, wam.BINotEq:
+		return true
+	case wam.BIVar:
+		switch a.deref(arg(0)).kind {
+		case kVar, kAny:
+			return true
+		}
+		return false
+	case wam.BINonvar:
+		n := a.deref(arg(0))
+		switch n.kind {
+		case kVar:
+			return false
+		case kAny:
+			a.bind(n, mkLeaf(kNV))
+			return true
+		}
+		return true
+	case wam.BIAtom:
+		return a.narrowTo(arg(0), kAtomCls)
+	case wam.BIInteger:
+		return a.narrowTo(arg(0), kIntCls)
+	case wam.BIAtomic:
+		return a.narrowTo(arg(0), kConstCls)
+	case wam.BIFunctor:
+		if !a.unify(arg(0), mkLeaf(kNV)) {
+			return false
+		}
+		if !a.unify(arg(1), mkLeaf(kConstCls)) {
+			return false
+		}
+		return a.unify(arg(2), mkLeaf(kIntCls))
+	case wam.BIArg:
+		if !a.narrowTo(arg(0), kIntCls) {
+			return false
+		}
+		if !a.unify(arg(1), mkLeaf(kNV)) {
+			return false
+		}
+		n := a.deref(arg(2))
+		if n.kind == kVar {
+			a.bind(n, mkLeaf(kAny))
+		}
+		return true
+	case wam.BICompare:
+		return a.unify(arg(0), mkLeaf(kAtomCls))
+	case wam.BITermLt, wam.BITermLe, wam.BITermGt, wam.BITermGe:
+		return true
+	case wam.BILength:
+		if !a.unify(arg(0), mkListNode(mkLeaf(kAny))) {
+			return false
+		}
+		return a.unify(arg(1), mkLeaf(kIntCls))
+	case wam.BIAssert, wam.BIRetract:
+		return true // not modeled (see core/builtins.go)
+	default:
+		a.fail(fmt.Errorf("baseline: builtin %s has no abstract semantics", wam.BuiltinName(id)))
+		return false
+	}
+}
+
+// narrowTo mirrors core's type-test semantics.
+func (a *Analyzer) narrowTo(x *node, target kind) bool {
+	n := a.deref(x)
+	switch n.kind {
+	case kVar:
+		return false
+	case kConAtom:
+		return target != kIntCls
+	case kConInt:
+		return target == kIntCls || target == kConstCls
+	case kStruct:
+		return false
+	case kAny, kNV, kGround, kConstCls:
+		a.bind(n, mkLeaf(target))
+		return true
+	case kAtomCls:
+		return target == kAtomCls || target == kConstCls
+	case kIntCls:
+		return target == kIntCls || target == kConstCls
+	case kListT:
+		if target == kAtomCls || target == kConstCls {
+			a.bind(n, mkAtom(a.tab.Nil))
+			return true
+		}
+		return false
+	}
+	return false
+}

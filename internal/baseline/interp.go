@@ -1,0 +1,347 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"awam/internal/core"
+	"awam/internal/domain"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Config holds the baseline analyzer's options (the same analysis knobs
+// as internal/core, minus indexing — meta-interpreters don't index the
+// object program).
+type Config struct {
+	// Depth is the term-depth restriction (the paper's k = 4).
+	Depth int
+	// MaxSteps bounds abstract operations.
+	MaxSteps int64
+}
+
+// DefaultConfig matches the core analyzer's defaults.
+func DefaultConfig() Config { return Config{Depth: 4, MaxSteps: 2_000_000_000} }
+
+// ErrStepLimit reports an exceeded step budget.
+var ErrStepLimit = errors.New("baseline: abstract step limit exceeded")
+
+// tblEntry is one record of the linear extension table.
+type tblEntry struct {
+	key          string
+	cp           *domain.Pattern
+	succ         *domain.Pattern
+	exploredIter int
+	lookups      int
+	updates      int
+}
+
+// Analyzer is the meta-interpreting abstract interpreter.
+type Analyzer struct {
+	tab  *term.Tab
+	prog *term.Program
+	cfg  Config
+
+	builtins map[term.Functor]wam.BuiltinID
+	subst    []binding   // association-list substitution (Prolog style)
+	table    []*tblEntry // the paper's linear list
+
+	// Steps counts abstract operations (unification visits and goal
+	// reductions); wall-clock time is what Table 1 reports.
+	Steps      int64
+	Iterations int
+
+	iter    int
+	changed bool
+	err     error
+}
+
+// New returns a baseline analyzer for the program.
+func New(tab *term.Tab, prog *term.Program) *Analyzer {
+	return NewWith(tab, prog, DefaultConfig())
+}
+
+// NewWith returns a baseline analyzer with explicit options.
+func NewWith(tab *term.Tab, prog *term.Program, cfg Config) *Analyzer {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000_000
+	}
+	return &Analyzer{tab: tab, prog: prog, cfg: cfg, builtins: wam.Builtins(tab)}
+}
+
+// AnalyzeMain analyzes from main/0.
+func (a *Analyzer) AnalyzeMain() (*core.Result, error) {
+	return a.Analyze(domain.NewPattern(a.tab.Func("main", 0), nil))
+}
+
+// Analyze runs the extension-table fixpoint from the entry pattern and
+// returns the table in the same Result shape as the core analyzer, so
+// results can be compared directly.
+func (a *Analyzer) Analyze(entry *domain.Pattern) (*core.Result, error) {
+	a.table = nil
+	a.Steps = 0
+	a.err = nil
+	const maxIterations = 1000
+	for a.Iterations = 1; a.Iterations <= maxIterations; a.Iterations++ {
+		a.iter = a.Iterations
+		a.changed = false
+		a.subst = a.subst[:0]
+		a.solve(entry.Canonical())
+		if a.err != nil {
+			return nil, a.err
+		}
+		// Re-explore entries no longer reached from the entry point (see
+		// core/analyzer.go: summaries that stop being called as keys move
+		// must still converge, or the table retains stale values).
+		for i := 0; i < len(a.table); i++ {
+			if a.table[i].exploredIter != a.iter {
+				a.solve(a.table[i].cp)
+				if a.err != nil {
+					return nil, a.err
+				}
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+	entries := make([]*core.Entry, len(a.table))
+	for i, e := range a.table {
+		entries[i] = &core.Entry{
+			Key: e.key, CP: e.cp, Succ: e.succ,
+			Lookups: e.lookups, Updates: e.updates,
+		}
+	}
+	res := &core.Result{
+		Tab:        a.tab,
+		Entries:    entries,
+		Steps:      a.Steps,
+		Iterations: a.Iterations,
+		TableSize:  len(a.table),
+	}
+	if a.Iterations > maxIterations {
+		return res, fmt.Errorf("baseline: fixpoint did not converge")
+	}
+	return res, nil
+}
+
+// lookup scans the linear table.
+func (a *Analyzer) lookup(key string) *tblEntry {
+	for _, e := range a.table {
+		a.Steps++
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// solve is the extension-table call: consult the memo or explore the
+// predicate's clauses.
+func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
+	if a.err != nil {
+		return nil
+	}
+	if a.Steps >= a.cfg.MaxSteps {
+		a.fail(ErrStepLimit)
+		return nil
+	}
+	key := cp.Key()
+	e := a.lookup(key)
+	if e != nil {
+		if e.exploredIter == a.iter {
+			e.lookups++
+			return e.succ
+		}
+	} else {
+		e = &tblEntry{key: key, cp: cp}
+		a.table = append(a.table, e)
+	}
+	e.exploredIter = a.iter
+
+	clauses, defined := a.prog.Preds[cp.Fn]
+	if !defined {
+		return e.succ
+	}
+	for _, ci := range clauses {
+		cl := a.prog.Clauses[ci]
+		mark := a.mark()
+		args := a.materialize(cp)
+		if a.tryClause(cl, args) {
+			sp := a.abstract(cp.Fn, args)
+			next := domain.WidenPattern(a.tab, domain.LubPattern(a.tab, e.succ, sp), a.cfg.Depth)
+			if !next.Equal(e.succ) {
+				e.succ = next
+				e.updates++
+				a.changed = true
+			}
+		}
+		a.undo(mark)
+	}
+	return e.succ
+}
+
+// tryClause interprets one clause against the materialized call
+// arguments: copy the clause (fresh variables), unify the head, run the
+// body goals left to right.
+func (a *Analyzer) tryClause(cl term.Clause, args []*node) bool {
+	a.Steps++
+	env := make(map[*term.VarRef]*node)
+	if cl.Head.Kind == term.KStruct {
+		for i, harg := range cl.Head.Args {
+			hn := instantiate(a.tab, harg, env)
+			if !a.unify(args[i], hn) {
+				return false
+			}
+		}
+	}
+	for _, g := range cl.Body {
+		if !a.call(g, env) {
+			return false
+		}
+	}
+	return true
+}
+
+// call reduces one body goal.
+func (a *Analyzer) call(g *term.Term, env map[*term.VarRef]*node) bool {
+	if a.err != nil {
+		return false
+	}
+	if a.Steps >= a.cfg.MaxSteps {
+		a.fail(ErrStepLimit)
+		return false
+	}
+	a.Steps++
+	fn, ok := term.Indicator(g)
+	if !ok {
+		a.fail(fmt.Errorf("baseline: non-callable goal"))
+		return false
+	}
+	switch {
+	case fn.Name == a.tab.Cut && fn.Arity == 0:
+		return true // cut ignored, as in core
+	case fn.Name == a.tab.True && fn.Arity == 0:
+		return true
+	}
+	if id, isBI := a.builtins[fn]; isBI {
+		return a.builtin(id, g, env)
+	}
+	args := make([]*node, fn.Arity)
+	for i := 0; i < fn.Arity; i++ {
+		args[i] = instantiate(a.tab, g.Args[i], env)
+	}
+	cp := a.abstract(fn, args)
+	succ := a.solve(cp)
+	if a.err != nil || succ == nil {
+		return false
+	}
+	return a.apply(succ, args)
+}
+
+// abstract builds the depth-restricted canonical pattern of the args,
+// with the same dropped-sharing var widening as the core analyzer.
+func (a *Analyzer) abstract(fn term.Functor, args []*node) *domain.Pattern {
+	conv := &abstractor{a: a, tab: a.tab, groups: make(map[*node]int)}
+	ts := make([]*domain.Term, len(args))
+	for i, n := range args {
+		ts[i] = conv.toDomain(n, make(map[*node]bool))
+	}
+	full := domain.NewPattern(fn, ts)
+	wargs := make([]*domain.Term, len(ts))
+	for i := range ts {
+		wargs[i] = domain.Widen(a.tab, ts[i], a.cfg.Depth)
+	}
+	p := domain.NewPattern(fn, wargs)
+	before := countGroups(full)
+	after := countGroups(p)
+	dropped := make(map[int]bool)
+	for g, n := range before {
+		if after[g] < n {
+			dropped[g] = true
+		}
+	}
+	if len(dropped) > 0 {
+		p = devarifyGroups(p, dropped)
+	}
+	return p.Canonical()
+}
+
+// materialize realizes a pattern as fresh nodes.
+func (a *Analyzer) materialize(p *domain.Pattern) []*node {
+	groups := make(map[int]*node)
+	out := make([]*node, len(p.Args))
+	for i, t := range p.Args {
+		out[i] = fromDomain(a.tab, t, groups)
+	}
+	return out
+}
+
+// apply unifies a success pattern onto the caller's argument nodes.
+func (a *Analyzer) apply(p *domain.Pattern, args []*node) bool {
+	mat := a.materialize(p)
+	for i := range args {
+		if !a.unify(args[i], mat[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Analyzer) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// countGroups and devarifyGroups mirror the core analyzer's handling of
+// share groups dropped by widening.
+func countGroups(p *domain.Pattern) map[int]int {
+	out := make(map[int]int)
+	var walk func(t *domain.Term)
+	walk = func(t *domain.Term) {
+		if t.Share != 0 {
+			out[t.Share]++
+		}
+		if t.Kind == domain.Struct {
+			for _, c := range t.Args {
+				walk(c)
+			}
+		}
+		if t.Kind == domain.List {
+			walk(t.Elem)
+		}
+	}
+	for _, t := range p.Args {
+		walk(t)
+	}
+	return out
+}
+
+func devarifyGroups(p *domain.Pattern, groups map[int]bool) *domain.Pattern {
+	var rew func(t *domain.Term) *domain.Term
+	rew = func(t *domain.Term) *domain.Term {
+		out := *t
+		if t.Share != 0 && groups[t.Share] && t.Kind == domain.Var {
+			out.Kind = domain.Any
+		}
+		if t.Kind == domain.Struct {
+			out.Args = make([]*domain.Term, len(t.Args))
+			for i, c := range t.Args {
+				out.Args[i] = rew(c)
+			}
+		}
+		if t.Kind == domain.List {
+			out.Elem = rew(t.Elem)
+		}
+		return &out
+	}
+	args := make([]*domain.Term, len(p.Args))
+	for i, t := range p.Args {
+		args[i] = rew(t)
+	}
+	return domain.NewPattern(p.Fn, args)
+}

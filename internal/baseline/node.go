@@ -1,0 +1,202 @@
+// Package baseline implements the comparison analyzer: a
+// meta-interpreting abstract interpreter over source clauses, in the
+// implementation style of the Prolog-hosted analyzers the paper measures
+// against (the Aquarius analyzer and its relatives).
+//
+// It computes the same analysis as internal/core — same abstract domain,
+// same extension-table control scheme, same term-depth restriction — but
+// the way such analyzers were actually built: clauses are copied term
+// trees instantiated per attempt, unification is a generic recursive
+// procedure dispatching on tree nodes, no compiled unification
+// instructions exist, no clause indexing is consulted, and the extension
+// table is a linear list of (calling pattern, success pattern) pairs.
+// The per-benchmark time ratio between this package and internal/core
+// reproduces the shape of the paper's Table 1 speedups.
+//
+// Because the two analyzers are independent implementations of the same
+// abstract semantics, equality of their results over the benchmark suite
+// is also the repository's strongest cross-validation test.
+package baseline
+
+import (
+	"awam/internal/domain"
+	"awam/internal/term"
+)
+
+// kind discriminates runtime nodes of the meta-interpreter.
+type kind uint8
+
+const (
+	kVar kind = iota
+	kAny
+	kNV
+	kGround
+	kConstCls // the class of constants
+	kAtomCls  // the class of atoms
+	kIntCls   // the class of integers
+	kListT    // parameterized list type
+	kConAtom  // a specific atom
+	kConInt   // a specific integer
+	kStruct   // concrete structure (including cons cells)
+)
+
+// node is an immutable runtime value descriptor. Binding a node does not
+// mutate it: the analyzer extends its association-list substitution, the
+// way Prolog-hosted analyzers represent abstract substitutions, and
+// dereferencing scans that list. This is the central interpretive
+// overhead the paper's compilation removes (the concrete machine and the
+// abstract WAM both bind destructively through tagged heap cells).
+type node struct {
+	kind kind
+	fn   term.Functor
+	i    int64
+	args []*node
+	elem *node
+}
+
+// open reports whether the node can be instantiated.
+func (n *node) open() bool {
+	switch n.kind {
+	case kVar, kAny, kNV, kGround, kConstCls, kListT:
+		return true
+	}
+	return false
+}
+
+func mkLeaf(k kind) *node         { return &node{kind: k} }
+func mkAtom(a term.Atom) *node    { return &node{kind: kConAtom, fn: term.Functor{Name: a}} }
+func mkInt(v int64) *node         { return &node{kind: kConInt, i: v} }
+func mkListNode(elem *node) *node { return &node{kind: kListT, elem: elem} }
+func mkStruct(fn term.Functor, args []*node) *node {
+	return &node{kind: kStruct, fn: fn, args: args}
+}
+
+// fromKind maps a domain kind to a runtime node (materialization).
+func fromDomain(tab *term.Tab, t *domain.Term, groups map[int]*node) *node {
+	if t.Share != 0 {
+		if n, ok := groups[t.Share]; ok {
+			return n
+		}
+	}
+	var n *node
+	switch t.Kind {
+	case domain.Var:
+		n = mkLeaf(kVar)
+	case domain.Any, domain.Empty:
+		n = mkLeaf(kAny)
+	case domain.NV:
+		n = mkLeaf(kNV)
+	case domain.Ground:
+		n = mkLeaf(kGround)
+	case domain.Const:
+		n = mkLeaf(kConstCls)
+	case domain.Atom:
+		n = mkLeaf(kAtomCls)
+	case domain.Intg:
+		n = mkLeaf(kIntCls)
+	case domain.Nil:
+		n = mkAtom(tab.Nil)
+	case domain.List:
+		n = mkListNode(fromDomain(tab, t.Elem, groups))
+	case domain.Struct:
+		args := make([]*node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = fromDomain(tab, a, groups)
+		}
+		n = mkStruct(t.Fn, args)
+	default:
+		n = mkLeaf(kAny)
+	}
+	if t.Share != 0 {
+		groups[t.Share] = n
+	}
+	return n
+}
+
+// toDomain abstracts a runtime node into a domain term, assigning share
+// groups per open node identity (mirrors core's heap abstraction).
+type abstractor struct {
+	a      *Analyzer
+	tab    *term.Tab
+	groups map[*node]int
+}
+
+func (c *abstractor) group(n *node) int {
+	id, ok := c.groups[n]
+	if !ok {
+		id = len(c.groups) + 1
+		c.groups[n] = id
+	}
+	return id
+}
+
+func (c *abstractor) toDomain(n *node, busy map[*node]bool) *domain.Term {
+	n = c.a.deref(n)
+	if busy[n] {
+		return domain.Top()
+	}
+	switch n.kind {
+	case kVar:
+		return &domain.Term{Kind: domain.Var, Share: c.group(n)}
+	case kAny:
+		return &domain.Term{Kind: domain.Any, Share: c.group(n)}
+	case kNV:
+		return &domain.Term{Kind: domain.NV, Share: c.group(n)}
+	case kGround:
+		return &domain.Term{Kind: domain.Ground, Share: c.group(n)}
+	case kConstCls:
+		return &domain.Term{Kind: domain.Const, Share: c.group(n)}
+	case kAtomCls:
+		return domain.MkLeaf(domain.Atom)
+	case kIntCls:
+		return domain.MkLeaf(domain.Intg)
+	case kConAtom:
+		if n.fn.Name == c.tab.Nil {
+			return domain.MkLeaf(domain.Nil)
+		}
+		return domain.MkLeaf(domain.Atom)
+	case kConInt:
+		return domain.MkLeaf(domain.Intg)
+	case kListT:
+		t := &domain.Term{Kind: domain.List, Share: c.group(n)}
+		busy[n] = true
+		t.Elem = c.toDomain(n.elem, busy)
+		delete(busy, n)
+		return t
+	case kStruct:
+		args := make([]*domain.Term, len(n.args))
+		busy[n] = true
+		for i, a := range n.args {
+			args[i] = c.toDomain(a, busy)
+		}
+		delete(busy, n)
+		return domain.MkStructT(n.fn, args...)
+	}
+	return domain.Top()
+}
+
+// instantiate copies a source term into runtime nodes, allocating one
+// fresh variable node per clause variable — the meta-interpreter's
+// clause-copying overhead.
+func instantiate(tab *term.Tab, tm *term.Term, env map[*term.VarRef]*node) *node {
+	switch tm.Kind {
+	case term.KVar:
+		if n, ok := env[tm.Ref]; ok {
+			return n
+		}
+		n := mkLeaf(kVar)
+		env[tm.Ref] = n
+		return n
+	case term.KAtom:
+		return mkAtom(tm.Fn.Name)
+	case term.KInt:
+		return mkInt(tm.Int)
+	case term.KStruct:
+		args := make([]*node, len(tm.Args))
+		for i, a := range tm.Args {
+			args[i] = instantiate(tab, a, env)
+		}
+		return mkStruct(tm.Fn, args)
+	}
+	return mkLeaf(kAny)
+}

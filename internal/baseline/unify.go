@@ -1,0 +1,233 @@
+package baseline
+
+// Generic abstract unification over tree nodes: the meta-interpreting
+// counterpart of internal/core's compiled s_unify rules. The rule table
+// is deliberately identical — only the representation and dispatch
+// differ — so the two analyzers must agree on every program.
+
+const maxUnifyDepth = 64
+
+// binding is one element of the association-list substitution.
+type binding struct {
+	n   *node
+	val *node
+}
+
+// bind extends the substitution: {n/val} ∘ subst.
+func (a *Analyzer) bind(n, to *node) {
+	a.subst = append(a.subst, binding{n: n, val: to})
+}
+
+// undo truncates the substitution to a mark (clause-exit reset).
+func (a *Analyzer) undo(mark int) {
+	a.subst = a.subst[:mark]
+}
+
+// mark returns the current substitution length.
+func (a *Analyzer) mark() int { return len(a.subst) }
+
+// deref resolves a node through the substitution, scanning the
+// association list per step — the meta-interpreter's lookup cost.
+func (a *Analyzer) deref(n *node) *node {
+	for {
+		found := false
+		// Most recent binding wins; scan from the tail.
+		for i := len(a.subst) - 1; i >= 0; i-- {
+			a.Steps++
+			if a.subst[i].n == n {
+				n = a.subst[i].val
+				found = true
+				break
+			}
+		}
+		if !found {
+			return n
+		}
+	}
+}
+
+func (a *Analyzer) unify(x, y *node) bool { return a.unifyDepth(x, y, 0) }
+
+func (a *Analyzer) unifyDepth(x, y *node, depth int) bool {
+	a.Steps++
+	if depth > maxUnifyDepth {
+		return true // widen rather than diverge (sound over-approximation)
+	}
+	x, y = a.deref(x), a.deref(y)
+	if x == y {
+		return true
+	}
+	if x.kind > y.kind {
+		x, y = y, x
+	}
+	switch x.kind {
+	case kVar:
+		a.bind(x, y)
+		return true
+	case kAny:
+		a.bind(x, y)
+		a.anyify(y, make(map[*node]bool))
+		return true
+	case kNV:
+		switch y.kind {
+		case kNV, kGround, kConstCls, kAtomCls, kIntCls, kListT, kConAtom, kConInt:
+			a.bind(x, y)
+			return true
+		case kStruct:
+			a.bind(x, y)
+			a.anyify(y, make(map[*node]bool))
+			return true
+		}
+		return false
+	case kGround:
+		switch y.kind {
+		case kGround, kConstCls, kAtomCls, kIntCls, kConAtom, kConInt:
+			a.bind(x, y)
+			return true
+		case kListT, kStruct:
+			a.bind(x, y)
+			a.groundify(y, make(map[*node]bool))
+			return true
+		}
+		return false
+	case kConstCls:
+		switch y.kind {
+		case kConstCls, kAtomCls, kIntCls, kConAtom, kConInt:
+			a.bind(x, y)
+			return true
+		case kListT:
+			nilNode := mkAtom(a.tab.Nil)
+			a.bind(x, nilNode)
+			a.bind(y, nilNode)
+			return true
+		}
+		return false
+	case kAtomCls:
+		switch y.kind {
+		case kAtomCls, kConAtom:
+			return true
+		case kListT:
+			a.bind(y, mkAtom(a.tab.Nil))
+			return true
+		}
+		return false
+	case kIntCls:
+		return y.kind == kIntCls || y.kind == kConInt
+	case kListT:
+		switch y.kind {
+		case kListT:
+			// Both list types contain []; element-type clashes leave the
+			// empty list as the common instance.
+			mark := a.mark()
+			a.bind(x, y)
+			if a.unifyDepth(x.elem, y.elem, depth+1) {
+				return true
+			}
+			a.undo(mark)
+			nilNode := mkAtom(a.tab.Nil)
+			a.bind(x, nilNode)
+			a.bind(y, nilNode)
+			return true
+		case kConAtom:
+			if y.fn.Name == a.tab.Nil {
+				a.bind(x, y)
+				return true
+			}
+			return false
+		case kStruct:
+			if y.fn.Name != a.tab.Dot || y.fn.Arity != 2 {
+				return false
+			}
+			elem := x.elem
+			a.bind(x, y)
+			car := a.copyType(elem, make(map[*node]*node))
+			if !a.unifyDepth(y.args[0], car, depth+1) {
+				return false
+			}
+			return a.unifyDepth(y.args[1], mkListNode(elem), depth+1)
+		}
+		return false
+	case kConAtom:
+		return y.kind == kConAtom && x.fn.Name == y.fn.Name
+	case kConInt:
+		return y.kind == kConInt && x.i == y.i
+	case kStruct:
+		if y.kind != kStruct || x.fn != y.fn {
+			return false
+		}
+		for i := range x.args {
+			if !a.unifyDepth(x.args[i], y.args[i], depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// anyify widens the unbound variables inside a term to any.
+func (a *Analyzer) anyify(n *node, seen map[*node]bool) {
+	n = a.deref(n)
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	switch n.kind {
+	case kVar:
+		a.bind(n, mkLeaf(kAny))
+	case kStruct:
+		for _, c := range n.args {
+			a.anyify(c, seen)
+		}
+	}
+}
+
+// groundify narrows a term to its ground instances.
+func (a *Analyzer) groundify(n *node, seen map[*node]bool) {
+	n = a.deref(n)
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	switch n.kind {
+	case kVar, kAny, kNV:
+		a.bind(n, mkLeaf(kGround))
+	case kListT:
+		a.groundify(n.elem, seen)
+	case kStruct:
+		for _, c := range n.args {
+			a.groundify(c, seen)
+		}
+	}
+}
+
+// copyType clones a type graph with fresh open nodes, one instance per
+// list element (mirrors core.copyTypeGraph).
+func (a *Analyzer) copyType(n *node, copies map[*node]*node) *node {
+	n = a.deref(n)
+	if dst, ok := copies[n]; ok {
+		return dst
+	}
+	var dst *node
+	switch n.kind {
+	case kConAtom, kConInt:
+		return n // immutable
+	case kListT:
+		dst = &node{kind: kListT}
+		copies[n] = dst
+		dst.elem = a.copyType(n.elem, copies)
+		return dst
+	case kStruct:
+		dst = &node{kind: kStruct, fn: n.fn}
+		copies[n] = dst
+		dst.args = make([]*node, len(n.args))
+		for i, c := range n.args {
+			dst.args[i] = a.copyType(c, copies)
+		}
+		return dst
+	default:
+		dst = mkLeaf(n.kind)
+		copies[n] = dst
+		return dst
+	}
+}

@@ -1,0 +1,218 @@
+package bench
+
+// Extended is a second suite beyond the paper's Table 1: programs that
+// exercise the optional features (if-then-else, negation), heavier
+// arithmetic, and data shapes the PLM subset lacks. They are used by the
+// integration and cross-validation tests, not by the Table 1 harness.
+var Extended = []Program{
+	{
+		Name: "primes",
+		Source: `
+main :- primes(98, _).
+primes(Limit, Ps) :- integers(2, Limit, Is), sift(Is, Ps).
+integers(Low, High, [Low|Rest]) :-
+	Low =< High, !,
+	M is Low + 1,
+	integers(M, High, Rest).
+integers(_, _, []).
+sift([], []).
+sift([I|Is], [I|Ps]) :- removem(I, Is, New), sift(New, Ps).
+removem(_, [], []).
+removem(P, [I|Is], Nis) :- I mod P =:= 0, !, removem(P, Is, Nis).
+removem(P, [I|Is], [I|Nis]) :- removem(P, Is, Nis).
+`,
+		Query:       "primes(12, Ps)",
+		WantBinding: map[string]string{"Ps": "[2, 3, 5, 7, 11]"},
+	},
+	{
+		Name: "hanoi",
+		Source: `
+main :- hanoi(10, left, right, center, _).
+hanoi(0, _, _, _, []) :- !.
+hanoi(N, A, B, C, Moves) :-
+	N1 is N - 1,
+	hanoi(N1, A, C, B, M1),
+	hanoi(N1, C, B, A, M2),
+	concat(M1, [mv(A, B)|M2], Moves).
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+`,
+		Query:       "hanoi(2, l, r, c, M)",
+		WantBinding: map[string]string{"M": "[mv(l, c), mv(l, r), mv(c, r)]"},
+	},
+	{
+		Name: "fib",
+		Source: `
+main :- fib(18, _).
+fib(N, F) :-
+	( N < 2 ->
+	    F = N
+	;   N1 is N - 1, N2 is N - 2,
+	    fib(N1, F1), fib(N2, F2),
+	    F is F1 + F2
+	).
+`,
+		Query:       "fib(10, F)",
+		WantBinding: map[string]string{"F": "55"},
+	},
+	{
+		Name: "ackermann",
+		Source: `
+main :- ack(2, 4, _).
+ack(M, N, A) :-
+	( M =:= 0 -> A is N + 1
+	; N =:= 0 -> M1 is M - 1, ack(M1, 1, A)
+	; M1 is M - 1, N1 is N - 1, ack(M, N1, A1), ack(M1, A1, A)
+	).
+`,
+		Query:       "ack(2, 3, A)",
+		WantBinding: map[string]string{"A": "9"},
+	},
+	{
+		Name: "flattenl",
+		Source: `
+main :- flattenl([[1, [2, 3]], [4], [], [[5]]], _).
+flattenl([], []).
+flattenl([H|T], R) :- !, flattenl(H, FH), flattenl(T, FT), concat(FH, FT, R).
+flattenl(X, [X]) :- \+ X = [].
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+`,
+		Query:       "flattenl([[1, [2]], [], 3], F)",
+		WantBinding: map[string]string{"F": "[1, 2, 3]"},
+	},
+	{
+		Name: "gcd",
+		Source: `
+main :- gcd(1071, 462, _), gcd(270, 192, _).
+gcd(A, 0, A) :- !.
+gcd(A, B, G) :- B > 0, R is A mod B, gcd(B, R, G).
+`,
+		Query:       "gcd(1071, 462, G)",
+		WantBinding: map[string]string{"G": "21"},
+	},
+	{
+		Name: "treesort",
+		Source: `
+main :- treesort([5, 3, 8, 1, 4, 9, 2, 7, 6], _).
+treesort(L, S) :- build(L, void, T), walk(T, S, []).
+build([], T, T).
+build([X|Xs], T0, T) :- insert(X, T0, T1), build(Xs, T1, T).
+insert(X, void, tree(void, X, void)).
+insert(X, tree(L, Y, R), tree(L1, Y, R)) :- X < Y, !, insert(X, L, L1).
+insert(X, tree(L, Y, R), tree(L, Y, R1)) :- insert(X, R, R1).
+walk(void, S, S).
+walk(tree(L, X, R), S, S0) :- walk(L, S, [X|S1]), walk(R, S1, S0).
+`,
+		Query:       "treesort([3, 1, 2], S)",
+		WantBinding: map[string]string{"S": "[1, 2, 3]"},
+	},
+}
+
+func init() {
+	Extended = append(Extended,
+		Program{
+			Name: "samsort",
+			Source: `
+main :- samsort([pair(3, c), pair(1, a), pair(2, b), 9, 4, zz, aa], S), length(S, 7).
+samsort([], []).
+samsort([X], [X]) :- !.
+samsort(L, S) :- halve(L, A, B), samsort(A, SA), samsort(B, SB), merge_ord(SA, SB, S).
+halve([], [], []).
+halve([X|R], [X|A], B) :- halve(R, B, A).
+merge_ord([], L, L) :- !.
+merge_ord(L, [], L) :- !.
+merge_ord([X|Xs], [Y|Ys], [X|R]) :- X @=< Y, !, merge_ord(Xs, [Y|Ys], R).
+merge_ord(Xs, [Y|Ys], [Y|R]) :- merge_ord(Xs, Ys, R).
+`,
+			Query:       "samsort([b, 2, a, 1, f(x)], S)",
+			WantBinding: map[string]string{"S": "[1, 2, a, b, f(x)]"},
+		},
+		Program{
+			Name: "tautology",
+			Source: `
+main :-
+	taut(impl(and(p, q), p)),
+	taut(impl(p, or(p, q))),
+	taut(or(p, not(p))),
+	\+ taut(impl(or(p, q), p)).
+taut(F) :- \+ cex(F).
+cex(F) :- tv(P), tv(Q), eval(F, P, Q, f).
+tv(t).
+tv(f).
+eval(p, P, _, P).
+eval(q, _, Q, Q).
+eval(not(F), P, Q, V) :- eval(F, P, Q, V0), negate(V0, V).
+eval(and(A, B), P, Q, V) :- eval(A, P, Q, VA), eval(B, P, Q, VB), conj(VA, VB, V).
+eval(or(A, B), P, Q, V) :- eval(A, P, Q, VA), eval(B, P, Q, VB), disj(VA, VB, V).
+eval(impl(A, B), P, Q, V) :- eval(or(not(A), B), P, Q, V).
+negate(t, f).
+negate(f, t).
+conj(t, t, t) :- !.
+conj(_, _, f).
+disj(f, f, f) :- !.
+disj(_, _, t).
+`,
+			Query:       "eval(impl(p, q), t, f, V)",
+			WantBinding: map[string]string{"V": "f"},
+		},
+		Program{
+			Name: "rewriter",
+			Source: `
+main :-
+	norm(plus(s(0), plus(s(s(0)), s(0))), N1), snat(N1),
+	norm(times(s(s(0)), s(s(s(0)))), N2), snat(N2).
+rw(plus(0, Y), Y).
+rw(plus(s(X), Y), s(plus(X, Y))).
+rw(times(0, _), 0).
+rw(times(s(X), Y), plus(Y, times(X, Y))).
+norm(T, N) :- step(T, T1), !, norm(T1, N).
+norm(T, T).
+step(T, T1) :- rw(T, T1).
+step(T, T1) :- functor(T, F, A), A > 0, step_args(A, T, F, T1).
+step_args(N, T, F, T1) :- N > 0, arg(N, T, Arg), step(Arg, Arg1), !, rebuild(T, F, N, Arg1, T1).
+step_args(N, T, F, T1) :- N > 1, N1 is N - 1, step_args(N1, T, F, T1).
+rebuild(T, F, I, NewArg, T1) :- functor(T, F, A), functor(T1, F, A), copy_args(A, I, T, T1, NewArg).
+copy_args(0, _, _, _, _) :- !.
+copy_args(N, I, T, T1, New) :- N =:= I, !, arg(N, T1, New), N1 is N - 1, copy_args(N1, I, T, T1, New).
+copy_args(N, I, T, T1, New) :- arg(N, T, X), arg(N, T1, X), N1 is N - 1, copy_args(N1, I, T, T1, New).
+snat(0).
+snat(s(X)) :- snat(X).
+`,
+			Query:       "norm(plus(s(0), s(0)), N)",
+			WantBinding: map[string]string{"N": "s(s(0))"},
+		},
+		Program{
+			Name: "peano",
+			Source: `
+main :- mul(s(s(s(0))), s(s(s(s(0)))), M), len(M).
+add(0, Y, Y).
+add(s(X), Y, s(Z)) :- add(X, Y, Z).
+mul(0, _, 0).
+mul(s(X), Y, Z) :- mul(X, Y, Z1), add(Z1, Y, Z).
+len(0).
+len(s(N)) :- len(N).
+`,
+			Query:       "add(s(s(0)), s(0), R)",
+			WantBinding: map[string]string{"R": "s(s(s(0)))"},
+		},
+	)
+}
+
+// AllPrograms returns the Table 1 suite followed by the extended suite.
+func AllPrograms() []Program {
+	out := make([]Program, 0, len(Programs)+len(Extended))
+	out = append(out, Programs...)
+	out = append(out, Extended...)
+	return out
+}
+
+// ExtendedByName returns the named extended benchmark.
+func ExtendedByName(name string) (Program, bool) {
+	for _, p := range Extended {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}

@@ -1,0 +1,275 @@
+// Package bench embeds the benchmark programs used in the paper's
+// evaluation — the subset of the Berkeley PLM benchmark suite listed in
+// Table 1 — and provides the measurement harness that regenerates the
+// paper's tables.
+//
+// The sources are the classic Warren/PLM versions (deriv, tak, nreverse,
+// qsort, query, zebra, serialise, queens_8), each with a main/0 entry
+// point as in the original suite. They exercise, between them: deep cut
+// and neck cut, arithmetic, symbolic structure building, list traversal,
+// accumulator pairs, a fact database with indexing, and heavy
+// backtracking (zebra).
+package bench
+
+// Program describes one benchmark.
+type Program struct {
+	Name string
+	// Source is the Prolog text, ending with a main/0 entry point.
+	Source string
+	// Query is a goal whose answer substitution the soundness tests
+	// compare against the analysis; empty when main/0 is enough.
+	Query string
+	// WantBinding maps a query variable to its expected value, written in
+	// canonical form; used by the concrete-machine integration tests.
+	WantBinding map[string]string
+}
+
+// derivBody is the Warren symbolic-differentiation program shared by the
+// four deriv benchmarks (log10, ops8, times10, divide10).
+const derivBody = `
+d(U+V, X, DU+DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U-V, X, DU-DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U*V, X, DU*V+U*DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U/V, X, (DU*V-U*DV)/(V*V)) :- !, d(U, X, DU), d(V, X, DV).
+d(U^N, X, DU*N*U^N1) :- !, integer(N), N1 is N-1, d(U, X, DU).
+d(-U, X, -DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U)*DU) :- !, d(U, X, DU).
+d(log(U), X, DU/U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+`
+
+// Programs lists the Table 1 benchmarks in the paper's order.
+var Programs = []Program{
+	{
+		Name: "log10",
+		Source: derivBody + `
+main :- d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, _).
+`,
+		Query:       "d(log(log(x)), x, D)",
+		WantBinding: map[string]string{"D": "1 / x / log(x)"},
+	},
+	{
+		Name: "ops8",
+		Source: derivBody + `
+main :- d((x+1)*((x^2+2)*(x^3+3)), x, _).
+`,
+	},
+	{
+		Name: "times10",
+		Source: derivBody + `
+main :- d(((((((((x*x)*x)*x)*x)*x)*x)*x)*x)*x, x, _).
+`,
+	},
+	{
+		Name: "divide10",
+		Source: derivBody + `
+main :- d(((((((((x/x)/x)/x)/x)/x)/x)/x)/x)/x, x, _).
+`,
+	},
+	{
+		Name: "tak",
+		Source: `
+tak(X, Y, Z, A) :- X =< Y, !, Z = A.
+tak(X, Y, Z, A) :-
+	X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+	tak(X1, Y, Z, A1), tak(Y1, Z, X, A2), tak(Z1, X, Y, A3),
+	tak(A1, A2, A3, A).
+main :- tak(18, 12, 6, _).
+`,
+		Query:       "tak(8, 4, 0, A)",
+		WantBinding: map[string]string{"A": "1"},
+	},
+	{
+		Name: "nreverse",
+		Source: `
+nreverse([X|L0], L) :- nreverse(L0, L1), concatenate(L1, [X], L).
+nreverse([], []).
+concatenate([X|L1], L2, [X|L3]) :- concatenate(L1, L2, L3).
+concatenate([], L, L).
+main :- nreverse([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+                  16,17,18,19,20,21,22,23,24,25,26,27,28,29,30], _).
+`,
+		Query:       "nreverse([1,2,3], R)",
+		WantBinding: map[string]string{"R": "[3, 2, 1]"},
+	},
+	{
+		Name: "qsort",
+		Source: `
+qsort([X|L], R, R0) :-
+	partition(L, X, L1, L2),
+	qsort(L2, R1, R0),
+	qsort(L1, R, [X|R1]).
+qsort([], R, R).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+main :- qsort([27,74,17,33,94,18,46,83,65,2,
+               32,53,28,85,99,47,28,82,6,11,
+               55,29,39,81,90,37,10,0,66,51,
+               7,21,85,27,31,63,75,4,95,99,
+               11,28,61,74,18,92,40,53,59,8], _, []).
+`,
+		Query:       "qsort([3,1,2], R, [])",
+		WantBinding: map[string]string{"R": "[1, 2, 3]"},
+	},
+	{
+		Name: "query",
+		Source: `
+main :- query(_).
+query([C1, D1, C2, D2]) :-
+	density(C1, D1), density(C2, D2),
+	D1 > D2,
+	20 * D1 < 21 * D2.
+density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.
+pop(china, 8250).
+pop(india, 5863).
+pop(ussr, 2521).
+pop(usa, 2119).
+pop(indonesia, 1276).
+pop(japan, 1097).
+pop(brazil, 1042).
+pop(bangladesh, 750).
+pop(pakistan, 682).
+pop(w_germany, 620).
+pop(nigeria, 613).
+pop(mexico, 581).
+pop(uk, 559).
+pop(italy, 554).
+pop(france, 525).
+pop(philippines, 415).
+pop(thailand, 410).
+pop(turkey, 383).
+pop(egypt, 364).
+pop(spain, 352).
+pop(poland, 337).
+pop(s_korea, 335).
+pop(iran, 320).
+pop(ethiopia, 272).
+pop(argentina, 251).
+area(china, 3380).
+area(india, 1139).
+area(ussr, 8708).
+area(usa, 3609).
+area(indonesia, 570).
+area(japan, 148).
+area(brazil, 3288).
+area(bangladesh, 55).
+area(pakistan, 311).
+area(w_germany, 96).
+area(nigeria, 373).
+area(mexico, 764).
+area(uk, 86).
+area(italy, 116).
+area(france, 213).
+area(philippines, 90).
+area(thailand, 200).
+area(turkey, 296).
+area(egypt, 386).
+area(spain, 190).
+area(poland, 121).
+area(s_korea, 37).
+area(iran, 628).
+area(ethiopia, 350).
+area(argentina, 1080).
+`,
+	},
+	{
+		Name: "zebra",
+		Source: `
+main :- zebra(_, _, _).
+zebra(Houses, Water, Zebra) :-
+	Houses = [house(_, norwegian, _, _, _), _,
+	          house(_, _, _, milk, _), _, _],
+	member(house(red, englishman, _, _, _), Houses),
+	member(house(_, spaniard, dog, _, _), Houses),
+	member(house(green, _, _, coffee, _), Houses),
+	member(house(_, ukrainian, _, tea, _), Houses),
+	right_of(house(green, _, _, _, _), house(ivory, _, _, _, _), Houses),
+	member(house(_, _, snails, _, winston), Houses),
+	member(house(yellow, _, _, _, kools), Houses),
+	next_to(house(_, _, _, _, chesterfields), house(_, _, fox, _, _), Houses),
+	next_to(house(_, _, _, _, kools), house(_, _, horse, _, _), Houses),
+	member(house(_, _, _, orange_juice, lucky_strike), Houses),
+	member(house(_, japanese, _, _, parliaments), Houses),
+	next_to(house(_, norwegian, _, _, _), house(blue, _, _, _, _), Houses),
+	member(house(_, Water, _, water, _), Houses),
+	member(house(_, Zebra, zebra, _, _), Houses).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+right_of(R, L, [L, R|_]).
+right_of(R, L, [_|T]) :- right_of(R, L, T).
+next_to(X, Y, L) :- right_of(X, Y, L).
+next_to(X, Y, L) :- right_of(Y, X, L).
+`,
+		Query:       "zebra(H, W, Z)",
+		WantBinding: map[string]string{"W": "norwegian", "Z": "japanese"},
+	},
+	{
+		Name: "serialise",
+		Source: `
+main :- serialise("ABLE WAS I ERE I SAW ELBA", _).
+serialise(L, R) :- pairlists(L, R, A), arrange(A, T), numbered(T, 1, _).
+pairlists([X|L], [Y|R], [pair(X, Y)|A]) :- pairlists(L, R, A).
+pairlists([], [], []).
+arrange([X|L], tree(T1, X, T2)) :-
+	split(L, X, L1, L2),
+	arrange(L1, T1),
+	arrange(L2, T2).
+arrange([], void).
+split([X|L], X, L1, L2) :- !, split(L, X, L1, L2).
+split([X|L], Y, [X|L1], L2) :- before(X, Y), !, split(L, Y, L1, L2).
+split([X|L], Y, L1, [X|L2]) :- before(Y, X), !, split(L, Y, L1, L2).
+split([], _, [], []).
+before(pair(X1, _), pair(X2, _)) :- X1 < X2.
+numbered(tree(T1, pair(_, N1), T2), N0, N) :-
+	numbered(T1, N0, N1),
+	N2 is N1 + 1,
+	numbered(T2, N2, N).
+numbered(void, N, N).
+`,
+	},
+	{
+		Name: "queens_8",
+		Source: `
+main :- queens(8, _).
+queens(N, Qs) :- range(1, N, Ns), queens(Ns, [], Qs).
+queens([], Qs, Qs).
+queens(UnplacedQs, SafeQs, Qs) :-
+	selectq(UnplacedQs, UnplacedQs1, Q),
+	not_attack(SafeQs, Q),
+	queens(UnplacedQs1, [Q|SafeQs], Qs).
+not_attack(Xs, X) :- not_attack(Xs, X, 1).
+not_attack([], _, _).
+not_attack([Y|Ys], X, N) :-
+	X =\= Y + N, X =\= Y - N,
+	N1 is N + 1,
+	not_attack(Ys, X, N1).
+selectq([X|Xs], Xs, X).
+selectq([Y|Ys], [Y|Zs], X) :- selectq(Ys, Zs, X).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+`,
+		Query:       "queens(4, Qs)",
+		WantBinding: map[string]string{"Qs": "[3, 1, 4, 2]"},
+	},
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Program, bool) {
+	for _, p := range Programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// Names lists benchmark names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(Programs))
+	for i, p := range Programs {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+// Package core implements the paper's contribution: the abstract WAM.
+// It reinterprets the instruction set produced by internal/compiler over
+// the abstract domain of internal/domain (Section 4 of the paper) and
+// replaces call/proceed with the extension-table control scheme
+// (Section 5), yielding a compiled dataflow analyzer for mode, type and
+// aliasing information.
+//
+// Representation (Section 4.1): abstract terms that can be instantiated
+// further — any, nv, ground, const, alpha-list and var — are encoded in
+// single heap cells "like variables": abstract unification overwrites
+// (binds) them, the value trail undoes the overwrite on clause exit, and
+// ComplexTermInst turns them into heap structures when a get_list or
+// get_structure instruction demands subterms.
+package core
+
+import (
+	"fmt"
+
+	"awam/internal/rt"
+	"awam/internal/term"
+)
+
+// absUnify performs abstract set-unification (s_unify) of two cells,
+// binding open cells so that both sides come to denote the result type.
+// It returns false when the unification is certainly empty.
+func (a *Analyzer) absUnify(x, y rt.Cell) bool {
+	return a.absUnifyDepth(x, y, 0)
+}
+
+// maxUnifyDepth bounds recursion through instantiations so that abstract
+// unification terminates even on cyclic heaps (which occurs-check-free
+// concrete unification can build).
+const maxUnifyDepth = 64
+
+func (a *Analyzer) absUnifyDepth(x, y rt.Cell, depth int) bool {
+	if depth > maxUnifyDepth {
+		// Give up on precision, not on soundness: deep spines widen; both
+		// sides simply stay as they are (an over-approximation).
+		return true
+	}
+	cx, ax := a.h.ResolveCell(x)
+	cy, ay := a.h.ResolveCell(y)
+	if ax >= 0 && ax == ay {
+		return true
+	}
+	// Order the pair so the "smaller" tag comes first; rules below assume
+	// cx is the more variable-like side where it matters.
+	if rank(cx.Tag) > rank(cy.Tag) {
+		cx, cy = cy, cx
+		ax, ay = ay, ax
+	}
+
+	switch cx.Tag {
+	case rt.Ref, rt.AVar:
+		// s_unify(var, T) = T: alias the variable to the other side.
+		return a.bindTo(ax, cy, ay)
+
+	case rt.AAny:
+		// s_unify(any, T) = T with T's variables widened to any
+		// (paper example: s_unify(any, f(X,Y)) = f(any,any)).
+		if !a.bindTo(ax, cy, ay) {
+			return false
+		}
+		a.anyify(cy, ay, make(map[int]bool))
+		return true
+
+	case rt.ANV:
+		switch cy.Tag {
+		case rt.ANV:
+			return a.bindTo(ax, cy, ay)
+		case rt.AGround, rt.AConst, rt.AAtom, rt.AInt, rt.AList, rt.Con, rt.Int:
+			return a.bindTo(ax, cy, ay)
+		case rt.Lis, rt.Str:
+			if !a.bindTo(ax, cy, ay) {
+				return false
+			}
+			a.anyify(cy, ay, make(map[int]bool))
+			return true
+		}
+		return false
+
+	case rt.AGround:
+		switch cy.Tag {
+		case rt.AGround, rt.AConst, rt.AAtom, rt.AInt, rt.Con, rt.Int:
+			return a.bindTo(ax, cy, ay)
+		case rt.AList:
+			// s_unify(g, list(e)) = list(e ⊓ g): ground the element type.
+			if !a.bindTo(ax, cy, ay) {
+				return false
+			}
+			a.groundify(cy, ay, make(map[int]bool))
+			return true
+		case rt.Lis, rt.Str:
+			// Paper example 2.2: s_unify(g, f(V)) = f(g).
+			if !a.bindTo(ax, cy, ay) {
+				return false
+			}
+			a.groundify(cy, ay, make(map[int]bool))
+			return true
+		}
+		return false
+
+	case rt.AConst:
+		switch cy.Tag {
+		case rt.AConst, rt.AAtom, rt.AInt, rt.Con, rt.Int:
+			return a.bindTo(ax, cy, ay)
+		case rt.AList:
+			// const ∩ list = {[]}.
+			a.h.Bind(ay, rt.MkCon(a.tab.Nil))
+			a.h.Bind(ax, rt.MkCon(a.tab.Nil))
+			return true
+		}
+		return false
+
+	case rt.AAtom:
+		switch cy.Tag {
+		case rt.AAtom:
+			return true
+		case rt.Con:
+			return true // the atom side keeps its (sound) atom type
+		case rt.AList:
+			// atom ∩ list = {[]}.
+			a.h.Bind(ay, rt.MkCon(a.tab.Nil))
+			return true
+		}
+		return false
+
+	case rt.AInt:
+		switch cy.Tag {
+		case rt.AInt, rt.Int:
+			return true
+		}
+		return false
+
+	case rt.AList:
+		switch cy.Tag {
+		case rt.AList:
+			// list(a) ⋈ list(b) = list(a ⊓ b), except that both always
+			// contain []: when the element types clash the empty list
+			// remains the (only) common instance.
+			mark := a.h.Mark()
+			if a.bindTo(ax, cy, ay) &&
+				a.absUnifyDepth(rt.MkRef(cx.A), rt.MkRef(cy.A), depth+1) {
+				return true
+			}
+			a.h.Undo(mark)
+			a.h.Bind(ax, rt.MkCon(a.tab.Nil))
+			a.h.Bind(ay, rt.MkCon(a.tab.Nil))
+			return true
+		case rt.Con:
+			if cy.F.Name == a.tab.Nil {
+				a.h.Bind(ax, rt.MkCon(a.tab.Nil))
+				return true
+			}
+			return false
+		case rt.Lis:
+			// s_unify(list(e), [H|T]) = [e'|list(e)'].
+			if !a.bindTo(ax, cy, ay) {
+				return false
+			}
+			elem := cx.A
+			carType := a.copyTypeGraph(elem, make(map[int]int))
+			if !a.absUnifyDepth(rt.MkRef(cy.A), rt.MkRef(carType), depth+1) {
+				return false
+			}
+			cdrList := a.h.PushOpen(rt.AList, elem)
+			return a.absUnifyDepth(rt.MkRef(cy.A+1), rt.MkRef(cdrList), depth+1)
+		case rt.Str:
+			// Only cons structures can be lists; the compiler emits Lis
+			// cells for those, so any Str here is a mismatch.
+			return false
+		}
+		return false
+
+	case rt.Con:
+		if cy.Tag == rt.Con {
+			return cx.F.Name == cy.F.Name
+		}
+		return false
+
+	case rt.Int:
+		if cy.Tag == rt.Int {
+			return cx.I == cy.I
+		}
+		return false
+
+	case rt.Lis:
+		if cy.Tag != rt.Lis {
+			return false
+		}
+		if !a.absUnifyDepth(rt.MkRef(cx.A), rt.MkRef(cy.A), depth+1) {
+			return false
+		}
+		return a.absUnifyDepth(rt.MkRef(cx.A+1), rt.MkRef(cy.A+1), depth+1)
+
+	case rt.Str:
+		if cy.Tag != rt.Str {
+			return false
+		}
+		fx, fy := a.h.At(cx.A), a.h.At(cy.A)
+		if fx.F != fy.F {
+			return false
+		}
+		for i := 1; i <= fx.F.Arity; i++ {
+			if !a.absUnifyDepth(rt.MkRef(cx.A+i), rt.MkRef(cy.A+i), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// rank orders tags from most to least variable-like for rule dispatch.
+func rank(t rt.Tag) int {
+	switch t {
+	case rt.Ref, rt.AVar:
+		return 0
+	case rt.AAny:
+		return 1
+	case rt.ANV:
+		return 2
+	case rt.AGround:
+		return 3
+	case rt.AConst:
+		return 4
+	case rt.AAtom:
+		return 5
+	case rt.AInt:
+		return 6
+	case rt.AList:
+		return 7
+	case rt.Con:
+		return 8
+	case rt.Int:
+		return 9
+	case rt.Lis:
+		return 10
+	case rt.Str:
+		return 11
+	}
+	return 12
+}
+
+// bindTo aliases the open cell at ax to the cell (cy, ay). When cy is an
+// off-heap constant it is stored directly.
+func (a *Analyzer) bindTo(ax int, cy rt.Cell, ay int) bool {
+	if ax < 0 {
+		// The variable-like side is an off-heap register constant: that
+		// cannot happen — constants are never open.
+		a.fail(fmt.Errorf("core: open cell without address"))
+		return false
+	}
+	if ay >= 0 {
+		a.h.Bind(ax, rt.MkRef(ay))
+	} else {
+		a.h.Bind(ax, cy)
+	}
+	return true
+}
+
+// anyify widens the unbound variables of a (possibly partially concrete)
+// term to 'any': the effect of unifying it with an unknown term.
+func (a *Analyzer) anyify(c rt.Cell, addr int, seen map[int]bool) {
+	if addr >= 0 {
+		if seen[addr] {
+			return
+		}
+		seen[addr] = true
+		c = a.h.At(a.h.Deref(addr))
+		addr = a.h.Deref(addr)
+	}
+	switch c.Tag {
+	case rt.Ref, rt.AVar:
+		a.h.Bind(addr, rt.Cell{Tag: rt.AAny})
+	case rt.Lis:
+		a.anyify(rt.Cell{}, c.A, seen)
+		a.anyify(rt.Cell{}, c.A+1, seen)
+	case rt.Str:
+		fn := a.h.At(c.A)
+		for i := 1; i <= fn.F.Arity; i++ {
+			a.anyify(rt.Cell{}, c.A+i, seen)
+		}
+	}
+	// Abstract leaves (any, nv, ground, const, atom, int, list) already
+	// denote variable-free type information and stay as they are.
+}
+
+// groundify narrows a term to its ground instances: the effect of
+// unifying it with a ground term (paper example 2.2).
+func (a *Analyzer) groundify(c rt.Cell, addr int, seen map[int]bool) {
+	if addr >= 0 {
+		if seen[addr] {
+			return
+		}
+		seen[addr] = true
+		addr = a.h.Deref(addr)
+		c = a.h.At(addr)
+	}
+	switch c.Tag {
+	case rt.Ref, rt.AVar, rt.AAny, rt.ANV:
+		a.h.Bind(addr, rt.Cell{Tag: rt.AGround})
+	case rt.AList:
+		a.groundify(rt.Cell{}, c.A, seen)
+	case rt.Lis:
+		a.groundify(rt.Cell{}, c.A, seen)
+		a.groundify(rt.Cell{}, c.A+1, seen)
+	case rt.Str:
+		fn := a.h.At(c.A)
+		for i := 1; i <= fn.F.Arity; i++ {
+			a.groundify(rt.Cell{}, c.A+i, seen)
+		}
+	}
+	// AGround, AConst, AAtom, AInt, Con, Int are already ground.
+}
+
+// copyTypeGraph copies the type graph rooted at addr into fresh cells:
+// open abstract cells become fresh cells of the same type, concrete
+// structure is rebuilt, and unbound variables become fresh variables.
+// This is how a list type's element type is instantiated once per
+// element (each [H|T] cell of a glist gets its own g instance).
+func (a *Analyzer) copyTypeGraph(addr int, copies map[int]int) int {
+	addr = a.h.Deref(addr)
+	if dst, ok := copies[addr]; ok {
+		return dst
+	}
+	c := a.h.At(addr)
+	switch c.Tag {
+	case rt.Ref:
+		dst := a.h.PushVar()
+		copies[addr] = dst
+		return dst
+	case rt.Con, rt.Int, rt.AAny, rt.ANV, rt.AGround, rt.AConst, rt.AAtom, rt.AInt, rt.AVar:
+		dst := a.h.Push(c)
+		if c.Tag == rt.AVar || c.Tag.IsOpen() {
+			copies[addr] = dst
+		}
+		return dst
+	case rt.AList:
+		// Reserve the cell first to terminate on self-referential types.
+		dst := a.h.Push(rt.Cell{Tag: rt.AAny})
+		copies[addr] = dst
+		elem := a.copyTypeGraph(c.A, copies)
+		a.h.Cells[dst] = rt.Cell{Tag: rt.AList, A: elem}
+		return dst
+	case rt.Lis:
+		dst := a.h.Push(rt.Cell{Tag: rt.AAny})
+		copies[addr] = dst
+		car := a.copyTypeGraph(c.A, copies)
+		cdr := a.copyTypeGraph(c.A+1, copies)
+		pair := a.h.Push(rt.MkRef(car))
+		a.h.Push(rt.MkRef(cdr))
+		a.h.Cells[dst] = rt.Cell{Tag: rt.Lis, A: pair}
+		return dst
+	case rt.Str:
+		fn := a.h.At(c.A)
+		dst := a.h.Push(rt.Cell{Tag: rt.AAny})
+		copies[addr] = dst
+		args := make([]int, fn.F.Arity)
+		for i := 1; i <= fn.F.Arity; i++ {
+			args[i-1] = a.copyTypeGraph(c.A+i, copies)
+		}
+		fnAddr := a.h.Push(rt.Cell{Tag: rt.Fun, F: fn.F})
+		for _, arg := range args {
+			a.h.Push(rt.MkRef(arg))
+		}
+		a.h.Cells[dst] = rt.Cell{Tag: rt.Str, A: fnAddr}
+		return dst
+	}
+	return a.h.Push(rt.Cell{Tag: rt.AAny})
+}
+
+// tab is a shorthand for the module's atom table.
+func (a *Analyzer) tabName(f term.Functor) string { return a.tab.FuncString(f) }

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"awam/internal/compiler"
+	"awam/internal/domain"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/rt"
+	"awam/internal/term"
+)
+
+// newBareAnalyzer builds an analyzer over an empty module, enough to
+// exercise absUnify and the pattern conversions directly.
+func newBareAnalyzer(t *testing.T, tab *term.Tab) *Analyzer {
+	t.Helper()
+	prog, err := parser.ParseProgram(tab, "dummy.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(mod)
+	a.h = rt.NewHeap()
+	return a
+}
+
+// absPair materializes an abstract term and returns its root address.
+func absRoot(a *Analyzer, t *domain.Term) int {
+	return a.materializeTerm(t, make(map[int]int))
+}
+
+// TestAbsUnifyTable checks the s_unify rules directly on cells,
+// including the examples of Section 4.1.
+func TestAbsUnifyTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		ok   bool
+		// resA is the abstraction of the first cell after unification
+		// ("" to skip the check).
+		resA string
+	}{
+		// Paper examples.
+		{"any", "g", true, "g"},
+		{"var", "g", true, "g"},
+		{"any", "f(var)", true, "f(any)"},
+		{"list(g)", "[var|var]", true, "[g|list(g)]"},
+		{"g", "f(var)", true, "f(g)"},
+		// Leaf classes.
+		{"atom", "int", false, ""},
+		{"const", "int", true, "int"},
+		{"const", "atom", true, "atom"},
+		{"g", "atom", true, "atom"},
+		{"nv", "g", true, "g"},
+		{"nv", "f(var)", true, "f(any)"},
+		{"var", "var", true, "var"},
+		// Lists.
+		{"list(g)", "[]", true, "[]"},
+		// Element-type clash still leaves the empty list.
+		{"list(int)", "list(atom)", true, "[]"},
+		{"list(int)", "list(int)", true, "list(int)"},
+		{"const", "list(g)", true, "[]"},
+		{"atom", "list(g)", true, "atom"},
+		{"int", "list(g)", false, ""},
+		{"list(g)", "f(g)", false, ""},
+		// Structures.
+		{"f(g)", "f(atom)", true, "f(atom)"},
+		{"f(g)", "h(g)", false, ""},
+		{"f(var)", "f(g)", true, "f(g)"},
+	}
+	for _, c := range cases {
+		tab := term.NewTab()
+		a := newBareAnalyzer(t, tab)
+		pa, err := domain.ParseAbs(tab, "p("+c.a+")")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := domain.ParseAbs(tab, "p("+c.b+")")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra := absRoot(a, pa.Args[0])
+		rb := absRoot(a, pb.Args[0])
+		got := a.absUnify(rt.MkRef(ra), rt.MkRef(rb))
+		if got != c.ok {
+			t.Errorf("absUnify(%s, %s) = %v, want %v", c.a, c.b, got, c.ok)
+			continue
+		}
+		if got && c.resA != "" {
+			res := a.abstractArgs(tab.Func("p", 1), []int{ra})
+			if resStr := res.Args[0].String(tab); resStr != c.resA {
+				t.Errorf("absUnify(%s, %s) result = %s, want %s", c.a, c.b, resStr, c.resA)
+			}
+		}
+	}
+}
+
+// genWitness produces a random concrete term belonging to the
+// concretization of the abstract term.
+func genWitness(r *rand.Rand, tab *term.Tab, t *domain.Term, depth int) *term.Term {
+	switch t.Kind {
+	case domain.Var:
+		// Unique names so that writing and re-parsing the term preserves
+		// variable identity.
+		return term.NewVar(freshName(r))
+	case domain.Nil:
+		return term.MkAtom(tab.Nil)
+	case domain.Atom:
+		return term.MkAtom(tab.Intern([]string{"a", "b", "c"}[r.Intn(3)]))
+	case domain.Intg:
+		return term.MkInt(int64(r.Intn(5)))
+	case domain.Const:
+		if r.Intn(2) == 0 {
+			return term.MkAtom(tab.Intern("k"))
+		}
+		return term.MkInt(int64(r.Intn(5)))
+	case domain.Ground:
+		if depth <= 0 || r.Intn(2) == 0 {
+			return term.MkInt(int64(r.Intn(5)))
+		}
+		return term.MkStruct(tab.Func("gg", 1), genWitness(r, tab, domain.MkLeaf(domain.Ground), depth-1))
+	case domain.NV:
+		if depth <= 0 || r.Intn(2) == 0 {
+			return term.MkAtom(tab.Intern("nvw"))
+		}
+		return term.MkStruct(tab.Func("nn", 1), genWitness(r, tab, domain.Top(), depth-1))
+	case domain.Any:
+		if depth <= 0 {
+			switch r.Intn(3) {
+			case 0:
+				return term.NewVar(freshName(r))
+			case 1:
+				return term.MkInt(int64(r.Intn(5)))
+			default:
+				return term.MkAtom(tab.Intern("aw"))
+			}
+		}
+		return genWitness(r, tab, genAbsCore(r, tab, depth-1), depth-1)
+	case domain.List:
+		n := r.Intn(3)
+		elems := make([]*term.Term, n)
+		for i := range elems {
+			elems[i] = genWitness(r, tab, t.Elem, depth-1)
+		}
+		return term.MkList(tab, elems, nil)
+	case domain.Struct:
+		args := make([]*term.Term, len(t.Args))
+		for i, at := range t.Args {
+			args[i] = genWitness(r, tab, at, depth-1)
+		}
+		return term.MkStruct(t.Fn, args...)
+	}
+	return term.MkAtom(tab.Intern("w"))
+}
+
+// genAbsCore generates a random abstract term (no empty, no sharing).
+func genAbsCore(r *rand.Rand, tab *term.Tab, depth int) *domain.Term {
+	leaves := []domain.Kind{domain.Var, domain.Nil, domain.Atom, domain.Intg,
+		domain.Const, domain.Ground, domain.NV, domain.Any}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return domain.MkLeaf(leaves[r.Intn(len(leaves))])
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(2) + 1
+		args := make([]*domain.Term, n)
+		for i := range args {
+			args[i] = genAbsCore(r, tab, depth-1)
+		}
+		return domain.MkStructT(tab.Func([]string{"f", "h"}[r.Intn(2)], n), args...)
+	case 1:
+		return domain.MkListT(genAbsCore(r, tab, depth-1))
+	default:
+		return domain.MkLeaf(leaves[r.Intn(len(leaves))])
+	}
+}
+
+var nameCounter int
+
+func freshName(r *rand.Rand) string {
+	nameCounter++
+	return "W" + string(rune('A'+r.Intn(26))) + itoa(nameCounter)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestAbsUnifySoundness is the central property of Section 4: if
+// concrete terms t1 ∈ γ(A) and t2 ∈ γ(B) unify to t, then abstract
+// unification of A and B must succeed and t must belong to the
+// concretization of the result.
+func TestAbsUnifySoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	const trials = 3000
+	checked := 0
+	for i := 0; i < trials; i++ {
+		tab := term.NewTab()
+		A := genAbsCore(r, tab, 2)
+		B := genAbsCore(r, tab, 2)
+		t1 := genWitness(r, tab, A, 2)
+		t2 := genWitness(r, tab, B, 2)
+
+		// Concrete unification via =/2 on the machine, reading the
+		// instantiated first term back through the solution bindings.
+		prog, err := parser.ParseProgram(tab, "dummy.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := compiler.Compile(tab, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.New(mod)
+		goal := term.MkStruct(tab.Func("=", 2), t1, t2)
+		sol, err := m.SolveGoal([]*term.Term{goal})
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		if !sol.OK {
+			continue // the concrete witnesses don't unify; nothing to check
+		}
+		unified := instantiate(t1, sol.Bindings())
+		checked++
+
+		// Abstract unification of the two abstract terms.
+		a := newBareAnalyzer(t, tab)
+		ra := absRoot(a, A)
+		rb := absRoot(a, B)
+		if !a.absUnify(rt.MkRef(ra), rt.MkRef(rb)) {
+			t.Fatalf("trial %d: concrete terms %s and %s unify but absUnify(%s, %s) fails",
+				i, tab.Write(t1), tab.Write(t2), A.String(tab), B.String(tab))
+		}
+		res := a.abstractArgs(tab.Func("p", 1), []int{ra})
+		if !domain.Member(tab, unified, res.Args[0]) {
+			t.Fatalf("trial %d: unified term %s not in abstract result %s (from %s with %s)",
+				i, tab.Write(unified), res.Args[0].String(tab), A.String(tab), B.String(tab))
+		}
+	}
+	if checked < trials/10 {
+		t.Fatalf("too few unifiable witness pairs: %d of %d", checked, trials)
+	}
+}

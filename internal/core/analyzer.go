@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"awam/internal/domain"
+	"awam/internal/rt"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// TableKind selects the extension-table representation.
+type TableKind int
+
+const (
+	// TableLinear is the paper's linear list of pairs.
+	TableLinear TableKind = iota
+	// TableHash is the hashed ablation.
+	TableHash
+)
+
+// Config holds analyzer options.
+type Config struct {
+	// Depth is the term-depth restriction k (the paper uses 4).
+	Depth int
+	// Table selects the extension-table representation.
+	Table TableKind
+	// Indexing lets the abstract machine consult switch instructions
+	// when the dispatch argument is concrete enough (structure functor,
+	// nil, constant class), exploring only the matching clauses.
+	Indexing bool
+	// MaxSteps bounds the number of abstract instructions executed.
+	MaxSteps int64
+	// Strategy selects the fixpoint algorithm: the paper's naive
+	// iteration (default) or the dependency-tracking worklist.
+	Strategy Strategy
+}
+
+// DefaultConfig matches the paper's prototype: k = 4, linear extension
+// table, indexing-aware clause selection.
+func DefaultConfig() Config {
+	return Config{Depth: 4, Table: TableLinear, Indexing: true, MaxSteps: 500_000_000}
+}
+
+// ErrStepLimit reports an exceeded abstract step budget.
+var ErrStepLimit = errors.New("core: abstract step limit exceeded")
+
+// Analyzer is an abstract WAM over one compiled module.
+type Analyzer struct {
+	mod *wam.Module
+	tab *term.Tab
+	cfg Config
+
+	h     *rt.Heap
+	x     []rt.Cell
+	table Table
+	// wl is non-nil while the worklist strategy runs; solve dispatches
+	// on it.
+	wl *wlState
+
+	// Steps counts executed abstract instructions — the paper's "Exec"
+	// column in Table 1.
+	Steps int64
+	// Iterations counts fixpoint passes.
+	Iterations int
+
+	iter    int
+	changed bool
+	err     error
+	// Warnings collects non-fatal analysis notes (e.g. success-pattern
+	// application mismatches, which indicate precision loss).
+	Warnings []string
+}
+
+// New returns an analyzer for mod with the default configuration.
+func New(mod *wam.Module) *Analyzer { return NewWith(mod, DefaultConfig()) }
+
+// NewWith returns an analyzer with an explicit configuration.
+func NewWith(mod *wam.Module, cfg Config) *Analyzer {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	a := &Analyzer{mod: mod, tab: mod.Tab, cfg: cfg, x: make([]rt.Cell, 16)}
+	return a
+}
+
+func (a *Analyzer) newTable() Table {
+	if a.cfg.Table == TableHash {
+		return NewHashTable()
+	}
+	return NewLinearTable()
+}
+
+func (a *Analyzer) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// warnOnce records a warning the first time it occurs.
+func (a *Analyzer) warnOnce(msg string) {
+	for _, w := range a.Warnings {
+		if w == msg {
+			return
+		}
+	}
+	a.Warnings = append(a.Warnings, msg)
+}
+
+func (a *Analyzer) ensureX(n int) {
+	for len(a.x) <= n {
+		a.x = append(a.x, rt.Cell{})
+	}
+}
+
+// Result is the outcome of an analysis: the extension table contents
+// plus run statistics.
+type Result struct {
+	Tab *term.Tab
+	// Entries lists (calling pattern, success pattern) pairs in
+	// discovery order.
+	Entries []*Entry
+	// Steps, Iterations and TableSize are the run statistics reported in
+	// the paper's Table 1.
+	Steps      int64
+	Iterations int
+	TableSize  int
+	Warnings   []string
+}
+
+// AnalyzeMain analyzes the program from the conventional entry point
+// main/0 — the paper's "given top-level calling pattern".
+func (a *Analyzer) AnalyzeMain() (*Result, error) {
+	return a.Analyze(domain.NewPattern(a.tab.Func("main", 0), nil))
+}
+
+// AnalyzeAll analyzes from main/0 when present, and otherwise (or
+// additionally, for predicates never reached) from an all-any calling
+// pattern per predicate, so every predicate gets information.
+func (a *Analyzer) AnalyzeAll() (*Result, error) {
+	var entries []*domain.Pattern
+	if a.mod.Proc(a.tab.Func("main", 0)) != nil {
+		entries = append(entries, domain.NewPattern(a.tab.Func("main", 0), nil))
+	} else {
+		for _, fn := range a.mod.Order {
+			args := make([]*domain.Term, fn.Arity)
+			for i := range args {
+				args[i] = domain.Top()
+			}
+			entries = append(entries, domain.NewPattern(fn, args))
+		}
+	}
+	return a.analyze(entries)
+}
+
+// Analyze runs the extension-table fixpoint from the given top-level
+// calling pattern.
+func (a *Analyzer) Analyze(entry *domain.Pattern) (*Result, error) {
+	return a.analyze([]*domain.Pattern{entry})
+}
+
+func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
+	if a.cfg.Strategy == StrategyWorklist {
+		return a.analyzeWorklist(entries)
+	}
+	a.table = a.newTable()
+	a.Steps = 0
+	a.err = nil
+	const maxIterations = 1000 // backstop; the finite domain terminates first
+	for a.Iterations = 1; a.Iterations <= maxIterations; a.Iterations++ {
+		a.iter = a.Iterations
+		a.changed = false
+		a.h = rt.NewHeap()
+		for _, e := range entries {
+			a.solve(e.Canonical())
+			if a.err != nil {
+				return nil, a.err
+			}
+		}
+		// Re-explore every remaining table entry. A calling pattern can
+		// stop being reached from the entry point as summaries grow (its
+		// callers' inner calls widen to different keys), yet its own
+		// summary must still reach the fixpoint — otherwise a stale,
+		// under-approximate entry survives in the final table.
+		for i := 0; i < a.table.Len(); i++ {
+			e := a.table.Entries()[i]
+			if e.exploredIter != a.iter {
+				a.solve(e.CP)
+				if a.err != nil {
+					return nil, a.err
+				}
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+	res := &Result{
+		Tab:        a.tab,
+		Entries:    a.table.Entries(),
+		Steps:      a.Steps,
+		Iterations: a.Iterations,
+		TableSize:  a.table.Len(),
+		Warnings:   a.Warnings,
+	}
+	if a.Iterations > maxIterations {
+		return res, fmt.Errorf("core: fixpoint did not converge in %d iterations", maxIterations)
+	}
+	return res, nil
+}
+
+// solve explores a calling pattern: the reinterpreted call instruction
+// (Section 5). It returns the success pattern (nil = bottom/fail).
+func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
+	if a.wl != nil {
+		return a.solveWL(cp)
+	}
+	if a.err != nil {
+		return nil
+	}
+	key := cp.Key()
+	e := a.table.Get(key)
+	if e != nil {
+		if e.exploredIter == a.iter {
+			// Memoized for this iteration (possibly in-flight: a
+			// recursive call sees the last known success pattern).
+			e.Lookups++
+			return e.Succ
+		}
+	} else {
+		e = &Entry{Key: key, CP: cp}
+		a.table.Add(e)
+	}
+	e.exploredIter = a.iter
+
+	proc := a.mod.Proc(cp.Fn)
+	if proc == nil {
+		// Undefined predicates fail (and were warned about at compile
+		// time); their success pattern stays bottom.
+		return e.Succ
+	}
+
+	for _, clauseAddr := range a.selectClauses(proc, cp) {
+		mark := a.h.Mark()
+		argAddrs := a.materialize(cp)
+		a.ensureX(cp.Fn.Arity)
+		for i, addr := range argAddrs {
+			a.x[i+1] = rt.MkRef(addr)
+		}
+		ok := a.runClause(clauseAddr)
+		if a.err != nil {
+			return nil
+		}
+		if ok {
+			sp := a.abstractArgs(cp.Fn, argAddrs)
+			// Fast path: a success pattern below the accumulated one
+			// cannot change it (the common case after the first
+			// iteration), so skip the graph lub entirely.
+			if e.Succ == nil || !domain.LeqPattern(a.tab, sp, e.Succ) {
+				next := domain.WidenPattern(a.tab, domain.LubPattern(a.tab, e.Succ, sp), a.cfg.Depth)
+				if !next.Equal(e.Succ) {
+					e.Succ = next
+					e.Updates++
+					a.changed = true
+				}
+			}
+		}
+		// The paper's "artificial failure": undo and explore the next
+		// clause regardless of success.
+		a.h.Undo(mark)
+	}
+	return e.Succ
+}
+
+// selectClauses returns the clause addresses to explore for cp,
+// consulting the predicate's indexing instructions when the dispatch
+// argument is concrete enough (Section 5 notes indexing reinterprets
+// almost unchanged; with an abstract dispatch argument all clauses are
+// explored).
+func (a *Analyzer) selectClauses(proc *wam.Proc, cp *domain.Pattern) []int {
+	if !a.cfg.Indexing || len(proc.Clauses) < 2 || len(cp.Args) == 0 {
+		return proc.Clauses
+	}
+	sw := a.mod.Code[proc.Entry]
+	if sw.Op != wam.OpSwitchOnTerm {
+		return proc.Clauses
+	}
+	allowed := make(map[int]bool)
+	addAll := func(addrs []int) {
+		for _, ad := range addrs {
+			allowed[ad] = true
+		}
+	}
+	arg := cp.Args[0]
+	switch arg.Kind {
+	case domain.Nil:
+		addAll(a.constTargets(sw.LC, func(k wam.ConstKey) bool {
+			return !k.IsInt && k.A == a.tab.Nil
+		}))
+	case domain.Atom:
+		addAll(a.constTargets(sw.LC, func(k wam.ConstKey) bool { return !k.IsInt }))
+	case domain.Intg:
+		addAll(a.constTargets(sw.LC, func(k wam.ConstKey) bool { return k.IsInt }))
+	case domain.Const:
+		addAll(a.constTargets(sw.LC, func(wam.ConstKey) bool { return true }))
+	case domain.List:
+		addAll(a.chainTargets(sw.LL))
+		addAll(a.constTargets(sw.LC, func(k wam.ConstKey) bool {
+			return !k.IsInt && k.A == a.tab.Nil
+		}))
+	case domain.Struct:
+		if arg.Fn.Name == a.tab.Dot && arg.Fn.Arity == 2 {
+			addAll(a.chainTargets(sw.LL))
+		} else if sw.LS != wam.FailAddr {
+			tblIns := a.mod.Code[sw.LS]
+			if tblIns.Op == wam.OpSwitchOnStruct {
+				addAll(a.chainTargets(tblIns.TblS[arg.Fn]))
+			} else {
+				addAll(a.chainTargets(sw.LS))
+			}
+		}
+	default:
+		return proc.Clauses
+	}
+	var out []int
+	for _, c := range proc.Clauses {
+		if allowed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// constTargets collects clause addresses reachable from a
+// switch_on_constant for keys satisfying pred.
+func (a *Analyzer) constTargets(addr int, pred func(wam.ConstKey) bool) []int {
+	if addr == wam.FailAddr {
+		return nil
+	}
+	ins := a.mod.Code[addr]
+	if ins.Op != wam.OpSwitchOnConst {
+		return a.chainTargets(addr)
+	}
+	var out []int
+	for k, tgt := range ins.TblC {
+		if pred(k) {
+			out = append(out, a.chainTargets(tgt)...)
+		}
+	}
+	return out
+}
+
+// chainTargets resolves an indexing target: a clause address, or a
+// try/retry/trust block listing several.
+func (a *Analyzer) chainTargets(addr int) []int {
+	if addr == wam.FailAddr || addr < 0 || addr >= len(a.mod.Code) {
+		return nil
+	}
+	ins := a.mod.Code[addr]
+	if ins.Op != wam.OpTry {
+		return []int{addr}
+	}
+	var out []int
+	for p := addr; p < len(a.mod.Code); p++ {
+		c := a.mod.Code[p]
+		switch c.Op {
+		case wam.OpTry, wam.OpRetry:
+			out = append(out, c.L)
+		case wam.OpTrust:
+			out = append(out, c.L)
+			return out
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Report renders the extension table like the paper's discussion:
+// calling pattern, success pattern, derived modes, and aliasing pairs.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% extension table: %d calling patterns, %d abstract instructions, %d iterations\n",
+		r.TableSize, r.Steps, r.Iterations)
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "call    %s\n", e.CP.String(r.Tab))
+		if e.Succ == nil {
+			b.WriteString("success bottom (no solution)\n")
+		} else {
+			fmt.Fprintf(&b, "success %s\n", e.Succ.String(r.Tab))
+			if modes := Modes(r.Tab, e.CP, e.Succ); modes != "" {
+				fmt.Fprintf(&b, "mode    %s\n", modes)
+			}
+			if pairs := e.Succ.ArgSharePairs(); len(pairs) > 0 {
+				parts := make([]string, len(pairs))
+				for i, p := range pairs {
+					parts[i] = fmt.Sprintf("(%d,%d)", p[0]+1, p[1]+1)
+				}
+				fmt.Fprintf(&b, "alias   %s\n", strings.Join(parts, " "))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Modes derives a conventional mode declaration from a calling pattern
+// and its success pattern: '+' ground at call, '-' free at call and
+// bound at success, '?' otherwise; 'g' marks arguments ground at
+// success.
+func Modes(tab *term.Tab, cp, succ *domain.Pattern) string {
+	if cp == nil || len(cp.Args) == 0 {
+		return ""
+	}
+	parts := make([]string, len(cp.Args))
+	for i, in := range cp.Args {
+		out := in
+		if succ != nil && i < len(succ.Args) {
+			out = succ.Args[i]
+		}
+		ground := domain.MkLeaf(domain.Ground)
+		nv := domain.MkLeaf(domain.NV)
+		v := domain.MkLeaf(domain.Var)
+		switch {
+		case domain.Leq(tab, in, ground):
+			parts[i] = "+g"
+		case domain.Leq(tab, in, nv):
+			parts[i] = "+"
+		case domain.Leq(tab, in, v) && domain.Leq(tab, out, ground):
+			parts[i] = "-g"
+		case domain.Leq(tab, in, v) && domain.Leq(tab, out, nv):
+			parts[i] = "-"
+		case domain.Leq(tab, in, v):
+			parts[i] = "-?"
+		default:
+			parts[i] = "?"
+		}
+	}
+	return tab.Name(cp.Fn.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// EntriesFor returns the table entries of one predicate.
+func (r *Result) EntriesFor(fn term.Functor) []*Entry {
+	var out []*Entry
+	for _, e := range r.Entries {
+		if e.CP.Fn == fn {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SuccessFor lubs all success patterns recorded for fn, the summary the
+// optimizer and the soundness tests consume. It returns nil when no call
+// of fn ever succeeded.
+func (r *Result) SuccessFor(fn term.Functor) *domain.Pattern {
+	var acc *domain.Pattern
+	for _, e := range r.Entries {
+		if e.CP.Fn == fn && e.Succ != nil {
+			acc = domain.LubPattern(r.Tab, acc, e.Succ)
+		}
+	}
+	return acc
+}
+
+// CallFor lubs all calling patterns recorded for fn.
+func (r *Result) CallFor(fn term.Functor) *domain.Pattern {
+	var acc *domain.Pattern
+	for _, e := range r.Entries {
+		if e.CP.Fn == fn {
+			acc = domain.LubPattern(r.Tab, acc, e.CP)
+		}
+	}
+	return acc
+}
+
+// Predicates lists the analyzed predicates in a stable order.
+func (r *Result) Predicates() []term.Functor {
+	seen := make(map[term.Functor]bool)
+	var out []term.Functor
+	for _, e := range r.Entries {
+		if !seen[e.CP.Fn] {
+			seen[e.CP.Fn] = true
+			out = append(out, e.CP.Fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := r.Tab.Name(out[i].Name), r.Tab.Name(out[j].Name)
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}

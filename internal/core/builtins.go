@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"awam/internal/rt"
+	"awam/internal/wam"
+)
+
+// absBuiltin gives each inline builtin its abstract semantics. Success
+// narrowing is sound here because a success pattern only describes the
+// executions in which the builtin succeeded: X < Y can only succeed with
+// both sides ground, is/2 always binds its left side to an integer, and
+// so on. Tests (var/1, atom/1, ...) fail only when the argument's type
+// proves they must.
+func (a *Analyzer) absBuiltin(id wam.BuiltinID, arity int) bool {
+	a.ensureX(arity)
+	switch id {
+	case wam.BITrue, wam.BIWrite, wam.BINl, wam.BIHalt:
+		return true
+	case wam.BIFail:
+		return false
+	case wam.BIIs:
+		// Result is an integer; the expression must be ground to
+		// evaluate.
+		intCell := a.h.Push(rt.Cell{Tag: rt.AInt})
+		if !a.absUnify(a.x[1], rt.MkRef(intCell)) {
+			return false
+		}
+		return a.narrowGround(a.x[2])
+	case wam.BILt, wam.BILe, wam.BIGt, wam.BIGe, wam.BIArithEq, wam.BIArithNe:
+		return a.narrowGround(a.x[1]) && a.narrowGround(a.x[2])
+	case wam.BIUnify:
+		return a.absUnify(a.x[1], a.x[2])
+	case wam.BINotUnify:
+		// Succeeds without bindings; we cannot conclude anything about
+		// the arguments beyond their current types.
+		return true
+	case wam.BIEq:
+		// ==/2 succeeds only when the arguments are identical, which
+		// implies they unify; narrowing both sides is sound.
+		return a.absUnify(a.x[1], a.x[2])
+	case wam.BINotEq:
+		return true
+	case wam.BIVar:
+		c, _ := a.h.ResolveCell(a.x[1])
+		switch c.Tag {
+		case rt.Ref, rt.AVar, rt.AAny:
+			return true
+		}
+		return false
+	case wam.BINonvar:
+		c, addr := a.h.ResolveCell(a.x[1])
+		switch c.Tag {
+		case rt.Ref, rt.AVar:
+			return false
+		case rt.AAny:
+			a.h.Bind(addr, rt.Cell{Tag: rt.ANV})
+			return true
+		}
+		return true
+	case wam.BIAtom:
+		return a.narrowTo(a.x[1], rt.AAtom)
+	case wam.BIInteger:
+		return a.narrowTo(a.x[1], rt.AInt)
+	case wam.BIAtomic:
+		return a.narrowTo(a.x[1], rt.AConst)
+	case wam.BIFunctor:
+		// functor(T, N, A): on success T is nonvar, N is a constant and
+		// A an integer.
+		nv := a.h.Push(rt.Cell{Tag: rt.ANV})
+		if !a.absUnify(a.x[1], rt.MkRef(nv)) {
+			return false
+		}
+		cst := a.h.Push(rt.Cell{Tag: rt.AConst})
+		if !a.absUnify(a.x[2], rt.MkRef(cst)) {
+			return false
+		}
+		i := a.h.Push(rt.Cell{Tag: rt.AInt})
+		return a.absUnify(a.x[3], rt.MkRef(i))
+	case wam.BIArg:
+		if !a.narrowTo(a.x[1], rt.AInt) {
+			return false
+		}
+		nv := a.h.Push(rt.Cell{Tag: rt.ANV})
+		if !a.absUnify(a.x[2], rt.MkRef(nv)) {
+			return false
+		}
+		// The extracted argument has unknown type: widen a fresh result.
+		c, addr := a.h.ResolveCell(a.x[3])
+		if c.Tag == rt.Ref || c.Tag == rt.AVar {
+			a.h.Bind(addr, rt.Cell{Tag: rt.AAny})
+		}
+		return true
+	case wam.BICompare:
+		// The order relation is one of the atoms <, =, >.
+		at := a.h.Push(rt.Cell{Tag: rt.AAtom})
+		return a.absUnify(a.x[1], rt.MkRef(at))
+	case wam.BITermLt, wam.BITermLe, wam.BITermGt, wam.BITermGe:
+		// Pure tests: no bindings, may succeed for any inputs.
+		return true
+	case wam.BILength:
+		// On success the first argument is a proper list and the second
+		// an integer.
+		elem := a.h.Push(rt.Cell{Tag: rt.AAny})
+		lst := a.h.Push(rt.Cell{Tag: rt.AList, A: elem})
+		if !a.absUnify(a.x[1], rt.MkRef(lst)) {
+			return false
+		}
+		n := a.h.Push(rt.Cell{Tag: rt.AInt})
+		return a.absUnify(a.x[2], rt.MkRef(n))
+	case wam.BIAssert, wam.BIRetract:
+		// The analysis has no model of the dynamic database: asserts
+		// succeed with no effect and calls to asserted predicates look
+		// undefined (bottom). Warn once — results for programs that call
+		// predicates they assert are not trustworthy.
+		a.warnOnce("program uses assert/retract; dynamic predicates are not modeled by the analysis")
+		return true
+	default:
+		a.fail(fmt.Errorf("core: builtin %s has no abstract semantics", wam.BuiltinName(id)))
+		return false
+	}
+}
+
+// narrowGround requires the cell to admit ground instances, narrowing it
+// to those (arithmetic success implies groundness).
+func (a *Analyzer) narrowGround(x rt.Cell) bool {
+	g := a.h.Push(rt.Cell{Tag: rt.AGround})
+	return a.absUnify(x, rt.MkRef(g))
+}
+
+// narrowTo implements type-test builtins: fail when the argument's type
+// excludes the target class, otherwise succeed and narrow open cells.
+// A (possibly unbound) variable argument fails: type tests do not
+// instantiate, so success requires the argument to already be bound.
+func (a *Analyzer) narrowTo(x rt.Cell, target rt.Tag) bool {
+	c, addr := a.h.ResolveCell(x)
+	switch c.Tag {
+	case rt.Ref, rt.AVar:
+		return false
+	case rt.Con:
+		if target == rt.AInt {
+			return false
+		}
+		return true
+	case rt.Int:
+		return target == rt.AInt || target == rt.AConst
+	case rt.Lis, rt.Str:
+		return false
+	case rt.AAny, rt.ANV, rt.AGround, rt.AConst:
+		// May be in the class: succeed and narrow. (const narrows within
+		// itself for atom/integer targets.)
+		a.h.Bind(addr, rt.Cell{Tag: target})
+		return true
+	case rt.AAtom:
+		return target == rt.AAtom || target == rt.AConst
+	case rt.AInt:
+		return target == rt.AInt || target == rt.AConst
+	case rt.AList:
+		// Only [] is atomic among list instances.
+		if target == rt.AAtom || target == rt.AConst {
+			a.h.Bind(addr, rt.MkCon(a.tab.Nil))
+			return true
+		}
+		return false
+	}
+	return false
+}

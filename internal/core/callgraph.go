@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// CallGraphDot renders the program's static call graph in Graphviz DOT
+// form, annotated with the analysis: predicates the analysis never
+// reached are grayed out, predicates that can never succeed are marked
+// red, and reachable nodes carry their derived mode declaration.
+func CallGraphDot(mod *wam.Module, res *Result) string {
+	edges := StaticCallEdges(mod)
+	reached := make(map[term.Functor]bool)
+	succeeds := make(map[term.Functor]bool)
+	modes := make(map[term.Functor]string)
+	if res != nil {
+		for _, e := range res.Entries {
+			reached[e.CP.Fn] = true
+			if e.Succ != nil {
+				succeeds[e.CP.Fn] = true
+			}
+		}
+		for _, fn := range res.Predicates() {
+			if m := Modes(res.Tab, res.CallFor(fn), res.SuccessFor(fn)); m != "" {
+				modes[fn] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, fn := range mod.Order {
+		name := mod.Tab.FuncString(fn)
+		label := name
+		if m, ok := modes[fn]; ok {
+			label = name + "\\n" + m
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if res != nil {
+			switch {
+			case !reached[fn]:
+				attrs += ", style=dashed, color=gray"
+			case !succeeds[fn]:
+				attrs += ", color=red"
+			}
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", name, attrs)
+	}
+	var lines []string
+	for e := range edges {
+		lines = append(lines, fmt.Sprintf("  %q -> %q;\n",
+			mod.Tab.FuncString(e[0]), mod.Tab.FuncString(e[1])))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// StaticCallEdges extracts caller->callee pairs from the compiled code.
+func StaticCallEdges(mod *wam.Module) map[[2]term.Functor]bool {
+	// Map each address range to its procedure.
+	type span struct {
+		start, end int
+		fn         term.Functor
+	}
+	var spans []span
+	for _, fn := range mod.Order {
+		p := mod.Procs[fn]
+		spans = append(spans, span{start: p.Entry, fn: fn})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	for i := range spans {
+		if i+1 < len(spans) {
+			spans[i].end = spans[i+1].start
+		} else {
+			spans[i].end = len(mod.Code)
+		}
+	}
+	owner := func(addr int) (term.Functor, bool) {
+		for _, s := range spans {
+			if addr >= s.start && addr < s.end {
+				return s.fn, true
+			}
+		}
+		return term.Functor{}, false
+	}
+	edges := make(map[[2]term.Functor]bool)
+	for addr, ins := range mod.Code {
+		if ins.Op == wam.OpCall || ins.Op == wam.OpExecute {
+			if from, ok := owner(addr); ok {
+				edges[[2]term.Functor{from, ins.Fn}] = true
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"awam/internal/rt"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+type absMode uint8
+
+const (
+	readMode absMode = iota
+	writeMode
+)
+
+// runClause executes one clause's code abstractly, from its first
+// instruction to proceed/execute. It returns the clause's abstract
+// success. Calls recurse through solve; there are no choice points —
+// clause enumeration lives in solve (the paper: "creation and
+// reclamation of backtracking points would better be incorporated into
+// call and proceed rather than try and trust").
+func (a *Analyzer) runClause(addr int) bool {
+	var env []rt.Cell
+	s := 0
+	mode := readMode
+	p := addr
+	for {
+		if a.err != nil {
+			return false
+		}
+		if a.Steps >= a.cfg.MaxSteps {
+			a.fail(ErrStepLimit)
+			return false
+		}
+		a.Steps++
+		ins := a.mod.Code[p]
+		if ins.A1 > ins.A2 {
+			a.ensureX(ins.A1)
+		} else {
+			a.ensureX(ins.A2)
+		}
+		switch ins.Op {
+		case wam.OpNop:
+
+		// --- get instructions (Section 4.2 reinterpretation) ---
+		case wam.OpGetVarX:
+			a.ensureX(ins.A2)
+			a.x[ins.A2] = a.x[ins.A1]
+		case wam.OpGetVarY:
+			env[ins.A2] = a.x[ins.A1]
+		case wam.OpGetValX:
+			if !a.absUnify(a.x[ins.A2], a.x[ins.A1]) {
+				return false
+			}
+		case wam.OpGetValY:
+			if !a.absUnify(env[ins.A2], a.x[ins.A1]) {
+				return false
+			}
+		case wam.OpGetConst, wam.OpGetConstCmp:
+			if !a.absUnify(a.x[ins.A1], rt.MkCon(ins.Fn.Name)) {
+				return false
+			}
+		case wam.OpGetInt, wam.OpGetIntCmp:
+			if !a.absUnify(a.x[ins.A1], rt.MkInt(ins.I)) {
+				return false
+			}
+		case wam.OpGetNil, wam.OpGetNilCmp:
+			if !a.absUnify(a.x[ins.A1], rt.MkCon(a.tab.Nil)) {
+				return false
+			}
+		case wam.OpGetList, wam.OpGetListRead:
+			ok, ns, nm := a.getList(a.x[ins.A1])
+			if !ok {
+				return false
+			}
+			s, mode = ns, nm
+		case wam.OpGetStruct, wam.OpGetStructRead:
+			ok, ns, nm := a.getStruct(a.x[ins.A1], ins.Fn)
+			if !ok {
+				return false
+			}
+			s, mode = ns, nm
+
+		// --- put instructions (unchanged from the concrete machine) ---
+		case wam.OpPutVarX:
+			v := a.h.PushVar()
+			a.ensureX(ins.A2)
+			a.x[ins.A2] = rt.MkRef(v)
+			a.x[ins.A1] = rt.MkRef(v)
+		case wam.OpPutVarY:
+			v := a.h.PushVar()
+			env[ins.A2] = rt.MkRef(v)
+			a.x[ins.A1] = rt.MkRef(v)
+		case wam.OpPutValX:
+			a.ensureX(ins.A2)
+			a.x[ins.A1] = a.x[ins.A2]
+		case wam.OpPutValY:
+			a.x[ins.A1] = env[ins.A2]
+		case wam.OpPutConst:
+			a.x[ins.A1] = rt.MkCon(ins.Fn.Name)
+		case wam.OpPutInt:
+			a.x[ins.A1] = rt.MkInt(ins.I)
+		case wam.OpPutNil:
+			a.x[ins.A1] = rt.MkCon(a.tab.Nil)
+		case wam.OpPutList:
+			a.x[ins.A1] = rt.Cell{Tag: rt.Lis, A: a.h.Top()}
+			mode = writeMode
+		case wam.OpPutStruct:
+			fnAddr := a.h.Push(rt.Cell{Tag: rt.Fun, F: ins.Fn})
+			a.x[ins.A1] = rt.Cell{Tag: rt.Str, A: fnAddr}
+			mode = writeMode
+
+		// --- unify instructions ---
+		case wam.OpUnifyVarX:
+			a.ensureX(ins.A2)
+			if mode == readMode {
+				a.x[ins.A2] = rt.MkRef(s)
+				s++
+			} else {
+				a.x[ins.A2] = rt.MkRef(a.h.PushVar())
+			}
+		case wam.OpUnifyVarY:
+			if mode == readMode {
+				env[ins.A2] = rt.MkRef(s)
+				s++
+			} else {
+				env[ins.A2] = rt.MkRef(a.h.PushVar())
+			}
+		case wam.OpUnifyValX:
+			if mode == readMode {
+				if !a.absUnify(a.x[ins.A2], rt.MkRef(s)) {
+					return false
+				}
+				s++
+			} else {
+				a.h.Push(a.x[ins.A2])
+			}
+		case wam.OpUnifyValY:
+			if mode == readMode {
+				if !a.absUnify(env[ins.A2], rt.MkRef(s)) {
+					return false
+				}
+				s++
+			} else {
+				a.h.Push(env[ins.A2])
+			}
+		case wam.OpUnifyConst:
+			if mode == readMode {
+				if !a.absUnify(rt.MkRef(s), rt.MkCon(ins.Fn.Name)) {
+					return false
+				}
+				s++
+			} else {
+				a.h.Push(rt.MkCon(ins.Fn.Name))
+			}
+		case wam.OpUnifyInt:
+			if mode == readMode {
+				if !a.absUnify(rt.MkRef(s), rt.MkInt(ins.I)) {
+					return false
+				}
+				s++
+			} else {
+				a.h.Push(rt.MkInt(ins.I))
+			}
+		case wam.OpUnifyNil:
+			if mode == readMode {
+				if !a.absUnify(rt.MkRef(s), rt.MkCon(a.tab.Nil)) {
+					return false
+				}
+				s++
+			} else {
+				a.h.Push(rt.MkCon(a.tab.Nil))
+			}
+		case wam.OpUnifyVoid:
+			if mode == readMode {
+				s += ins.A2
+			} else {
+				for i := 0; i < ins.A2; i++ {
+					a.h.PushVar()
+				}
+			}
+
+		// --- procedural instructions (Section 5 reinterpretation) ---
+		case wam.OpAllocate:
+			env = make([]rt.Cell, ins.A2)
+		case wam.OpDeallocate:
+			// The frame stays reachable until the clause ends; nothing
+			// to reclaim in the abstract machine (the paper notes
+			// environment reclamation tricks are "overkill" here).
+		case wam.OpCall, wam.OpExecute:
+			if !a.absCall(ins.Fn) {
+				return false
+			}
+			if ins.Op == wam.OpExecute {
+				// execute = call + proceed.
+				return true
+			}
+		case wam.OpProceed:
+			return true
+		case wam.OpBuiltin:
+			if !a.absBuiltin(wam.BuiltinID(ins.A1), ins.A2) {
+				return false
+			}
+		case wam.OpHalt:
+			return true
+
+		// --- cut: ignored (sound over-approximation; analyzing as if
+		// every clause is reachable only adds success patterns) ---
+		case wam.OpNeckCut, wam.OpGetLevel, wam.OpCutTo:
+
+		default:
+			a.fail(fmt.Errorf("core: unexpected opcode %s inside clause at %d",
+				a.mod.DisasmInstr(ins), p))
+			return false
+		}
+		p++
+	}
+}
+
+// getList reinterprets get_list over the abstract domain — the paper's
+// Figure 4.
+func (a *Analyzer) getList(x rt.Cell) (ok bool, s int, mode absMode) {
+	c, addr := a.h.ResolveCell(x)
+	switch c.Tag {
+	case rt.Lis:
+		// Concrete case: same as the standard WAM.
+		return true, c.A, readMode
+	case rt.Ref, rt.AVar:
+		// Unbound: build the pair in write mode.
+		a.h.Bind(addr, rt.Cell{Tag: rt.Lis, A: a.h.Top()})
+		return true, 0, writeMode
+	case rt.AAny:
+		// ComplexTermInst: generate a [·|·] instance on the heap and
+		// proceed in read mode over fresh 'any' subterms.
+		return a.instPair(addr, rt.Cell{Tag: rt.AAny}, rt.Cell{Tag: rt.AAny})
+	case rt.ANV:
+		return a.instPair(addr, rt.Cell{Tag: rt.AAny}, rt.Cell{Tag: rt.AAny})
+	case rt.AGround:
+		return a.instPair(addr, rt.Cell{Tag: rt.AGround}, rt.Cell{Tag: rt.AGround})
+	case rt.AList:
+		// Figure 3 step 2.1: glist <- [g|glist'].
+		elem := c.A
+		car := a.copyTypeGraph(elem, make(map[int]int))
+		cdr := a.h.PushOpen(rt.AList, elem)
+		pair := a.h.Push(rt.MkRef(car))
+		a.h.Push(rt.MkRef(cdr))
+		a.h.Bind(addr, rt.Cell{Tag: rt.Lis, A: pair})
+		return true, pair, readMode
+	default:
+		return false, 0, readMode
+	}
+}
+
+// instPair instantiates the open cell at addr to a fresh pair with the
+// given car/cdr cells, read mode over them.
+func (a *Analyzer) instPair(addr int, car, cdr rt.Cell) (bool, int, absMode) {
+	pair := a.h.Push(car)
+	a.h.Push(cdr)
+	a.h.Bind(addr, rt.Cell{Tag: rt.Lis, A: pair})
+	return true, pair, readMode
+}
+
+// getStruct reinterprets get_structure over the abstract domain.
+func (a *Analyzer) getStruct(x rt.Cell, fn term.Functor) (ok bool, s int, mode absMode) {
+	c, addr := a.h.ResolveCell(x)
+	switch c.Tag {
+	case rt.Str:
+		if a.h.At(c.A).F != fn {
+			return false, 0, readMode
+		}
+		return true, c.A + 1, readMode
+	case rt.Lis:
+		if fn.Name == a.tab.Dot && fn.Arity == 2 {
+			return true, c.A, readMode
+		}
+		return false, 0, readMode
+	case rt.Ref, rt.AVar:
+		fnAddr := a.h.Push(rt.Cell{Tag: rt.Fun, F: fn})
+		a.h.Bind(addr, rt.Cell{Tag: rt.Str, A: fnAddr})
+		return true, 0, writeMode
+	case rt.AAny, rt.ANV:
+		return a.instStruct(addr, fn, rt.Cell{Tag: rt.AAny})
+	case rt.AGround:
+		// Paper example 2.2: get an f(·) instance of g.
+		return a.instStruct(addr, fn, rt.Cell{Tag: rt.AGround})
+	case rt.AList:
+		if fn.Name == a.tab.Dot && fn.Arity == 2 {
+			ok2, s2, m2 := a.getList(x)
+			return ok2, s2, m2
+		}
+		return false, 0, readMode
+	default:
+		return false, 0, readMode
+	}
+}
+
+// instStruct instantiates the open cell at addr to f(arg,...,arg) with
+// fresh copies of the given argument cell.
+func (a *Analyzer) instStruct(addr int, fn term.Functor, arg rt.Cell) (bool, int, absMode) {
+	fnAddr := a.h.Push(rt.Cell{Tag: rt.Fun, F: fn})
+	for i := 0; i < fn.Arity; i++ {
+		a.h.Push(arg)
+	}
+	a.h.Bind(addr, rt.Cell{Tag: rt.Str, A: fnAddr})
+	return true, fnAddr + 1, readMode
+}
+
+// absCall implements the reinterpreted call instruction: abstract the
+// argument registers into a calling pattern, consult the extension
+// table (solving recursively when unexplored), and apply the success
+// pattern deterministically.
+func (a *Analyzer) absCall(fn term.Functor) bool {
+	argAddrs := make([]int, fn.Arity)
+	for i := 0; i < fn.Arity; i++ {
+		a.ensureX(i + 1)
+		c := a.x[i+1]
+		if c.Tag == rt.Ref {
+			argAddrs[i] = c.A
+		} else {
+			argAddrs[i] = a.h.Push(c)
+		}
+	}
+	cp := a.abstractArgs(fn, argAddrs)
+	succ := a.solve(cp)
+	if a.err != nil {
+		return false
+	}
+	if succ == nil {
+		return false
+	}
+	if !a.applyPattern(succ, argAddrs) {
+		// succ ⊑ cp argument-wise, but the caller's actual cells can be
+		// strictly below cp (e.g. a specific constant vs atom); a clash
+		// means this particular call has no successes.
+		return false
+	}
+	return true
+}

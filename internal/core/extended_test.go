@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+// TestExtendedSuiteRuns: every extended benchmark runs concretely and
+// produces its expected answers (control constructs included).
+func TestExtendedSuiteRuns(t *testing.T) {
+	for _, p := range bench.Extended {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := machine.New(mod)
+			ok, err := m.RunMain()
+			if err != nil || !ok {
+				t.Fatalf("main: ok=%v err=%v", ok, err)
+			}
+			if p.Query != "" {
+				m2 := machine.New(mod)
+				sol, err := m2.Solve(p.Query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sol.OK {
+					t.Fatalf("query %q failed", p.Query)
+				}
+				for name, want := range p.WantBinding {
+					tm, err := sol.Binding(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := tab.Write(tm); got != want {
+						t.Fatalf("%s = %s, want %s", name, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExtendedSuiteAnalyzes: the analyzer reaches a fixpoint on the
+// extended suite (expanded control constructs included) and sees main
+// succeed.
+func TestExtendedSuiteAnalyzes(t *testing.T) {
+	for _, p := range bench.Extended {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := New(mod).AnalyzeMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SuccessFor(tab.Func("main", 0)) == nil {
+				t.Fatal("analysis claims main/0 cannot succeed")
+			}
+		})
+	}
+}

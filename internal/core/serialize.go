@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"awam/internal/domain"
+	"awam/internal/term"
+)
+
+// Marshal renders an analysis result as a line-oriented text summary,
+// the analogue of the ".pan" files batch analyzers write so compilation
+// can consume dataflow facts without re-analyzing. Unmarshal reads it
+// back; MarshalText/Unmarshal round-trip exactly (tested on the
+// benchmark suites).
+//
+// Format:
+//
+//	awam-analysis 1
+//	stats steps=N iterations=N
+//	call p(atom, list(g))
+//	succ p(atom, [f(g)|list(g)])
+//	call q(g)
+//	succ bottom
+func (r *Result) Marshal() string {
+	var b strings.Builder
+	b.WriteString("awam-analysis 1\n")
+	fmt.Fprintf(&b, "stats steps=%d iterations=%d\n", r.Steps, r.Iterations)
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "call %s\n", domain.PatternText(r.Tab, e.CP))
+		if e.Succ == nil {
+			b.WriteString("succ bottom\n")
+		} else {
+			fmt.Fprintf(&b, "succ %s\n", domain.PatternText(r.Tab, e.Succ))
+		}
+	}
+	return b.String()
+}
+
+// Unmarshal parses a summary produced by Marshal, interning names into
+// tab. Statistics are restored; table internals (lookup counts) are not.
+func Unmarshal(tab *term.Tab, text string) (*Result, error) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "awam-analysis 1" {
+		return nil, fmt.Errorf("core: not an awam-analysis v1 summary")
+	}
+	res := &Result{Tab: tab}
+	var current *Entry
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "stats "):
+			if _, err := fmt.Sscanf(line, "stats steps=%d iterations=%d",
+				&res.Steps, &res.Iterations); err != nil {
+				return nil, fmt.Errorf("core: line %d: bad stats: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "call "):
+			cp, err := domain.ParseAbs(tab, strings.TrimPrefix(line, "call "))
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
+			}
+			current = &Entry{Key: cp.Key(), CP: cp}
+			res.Entries = append(res.Entries, current)
+		case strings.HasPrefix(line, "succ "):
+			if current == nil {
+				return nil, fmt.Errorf("core: line %d: succ before call", lineNo)
+			}
+			body := strings.TrimPrefix(line, "succ ")
+			if body != "bottom" {
+				sp, err := domain.ParseAbs(tab, body)
+				if err != nil {
+					return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
+				}
+				current.Succ = sp
+			}
+			current = nil
+		default:
+			return nil, fmt.Errorf("core: line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	res.TableSize = len(res.Entries)
+	return res, sc.Err()
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/term"
+)
+
+// TestMarshalRoundTrip: analysis summaries survive save/load exactly, on
+// both benchmark suites.
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, p := range bench.AllPrograms() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab, mod := buildMod(t, p.Source)
+			res, err := New(mod).AnalyzeMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := res.Marshal()
+			back, err := Unmarshal(tab, text)
+			if err != nil {
+				t.Fatalf("unmarshal: %v\n%s", err, text)
+			}
+			if back.Steps != res.Steps || back.Iterations != res.Iterations {
+				t.Fatalf("stats differ: %d/%d vs %d/%d",
+					back.Steps, back.Iterations, res.Steps, res.Iterations)
+			}
+			if len(back.Entries) != len(res.Entries) {
+				t.Fatalf("entry counts differ: %d vs %d", len(back.Entries), len(res.Entries))
+			}
+			for i, e := range res.Entries {
+				be := back.Entries[i]
+				if e.Key != be.Key {
+					t.Fatalf("entry %d key differs:\n  %s\n  %s",
+						i, e.CP.String(tab), be.CP.String(tab))
+				}
+				if !e.Succ.Equal(be.Succ) {
+					t.Fatalf("entry %d success differs: %s vs %s",
+						i, e.Succ.String(tab), be.Succ.String(tab))
+				}
+			}
+		})
+	}
+}
+
+// TestMarshalIntoFreshTab: summaries load into a different atom table
+// (the separate-compilation scenario).
+func TestMarshalIntoFreshTab(t *testing.T) {
+	p, _ := bench.ByName("qsort")
+	_, mod := buildMod(t, p.Source)
+	res, err := New(mod).AnalyzeMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := term.NewTab()
+	back, err := Unmarshal(fresh, res.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The qsort summary is findable by name in the fresh table.
+	succ := back.SuccessFor(fresh.Func("qsort", 3))
+	if succ == nil {
+		t.Fatal("qsort summary lost across tables")
+	}
+	if got := succ.String(fresh); !strings.HasPrefix(got, "qsort(") {
+		t.Fatalf("reloaded summary = %s", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tab := term.NewTab()
+	cases := []string{
+		"not a summary",
+		"awam-analysis 1\nsucc p(any)\n",
+		"awam-analysis 1\nwhatever\n",
+		"awam-analysis 1\ncall 3\n",
+	}
+	for _, src := range cases {
+		if _, err := Unmarshal(tab, src); err == nil {
+			t.Errorf("Unmarshal(%q): expected error", src)
+		}
+	}
+}
+
+func TestCallGraphDot(t *testing.T) {
+	tab, mod := buildMod(t, `
+main :- a, b.
+a :- helper(1).
+b :- fail.
+helper(_).
+orphan.
+`)
+	res, err := New(mod).AnalyzeMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := CallGraphDot(mod, res)
+	for _, want := range []string{
+		`"main/0" -> "a/0"`,
+		`"a/0" -> "helper/1"`,
+		`"main/0" -> "b/0"`,
+		`"orphan/0" [label="orphan/0", style=dashed, color=gray]`, // unreached
+		`"b/0" [label="b/0", color=red]`,                          // never succeeds
+		"digraph callgraph",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	_ = tab
+}
+
+func TestStaticCallEdgesBenchmarks(t *testing.T) {
+	p, _ := bench.ByName("qsort")
+	tab, mod := buildMod(t, p.Source)
+	edges := StaticCallEdges(mod)
+	has := func(from, to string, a1, a2 int) bool {
+		return edges[[2]term.Functor{tab.Func(from, a1), tab.Func(to, a2)}]
+	}
+	if !has("main", "qsort", 0, 3) || !has("qsort", "partition", 3, 4) || !has("qsort", "qsort", 3, 3) {
+		t.Fatalf("expected edges missing: %v", edges)
+	}
+}
+
+func TestDeterminacy(t *testing.T) {
+	tab, mod := buildMod(t, `
+main :- kind(7, K), use(K), grab([1,2], V), use(V).
+kind(0, zero).
+kind(N, pos) :- N > 0.
+kind(f(_), struct).
+grab([X|_], X).
+grab([], none).
+use(_).
+`)
+	a := New(mod)
+	res, err := a.AnalyzeMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := a.Determinacy(res)
+	byPred := make(map[string]DetEntry)
+	for _, d := range dets {
+		byPred[tab.FuncString(d.CP.CP.Fn)] = d
+	}
+	// kind(int, var): the struct clause is excluded by indexing, but the
+	// 0 and N clauses both may match an unknown integer.
+	if d := byPred["kind/2"]; d.Det() {
+		t.Fatalf("kind(int, var) should be nondet, got %+v", d)
+	}
+	// grab(cons, var): only the cons clause matches.
+	if d := byPred["grab/2"]; !d.Det() {
+		t.Fatalf("grab([int|...], var) should be det, got %+v", d)
+	}
+	if d := byPred["use/1"]; !d.Det() {
+		t.Fatalf("use/1 should be det, got %+v", d)
+	}
+	rep := DeterminacyReport(tab, dets)
+	if !strings.Contains(rep, "det") || !strings.Contains(rep, "nondet") {
+		t.Fatalf("report incomplete:\n%s", rep)
+	}
+}
+
+// TestDeterminacyOnBenchmarks is a smoke check: determinate predicates
+// must exist in deterministic programs (tak's clauses are guarded).
+func TestDeterminacyOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"tak", "qsort", "nreverse"} {
+		p, _ := bench.ByName(name)
+		_, mod := buildMod(t, p.Source)
+		a := New(mod)
+		res, err := a.AnalyzeMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets := a.Determinacy(res)
+		if len(dets) != len(res.Entries) {
+			t.Fatalf("%s: %d det entries for %d table entries", name, len(dets), len(res.Entries))
+		}
+		anyDet := false
+		for _, d := range dets {
+			if d.Det() && d.Clauses > 0 {
+				anyDet = true
+			}
+		}
+		if !anyDet {
+			t.Fatalf("%s: expected at least one determinate call class", name)
+		}
+	}
+}

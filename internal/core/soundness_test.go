@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/domain"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+// absOfConcrete abstracts a concrete query argument the way the analyzer
+// abstracts heap terms: constants to atom/integer classes, [] to nil,
+// variables to var with per-variable sharing.
+func absOfConcrete(tab *term.Tab, tm *term.Term, shares map[*term.VarRef]int) *domain.Term {
+	switch tm.Kind {
+	case term.KVar:
+		id, ok := shares[tm.Ref]
+		if !ok {
+			id = len(shares) + 1
+			shares[tm.Ref] = id
+		}
+		return &domain.Term{Kind: domain.Var, Share: id}
+	case term.KInt:
+		return domain.MkLeaf(domain.Intg)
+	case term.KAtom:
+		if tab.IsNil(tm) {
+			return domain.MkLeaf(domain.Nil)
+		}
+		return domain.MkLeaf(domain.Atom)
+	case term.KStruct:
+		args := make([]*domain.Term, len(tm.Args))
+		for i, a := range tm.Args {
+			args[i] = absOfConcrete(tab, a, shares)
+		}
+		return domain.MkStructT(tm.Fn, args...)
+	}
+	return domain.Top()
+}
+
+// TestSoundnessOnBenchmarks is experiment E10: for every benchmark with
+// a recorded query, run the query concretely, abstract its call, analyze
+// to a fixpoint, and verify that every concrete answer argument is a
+// member of the inferred success pattern's concretization.
+func TestSoundnessOnBenchmarks(t *testing.T) {
+	for _, p := range bench.Programs {
+		if p.Query == "" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goals, err := parser.ParseGoal(tab, p.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(goals) != 1 {
+				t.Fatalf("soundness queries must be single goals, got %d", len(goals))
+			}
+			goal := goals[0]
+			fn, _ := term.Indicator(goal)
+
+			// Abstract the query into a calling pattern and analyze.
+			shares := make(map[*term.VarRef]int)
+			argAbs := make([]*domain.Term, len(goal.Args))
+			for i, a := range goal.Args {
+				argAbs[i] = absOfConcrete(tab, a, shares)
+			}
+			cp := domain.WidenPattern(tab, domain.NewPattern(fn, argAbs), 4)
+			a := New(mod)
+			res, err := a.Analyze(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			succ := res.SuccessFor(fn)
+			if succ == nil {
+				t.Fatalf("analysis claims %s cannot succeed", cp.String(tab))
+			}
+
+			// Run the query concretely and compare each solution.
+			m := machine.New(mod)
+			sol, err := m.Solve(p.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.OK {
+				t.Fatalf("query %q fails concretely", p.Query)
+			}
+			checked := 0
+			for sol.OK && checked < 10 {
+				bindings := sol.Bindings()
+				// Rebuild the instantiated goal arguments.
+				inst := instantiate(goal, bindings)
+				for i, argTm := range inst.Args {
+					if !domain.Member(tab, argTm, succ.Args[i]) {
+						t.Fatalf("solution %d: argument %d value %s not in inferred type %s (pattern %s)",
+							checked, i+1, tab.Write(argTm), succ.Args[i].String(tab), succ.String(tab))
+					}
+				}
+				checked++
+				ok, err := sol.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no solutions checked")
+			}
+		})
+	}
+}
+
+// instantiate substitutes the solution bindings into the goal term.
+func instantiate(goal *term.Term, bindings map[string]*term.Term) *term.Term {
+	var sub func(tm *term.Term) *term.Term
+	sub = func(tm *term.Term) *term.Term {
+		switch tm.Kind {
+		case term.KVar:
+			if b, ok := bindings[tm.Ref.Name]; ok {
+				return b
+			}
+			return tm
+		case term.KStruct:
+			args := make([]*term.Term, len(tm.Args))
+			for i, a := range tm.Args {
+				args[i] = sub(a)
+			}
+			return &term.Term{Kind: term.KStruct, Fn: tm.Fn, Args: args}
+		default:
+			return tm
+		}
+	}
+	return sub(goal)
+}
+
+// TestSoundnessSmallPrograms exercises the same check on hand-written
+// corner cases: aliasing, partial lists, deep structures.
+func TestSoundnessSmallPrograms(t *testing.T) {
+	cases := []struct {
+		name, src, query string
+	}{
+		{"alias", "eq(X, X).", "eq(f(A), f(1))"},
+		{"partial", "front([X|_], X).", "front([7|T], F)"},
+		{"deepground", "wrap(X, f(f(f(f(f(X)))))).", "wrap(1, W)"},
+		{"mixedlist", "second([_, X|_], X).", "second([a, 9, c], S)"},
+		{"buildstruct", "mk(X, Y, pair(X, Y)).", "mk(1, a, P)"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goals, err := parser.ParseGoal(tab, c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goal := goals[0]
+			fn, _ := term.Indicator(goal)
+			shares := make(map[*term.VarRef]int)
+			argAbs := make([]*domain.Term, len(goal.Args))
+			for i, a := range goal.Args {
+				argAbs[i] = absOfConcrete(tab, a, shares)
+			}
+			cp := domain.WidenPattern(tab, domain.NewPattern(fn, argAbs), 4)
+			res, err := New(mod).Analyze(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			succ := res.SuccessFor(fn)
+			if succ == nil {
+				t.Fatalf("no success for %s", cp.String(tab))
+			}
+			m := machine.New(mod)
+			sol, err := m.Solve(c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.OK {
+				t.Fatal("query fails concretely")
+			}
+			inst := instantiate(goal, sol.Bindings())
+			for i, argTm := range inst.Args {
+				if !domain.Member(tab, argTm, succ.Args[i]) {
+					t.Fatalf("arg %d value %s not in %s", i+1, tab.Write(argTm), succ.Args[i].String(tab))
+				}
+			}
+		})
+	}
+}

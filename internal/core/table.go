@@ -1,0 +1,90 @@
+package core
+
+import (
+	"awam/internal/domain"
+)
+
+// Entry is one extension-table record: a calling pattern with its lubbed
+// success pattern (nil until some clause succeeds — the paper's "call
+// made but no solution recorded").
+type Entry struct {
+	Key  string
+	CP   *domain.Pattern
+	Succ *domain.Pattern
+	// exploredIter is the analysis iteration that last explored this
+	// calling pattern (repeated encounters within an iteration return
+	// the memoized success pattern instead of re-exploring).
+	exploredIter int
+	// Lookups counts memoized hits; Updates counts success-pattern lubs.
+	Lookups int
+	Updates int
+}
+
+// Table is the extension table: a memo from calling-pattern keys to
+// entries.
+type Table interface {
+	// Get returns the entry for key, or nil.
+	Get(key string) *Entry
+	// Add inserts a fresh entry (key must not be present).
+	Add(e *Entry)
+	// Entries returns all entries in insertion order.
+	Entries() []*Entry
+	// Len returns the number of entries.
+	Len() int
+}
+
+// LinearTable is the paper's implementation: "a linear list of
+// (calling-pattern, success-pattern) pairs" searched sequentially. It is
+// the faithful default; HashTable is the ablation.
+type LinearTable struct {
+	entries []*Entry
+}
+
+// NewLinearTable returns an empty linear table.
+func NewLinearTable() *LinearTable { return &LinearTable{} }
+
+// Get scans the list for key.
+func (t *LinearTable) Get(key string) *Entry {
+	for _, e := range t.entries {
+		if e.Key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// Add appends an entry.
+func (t *LinearTable) Add(e *Entry) { t.entries = append(t.entries, e) }
+
+// Entries returns the list.
+func (t *LinearTable) Entries() []*Entry { return t.entries }
+
+// Len returns the entry count.
+func (t *LinearTable) Len() int { return len(t.entries) }
+
+// HashTable indexes entries by key; an ablation over the paper's linear
+// list (experiment E8).
+type HashTable struct {
+	index map[string]*Entry
+	order []*Entry
+}
+
+// NewHashTable returns an empty hash table.
+func NewHashTable() *HashTable {
+	return &HashTable{index: make(map[string]*Entry)}
+}
+
+// Get looks the key up in the index.
+func (t *HashTable) Get(key string) *Entry { return t.index[key] }
+
+// Add inserts an entry.
+func (t *HashTable) Add(e *Entry) {
+	t.index[e.Key] = e
+	t.order = append(t.order, e)
+}
+
+// Entries returns entries in insertion order.
+func (t *HashTable) Entries() []*Entry { return t.order }
+
+// Len returns the entry count.
+func (t *HashTable) Len() int { return len(t.order) }

@@ -1,0 +1,578 @@
+// Package domain implements the abstract domain of Section 3 of the
+// paper: a lattice of abstract types over Prolog terms used to infer
+// mode, type and variable-aliasing information.
+//
+// The elements are:
+//
+//	empty (bottom) — the set containing no term
+//	var            — all unbound variables
+//	nil            — the constant [] (kept distinct so that lub can
+//	                 infer parameterized list types, as the paper's
+//	                 alpha-list requires)
+//	atom           — all atoms
+//	integer        — all integers
+//	const          — atoms and integers
+//	struct(f/n, a1..an) — structures with principal functor f/n
+//	alpha-list     — nil or [alpha|alpha-list]
+//	ground         — all ground terms
+//	nv             — all non-variable terms
+//	any (top)      — all terms
+//
+// A Term is a tree of these elements. Leaves that can be instantiated
+// further ("open" leaves: var, any, nv, ground, const, list) carry a
+// share group: leaves in the same group denote the same run-time
+// instance, which is how patterns keep the paper's "complete aliasing
+// information" across predicate boundaries.
+package domain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"awam/internal/term"
+)
+
+// Kind enumerates the abstract type constructors.
+type Kind uint8
+
+const (
+	// Empty is bottom: no term.
+	Empty Kind = iota
+	// Var is the set of unbound variables.
+	Var
+	// Nil is the singleton {[]}.
+	Nil
+	// Atom is the set of all atoms (including []).
+	Atom
+	// Intg is the set of all integers.
+	Intg
+	// Const is atoms plus integers.
+	Const
+	// Ground is the set of ground terms.
+	Ground
+	// NV is the set of non-variable terms.
+	NV
+	// Any is top: every term.
+	Any
+	// Struct is a structure type struct(f/n, a1..an).
+	Struct
+	// List is the parameterized list type alpha-list.
+	List
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Empty:
+		return "empty"
+	case Var:
+		return "var"
+	case Nil:
+		return "[]"
+	case Atom:
+		return "atom"
+	case Intg:
+		return "int"
+	case Const:
+		return "const"
+	case Ground:
+		return "g"
+	case NV:
+		return "nv"
+	case Any:
+		return "any"
+	case Struct:
+		return "struct"
+	case List:
+		return "list"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Open reports whether a leaf of this kind can be instantiated further
+// (and therefore participates in aliasing).
+func (k Kind) Open() bool {
+	switch k {
+	case Var, Any, NV, Ground, Const, List:
+		return true
+	}
+	return false
+}
+
+// Term is an abstract term: a node in the type tree.
+type Term struct {
+	Kind Kind
+	Fn   term.Functor // Struct
+	Args []*Term      // Struct
+	Elem *Term        // List parameter
+	// Share is the aliasing group: 0 = unshared, >0 = group id. Only
+	// meaningful on open nodes.
+	Share int
+}
+
+// Convenient leaf constructors.
+var (
+	bottom = &Term{Kind: Empty}
+	top    = &Term{Kind: Any}
+)
+
+// MkLeaf returns a leaf of kind k.
+func MkLeaf(k Kind) *Term { return &Term{Kind: k} }
+
+// MkStructT returns a struct node.
+func MkStructT(f term.Functor, args ...*Term) *Term {
+	if len(args) != f.Arity {
+		panic("domain: struct arity mismatch")
+	}
+	return &Term{Kind: Struct, Fn: f, Args: args}
+}
+
+// MkListT returns an alpha-list node.
+func MkListT(elem *Term) *Term { return &Term{Kind: List, Elem: elem} }
+
+// Bottom returns the empty type.
+func Bottom() *Term { return bottom }
+
+// Top returns the any type.
+func Top() *Term { return top }
+
+// IsCons reports whether t is struct('.'/2, _, _).
+func (t *Term) IsCons(tab *term.Tab) bool {
+	return t.Kind == Struct && t.Fn.Name == tab.Dot && t.Fn.Arity == 2
+}
+
+// children returns all child nodes.
+func (t *Term) children() []*Term {
+	if t.Kind == List {
+		return []*Term{t.Elem}
+	}
+	return t.Args
+}
+
+// Normalize rewrites degenerate types to canonical form: a structure
+// with an empty argument denotes no terms at all and becomes empty, and
+// list(empty) denotes exactly {[]} and becomes nil. The analyzer never
+// constructs degenerate types, but the algebra must be total on them.
+func Normalize(t *Term) *Term {
+	switch t.Kind {
+	case Struct:
+		args := make([]*Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = Normalize(a)
+			if args[i] != a {
+				changed = true
+			}
+			if args[i].Kind == Empty {
+				return bottom
+			}
+		}
+		if !changed {
+			return t
+		}
+		out := *t
+		out.Args = args
+		return &out
+	case List:
+		e := Normalize(t.Elem)
+		if e.Kind == Empty {
+			return MkLeaf(Nil)
+		}
+		if e == t.Elem {
+			return t
+		}
+		out := *t
+		out.Elem = e
+		return &out
+	default:
+		return t
+	}
+}
+
+// Leq reports the lattice ordering a ⊑ b over types (share groups are
+// ignored here; sharing is compared at the Pattern level).
+func Leq(tab *term.Tab, a, b *Term) bool {
+	a, b = Normalize(a), Normalize(b)
+	if a.Kind == Empty {
+		return true
+	}
+	switch b.Kind {
+	case Any:
+		return true
+	case Empty:
+		return false
+	case Var:
+		return a.Kind == Var
+	case Nil:
+		return a.Kind == Nil
+	case Atom:
+		return a.Kind == Nil || a.Kind == Atom
+	case Intg:
+		return a.Kind == Intg
+	case Const:
+		return a.Kind == Nil || a.Kind == Atom || a.Kind == Intg || a.Kind == Const
+	case Ground:
+		return IsGround(tab, a)
+	case NV:
+		return a.Kind != Var && a.Kind != Any && nvLeqNV(a)
+	case Struct:
+		if a.Kind != Struct || a.Fn != b.Fn {
+			return false
+		}
+		for i := range a.Args {
+			if !Leq(tab, a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case List:
+		switch a.Kind {
+		case Nil:
+			return true
+		case List:
+			return Leq(tab, a.Elem, b.Elem)
+		case Struct:
+			if !a.IsCons(tab) {
+				return false
+			}
+			return Leq(tab, a.Args[0], b.Elem) && Leq(tab, a.Args[1], b)
+		}
+		return false
+	}
+	return false
+}
+
+func nvLeqNV(a *Term) bool {
+	// Everything except var/any/empty is below nv; struct and list are
+	// below nv regardless of their parameters.
+	switch a.Kind {
+	case Var, Any, Empty:
+		return false
+	}
+	return true
+}
+
+// IsGround reports t ⊑ ground.
+func IsGround(tab *term.Tab, t *Term) bool {
+	switch t.Kind {
+	case Empty, Nil, Atom, Intg, Const, Ground:
+		return true
+	case Struct:
+		for _, a := range t.Args {
+			if !IsGround(tab, a) {
+				return false
+			}
+		}
+		return true
+	case List:
+		return IsGround(tab, t.Elem)
+	default:
+		return false
+	}
+}
+
+// asList views t as an alpha-list if possible, returning the element
+// type. It succeeds for nil, list types and cons chains ending in one of
+// those.
+func asList(tab *term.Tab, t *Term) (*Term, bool) {
+	switch t.Kind {
+	case Nil:
+		return bottom, true
+	case List:
+		return t.Elem, true
+	case Struct:
+		if !t.IsCons(tab) {
+			return nil, false
+		}
+		rest, ok := asList(tab, t.Args[1])
+		if !ok {
+			return nil, false
+		}
+		return Lub(tab, t.Args[0], rest), true
+	default:
+		return nil, false
+	}
+}
+
+// Lub returns the least upper bound of two types. Share groups of the
+// result are cleared; the Pattern-level lub reinstates sharing.
+func Lub(tab *term.Tab, a, b *Term) *Term {
+	a, b = Normalize(a), Normalize(b)
+	if Leq(tab, a, b) {
+		return stripShare(b)
+	}
+	if Leq(tab, b, a) {
+		return stripShare(a)
+	}
+	// Same-functor structures join pointwise.
+	if a.Kind == Struct && b.Kind == Struct && a.Fn == b.Fn {
+		args := make([]*Term, len(a.Args))
+		for i := range args {
+			args[i] = Lub(tab, a.Args[i], b.Args[i])
+		}
+		return MkStructT(a.Fn, args...)
+	}
+	// The list inference rule: nil ⊔ cons chains ⊔ list types give a
+	// parameterized list (this is what makes alpha-list "a precise type
+	// for the union of [] and [alpha|alpha-list]").
+	if ea, okA := asList(tab, a); okA {
+		if eb, okB := asList(tab, b); okB {
+			return MkListT(Lub(tab, ea, eb))
+		}
+	}
+	// Otherwise climb the leaf chain to the least common ancestor.
+	for _, k := range []Kind{Atom, Intg, Const, Ground, NV} {
+		cand := MkLeaf(k)
+		if Leq(tab, a, cand) && Leq(tab, b, cand) {
+			return cand
+		}
+	}
+	return top
+}
+
+func stripShare(t *Term) *Term {
+	if t.Share == 0 {
+		hasShare := false
+		for _, c := range t.children() {
+			if hasAnyShare(c) {
+				hasShare = true
+				break
+			}
+		}
+		if !hasShare {
+			return t
+		}
+	}
+	out := *t
+	out.Share = 0
+	if t.Kind == Struct {
+		out.Args = make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			out.Args[i] = stripShare(a)
+		}
+	}
+	if t.Kind == List {
+		out.Elem = stripShare(t.Elem)
+	}
+	return &out
+}
+
+func hasAnyShare(t *Term) bool {
+	if t.Share != 0 {
+		return true
+	}
+	for _, c := range t.children() {
+		if hasAnyShare(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Widen applies the paper's term-depth restriction: composite subterms
+// at depth k are replaced by g (when the subtree is certainly ground),
+// nv (when certainly non-variable) or any, so that the result's Depth is
+// at most k. Widening only goes up the lattice, so the analysis stays
+// sound and the domain becomes finite.
+func Widen(tab *term.Tab, t *Term, k int) *Term {
+	// A cons chain about to be truncated generalizes to its alpha-list
+	// view when it has one: [1,2,...,30] widens to list(int) rather than
+	// to g, preserving the paper's list-awareness for long data.
+	if t.Kind == Struct && k >= 2 && Depth(t) > k {
+		if elem, ok := asList(tab, Normalize(t)); ok {
+			return MkListT(Widen(tab, elem, k-1))
+		}
+	}
+	if (t.Kind == Struct || t.Kind == List) && k <= 1 {
+		switch {
+		case IsGround(tab, t):
+			return MkLeaf(Ground)
+		case Leq(tab, t, MkLeaf(NV)):
+			return MkLeaf(NV)
+		default:
+			return top
+		}
+	}
+	switch t.Kind {
+	case Struct:
+		args := make([]*Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = Widen(tab, a, k-1)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		out := *t
+		out.Args = args
+		return &out
+	case List:
+		e := Widen(tab, t.Elem, k-1)
+		if e == t.Elem {
+			return t
+		}
+		out := *t
+		out.Elem = e
+		return &out
+	default:
+		return t
+	}
+}
+
+// Depth returns the depth of the deepest node (leaves are depth 1).
+func Depth(t *Term) int {
+	d := 0
+	for _, c := range t.children() {
+		if cd := Depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Member reports whether the concrete term tm belongs to the
+// concretization of t. Unbound source variables are members of var and
+// any only. Sharing constraints are ignored (the check is used as an
+// over-approximation witness by the soundness tests).
+func Member(tab *term.Tab, tm *term.Term, t *Term) bool {
+	switch t.Kind {
+	case Empty:
+		return false
+	case Any:
+		return true
+	case Var:
+		return tm.Kind == term.KVar
+	case Nil:
+		return tab.IsNil(tm)
+	case Atom:
+		return tm.Kind == term.KAtom
+	case Intg:
+		return tm.Kind == term.KInt
+	case Const:
+		return tm.Kind == term.KAtom || tm.Kind == term.KInt
+	case Ground:
+		return concreteGround(tm)
+	case NV:
+		return tm.Kind != term.KVar
+	case Struct:
+		if tm.Kind != term.KStruct || tm.Fn != t.Fn {
+			return false
+		}
+		for i := range tm.Args {
+			if !Member(tab, tm.Args[i], t.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case List:
+		for tab.IsCons(tm) {
+			if !Member(tab, tm.Args[0], t.Elem) {
+				return false
+			}
+			tm = tm.Args[1]
+		}
+		return tab.IsNil(tm)
+	}
+	return false
+}
+
+func concreteGround(tm *term.Term) bool {
+	switch tm.Kind {
+	case term.KVar:
+		return false
+	case term.KStruct:
+		for _, a := range tm.Args {
+			if !concreteGround(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// String renders the type readably: lists as the paper's alpha-list
+// (e.g. "list(g)"), cons structures in bracket notation, share groups as
+// "#n" suffixes.
+func (t *Term) String(tab *term.Tab) string {
+	var b strings.Builder
+	t.write(&b, tab)
+	return b.String()
+}
+
+func (t *Term) write(b *strings.Builder, tab *term.Tab) {
+	switch t.Kind {
+	case Struct:
+		if t.IsCons(tab) {
+			b.WriteByte('[')
+			t.Args[0].write(b, tab)
+			b.WriteByte('|')
+			t.Args[1].write(b, tab)
+			b.WriteByte(']')
+		} else {
+			b.WriteString(tab.Name(t.Fn.Name))
+			b.WriteByte('(')
+			for i, a := range t.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				a.write(b, tab)
+			}
+			b.WriteByte(')')
+		}
+	case List:
+		b.WriteString("list(")
+		t.Elem.write(b, tab)
+		b.WriteByte(')')
+	default:
+		b.WriteString(t.Kind.String())
+	}
+	if t.Share != 0 {
+		fmt.Fprintf(b, "#%d", t.Share)
+	}
+}
+
+// Equal compares types structurally, including share groups.
+func Equal(a, b *Term) bool {
+	if a.Kind != b.Kind || a.Share != b.Share {
+		return false
+	}
+	switch a.Kind {
+	case Struct:
+		if a.Fn != b.Fn {
+			return false
+		}
+		for i := range a.Args {
+			if !Equal(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case List:
+		return Equal(a.Elem, b.Elem)
+	default:
+		return true
+	}
+}
+
+// Copy deep-copies a type tree.
+func Copy(t *Term) *Term {
+	out := *t
+	if t.Kind == Struct {
+		out.Args = make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			out.Args[i] = Copy(a)
+		}
+	}
+	if t.Kind == List {
+		out.Elem = Copy(t.Elem)
+	}
+	return &out
+}
+
+// sortInts is a tiny helper for canonical share maps.
+func sortInts(xs []int) { sort.Ints(xs) }

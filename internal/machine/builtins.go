@@ -1,0 +1,426 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"awam/internal/rt"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// callBuiltin executes an inline builtin over the argument registers.
+// The boolean is the goal's success; the error aborts execution (type
+// errors in arithmetic and the like).
+func (m *Machine) callBuiltin(id wam.BuiltinID) (bool, error) {
+	switch id {
+	case wam.BITrue:
+		return true, nil
+	case wam.BIFail:
+		return false, nil
+	case wam.BIHalt:
+		m.p = haltPC - 1 // advanced by the caller to haltPC
+		return true, nil
+	case wam.BIIs:
+		v, err := m.evalArith(m.getX(2))
+		if err != nil {
+			return false, err
+		}
+		return m.unify(m.getX(1), rt.MkInt(v)), nil
+	case wam.BILt, wam.BILe, wam.BIGt, wam.BIGe, wam.BIArithEq, wam.BIArithNe:
+		l, err := m.evalArith(m.getX(1))
+		if err != nil {
+			return false, err
+		}
+		r, err := m.evalArith(m.getX(2))
+		if err != nil {
+			return false, err
+		}
+		switch id {
+		case wam.BILt:
+			return l < r, nil
+		case wam.BILe:
+			return l <= r, nil
+		case wam.BIGt:
+			return l > r, nil
+		case wam.BIGe:
+			return l >= r, nil
+		case wam.BIArithEq:
+			return l == r, nil
+		default:
+			return l != r, nil
+		}
+	case wam.BIUnify:
+		return m.unify(m.getX(1), m.getX(2)), nil
+	case wam.BINotUnify:
+		mark := m.H.Mark()
+		ok := m.unify(m.getX(1), m.getX(2))
+		m.H.UndoTrailOnly(mark)
+		return !ok, nil
+	case wam.BIEq:
+		return m.structEqual(m.getX(1), m.getX(2)), nil
+	case wam.BINotEq:
+		return !m.structEqual(m.getX(1), m.getX(2)), nil
+	case wam.BIVar:
+		c, _ := m.H.ResolveCell(m.getX(1))
+		return c.Tag == rt.Ref, nil
+	case wam.BINonvar:
+		c, _ := m.H.ResolveCell(m.getX(1))
+		return c.Tag != rt.Ref, nil
+	case wam.BIAtom:
+		c, _ := m.H.ResolveCell(m.getX(1))
+		return c.Tag == rt.Con, nil
+	case wam.BIInteger:
+		c, _ := m.H.ResolveCell(m.getX(1))
+		return c.Tag == rt.Int, nil
+	case wam.BIAtomic:
+		c, _ := m.H.ResolveCell(m.getX(1))
+		return c.Tag == rt.Con || c.Tag == rt.Int, nil
+	case wam.BIWrite:
+		if m.Out != nil {
+			tm := m.readCell(m.getX(1))
+			fmt.Fprint(m.Out, m.Mod.Tab.Write(tm))
+		}
+		return true, nil
+	case wam.BINl:
+		if m.Out != nil {
+			fmt.Fprintln(m.Out)
+		}
+		return true, nil
+	case wam.BIFunctor:
+		return m.biFunctor()
+	case wam.BIArg:
+		return m.biArg()
+	case wam.BICompare:
+		var rel term.Atom
+		switch o := m.termCompare(m.getX(2), m.getX(3)); {
+		case o < 0:
+			rel = m.Mod.Tab.Intern("<")
+		case o > 0:
+			rel = m.Mod.Tab.Intern(">")
+		default:
+			rel = m.Mod.Tab.Intern("=")
+		}
+		return m.unify(m.getX(1), rt.MkCon(rel)), nil
+	case wam.BITermLt:
+		return m.termCompare(m.getX(1), m.getX(2)) < 0, nil
+	case wam.BITermLe:
+		return m.termCompare(m.getX(1), m.getX(2)) <= 0, nil
+	case wam.BITermGt:
+		return m.termCompare(m.getX(1), m.getX(2)) > 0, nil
+	case wam.BITermGe:
+		return m.termCompare(m.getX(1), m.getX(2)) >= 0, nil
+	case wam.BILength:
+		return m.biLength()
+	case wam.BIAssert, wam.BIRetract:
+		return m.dynBuiltin(id)
+	default:
+		return false, fmt.Errorf("machine: builtin %d not implemented", id)
+	}
+}
+
+// termCompare implements the standard order of terms:
+// Var < Int < Atom < compound; variables by heap address, integers by
+// value, atoms alphabetically, compounds by arity, then name, then
+// arguments left to right.
+func (m *Machine) termCompare(a, b rt.Cell) int {
+	ca, aa := m.H.ResolveCell(a)
+	cb, ab := m.H.ResolveCell(b)
+	ra, rb := orderRank(ca.Tag), orderRank(cb.Tag)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ca.Tag {
+	case rt.Ref:
+		return aa - ab
+	case rt.Int:
+		switch {
+		case ca.I < cb.I:
+			return -1
+		case ca.I > cb.I:
+			return 1
+		}
+		return 0
+	case rt.Con:
+		return strings.Compare(m.Mod.Tab.Name(ca.F.Name), m.Mod.Tab.Name(cb.F.Name))
+	default: // compound (Lis or Str)
+		fa, argA := m.compoundShape(ca)
+		fb, argB := m.compoundShape(cb)
+		if fa.Arity != fb.Arity {
+			return fa.Arity - fb.Arity
+		}
+		if c := strings.Compare(m.Mod.Tab.Name(fa.Name), m.Mod.Tab.Name(fb.Name)); c != 0 {
+			return c
+		}
+		for i := 0; i < fa.Arity; i++ {
+			if c := m.termCompare(rt.MkRef(argA+i), rt.MkRef(argB+i)); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// orderRank places tags in the standard order.
+func orderRank(t rt.Tag) int {
+	switch t {
+	case rt.Ref:
+		return 0
+	case rt.Int:
+		return 1
+	case rt.Con:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// compoundShape returns the functor and the address of the first
+// argument cell of a compound.
+func (m *Machine) compoundShape(c rt.Cell) (term.Functor, int) {
+	if c.Tag == rt.Lis {
+		return m.Mod.Tab.ConsFunctor(), c.A
+	}
+	fn := m.H.At(c.A)
+	return fn.F, c.A + 1
+}
+
+// biLength implements length/2 in both directions (proper list ->
+// count, and var + count -> skeleton of fresh variables).
+func (m *Machine) biLength() (bool, error) {
+	c, addr := m.H.ResolveCell(m.getX(1))
+	// Walk the list spine as far as it is instantiated.
+	n := 0
+	for c.Tag == rt.Lis {
+		n++
+		na, nc := m.H.DerefCell(c.A + 1)
+		c, addr = nc, na
+	}
+	switch c.Tag {
+	case rt.Con:
+		if c.F.Name != m.Mod.Tab.Nil {
+			return false, nil
+		}
+		return m.unify(m.getX(2), rt.MkInt(int64(n))), nil
+	case rt.Ref:
+		// Partial list: the length argument must supply the total.
+		lc, _ := m.H.ResolveCell(m.getX(2))
+		if lc.Tag != rt.Int {
+			return false, fmt.Errorf("machine: length/2 with partial list needs a bound length")
+		}
+		want := int(lc.I)
+		if want < n {
+			return false, nil
+		}
+		for i := n; i < want; i++ {
+			pair := m.H.PushVar()
+			m.H.PushVar()
+			m.H.Bind(addr, rt.Cell{Tag: rt.Lis, A: pair})
+			addr = pair + 1
+		}
+		m.H.Bind(addr, rt.MkCon(m.Mod.Tab.Nil))
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// evalArith evaluates an arithmetic expression cell.
+func (m *Machine) evalArith(c rt.Cell) (int64, error) {
+	rc, _ := m.H.ResolveCell(c)
+	switch rc.Tag {
+	case rt.Int:
+		return rc.I, nil
+	case rt.Ref:
+		return 0, fmt.Errorf("machine: arithmetic on unbound variable")
+	case rt.Str:
+		fn := m.H.At(rc.A).F
+		name := m.Mod.Tab.Name(fn.Name)
+		if fn.Arity == 1 {
+			v, err := m.evalArith(rt.MkRef(rc.A + 1))
+			if err != nil {
+				return 0, err
+			}
+			switch name {
+			case "-":
+				return -v, nil
+			case "+":
+				return v, nil
+			case "abs":
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			}
+			return 0, fmt.Errorf("machine: unknown arithmetic functor %s/1", name)
+		}
+		if fn.Arity == 2 {
+			l, err := m.evalArith(rt.MkRef(rc.A + 1))
+			if err != nil {
+				return 0, err
+			}
+			r, err := m.evalArith(rt.MkRef(rc.A + 2))
+			if err != nil {
+				return 0, err
+			}
+			switch name {
+			case "+":
+				return l + r, nil
+			case "-":
+				return l - r, nil
+			case "*":
+				return l * r, nil
+			case "//", "/":
+				if r == 0 {
+					return 0, fmt.Errorf("machine: division by zero")
+				}
+				return l / r, nil
+			case "mod":
+				if r == 0 {
+					return 0, fmt.Errorf("machine: mod by zero")
+				}
+				v := l % r
+				if (v < 0 && r > 0) || (v > 0 && r < 0) {
+					v += r
+				}
+				return v, nil
+			case "rem":
+				if r == 0 {
+					return 0, fmt.Errorf("machine: rem by zero")
+				}
+				return l % r, nil
+			case "min":
+				if l < r {
+					return l, nil
+				}
+				return r, nil
+			case "max":
+				if l > r {
+					return l, nil
+				}
+				return r, nil
+			case ">>":
+				return l >> uint(r), nil
+			case "<<":
+				return l << uint(r), nil
+			}
+			return 0, fmt.Errorf("machine: unknown arithmetic functor %s/2", name)
+		}
+		return 0, fmt.Errorf("machine: unevaluable functor %s/%d", name, fn.Arity)
+	case rt.Con:
+		return 0, fmt.Errorf("machine: atom %s is not arithmetic", m.Mod.Tab.Name(rc.F.Name))
+	default:
+		return 0, fmt.Errorf("machine: unevaluable cell %s", rc.Tag)
+	}
+}
+
+// structEqual implements ==/2 (no bindings).
+func (m *Machine) structEqual(a, b rt.Cell) bool {
+	ca, aa := m.H.ResolveCell(a)
+	cb, ab := m.H.ResolveCell(b)
+	if ca.Tag != cb.Tag {
+		return false
+	}
+	switch ca.Tag {
+	case rt.Ref:
+		return aa == ab
+	case rt.Con:
+		return ca.F.Name == cb.F.Name
+	case rt.Int:
+		return ca.I == cb.I
+	case rt.Lis:
+		return m.structEqual(rt.MkRef(ca.A), rt.MkRef(cb.A)) &&
+			m.structEqual(rt.MkRef(ca.A+1), rt.MkRef(cb.A+1))
+	case rt.Str:
+		fa, fb := m.H.At(ca.A), m.H.At(cb.A)
+		if fa.F != fb.F {
+			return false
+		}
+		for i := 1; i <= fa.F.Arity; i++ {
+			if !m.structEqual(rt.MkRef(ca.A+i), rt.MkRef(cb.A+i)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// biFunctor implements functor/3 in both directions.
+func (m *Machine) biFunctor() (bool, error) {
+	c, _ := m.H.ResolveCell(m.getX(1))
+	tab := m.Mod.Tab
+	switch c.Tag {
+	case rt.Con:
+		return m.unify(m.getX(2), rt.MkCon(c.F.Name)) &&
+			m.unify(m.getX(3), rt.MkInt(0)), nil
+	case rt.Int:
+		return m.unify(m.getX(2), rt.MkInt(c.I)) &&
+			m.unify(m.getX(3), rt.MkInt(0)), nil
+	case rt.Lis:
+		return m.unify(m.getX(2), rt.MkCon(tab.Dot)) &&
+			m.unify(m.getX(3), rt.MkInt(2)), nil
+	case rt.Str:
+		fn := m.H.At(c.A).F
+		return m.unify(m.getX(2), rt.MkCon(fn.Name)) &&
+			m.unify(m.getX(3), rt.MkInt(int64(fn.Arity))), nil
+	case rt.Ref:
+		nameC, _ := m.H.ResolveCell(m.getX(2))
+		arityC, _ := m.H.ResolveCell(m.getX(3))
+		if arityC.Tag != rt.Int {
+			return false, fmt.Errorf("machine: functor/3 arity not an integer")
+		}
+		n := int(arityC.I)
+		if n == 0 {
+			return m.unify(m.getX(1), nameC), nil
+		}
+		if nameC.Tag != rt.Con {
+			return false, fmt.Errorf("machine: functor/3 name not an atom")
+		}
+		fn := term.Functor{Name: nameC.F.Name, Arity: n}
+		var cell rt.Cell
+		if fn.Name == tab.Dot && n == 2 {
+			pair := m.H.PushVar()
+			m.H.PushVar()
+			cell = rt.Cell{Tag: rt.Lis, A: pair}
+		} else {
+			fnAddr := m.H.Push(rt.Cell{Tag: rt.Fun, F: fn})
+			for i := 0; i < n; i++ {
+				m.H.PushVar()
+			}
+			cell = rt.Cell{Tag: rt.Str, A: fnAddr}
+		}
+		return m.unify(m.getX(1), cell), nil
+	}
+	return false, nil
+}
+
+// biArg implements arg/3 (first direction only).
+func (m *Machine) biArg() (bool, error) {
+	nC, _ := m.H.ResolveCell(m.getX(1))
+	tC, _ := m.H.ResolveCell(m.getX(2))
+	if nC.Tag != rt.Int {
+		return false, fmt.Errorf("machine: arg/3 index not an integer")
+	}
+	n := int(nC.I)
+	switch tC.Tag {
+	case rt.Lis:
+		if n < 1 || n > 2 {
+			return false, nil
+		}
+		return m.unify(m.getX(3), rt.MkRef(tC.A+n-1)), nil
+	case rt.Str:
+		fn := m.H.At(tC.A).F
+		if n < 1 || n > fn.Arity {
+			return false, nil
+		}
+		return m.unify(m.getX(3), rt.MkRef(tC.A+n)), nil
+	default:
+		return false, nil
+	}
+}
+
+// readCell reconstructs a source term from a register cell.
+func (m *Machine) readCell(c rt.Cell) *term.Term {
+	return m.H.ReadCellTerm(m.Mod.Tab, c, make(map[int]*term.Term))
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"fmt"
+
+	"awam/internal/rt"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Dynamic fact database: assert/1, retract/1 and calling asserted
+// predicates. The paper notes that Prolog-hosted analyzers keep their
+// extension table in the assert database; supporting facts (clauses
+// without bodies) is what that usage — and our executable version of the
+// Section 5 transformation — requires.
+//
+// Facts are stored as source terms (variables generalized), appended in
+// assertion order. A call to a predicate with no compiled clauses falls
+// back to the dynamic database, enumerating matching facts through the
+// normal choice-point machinery.
+
+// dynPred holds the asserted facts of one predicate.
+type dynPred struct {
+	facts []*term.Term
+}
+
+// assertFact stores a copy of the cell as a fact.
+func (m *Machine) assertFact(c rt.Cell) (bool, error) {
+	tm := m.readCell(c)
+	fn, ok := term.Indicator(tm)
+	if !ok {
+		return false, fmt.Errorf("machine: assert of a non-callable term")
+	}
+	if m.Mod.Proc(fn) != nil {
+		return false, fmt.Errorf("machine: cannot assert into compiled predicate %s", m.Mod.Tab.FuncString(fn))
+	}
+	if m.dyn == nil {
+		m.dyn = make(map[term.Functor]*dynPred)
+	}
+	p := m.dyn[fn]
+	if p == nil {
+		p = &dynPred{}
+		m.dyn[fn] = p
+	}
+	p.facts = append(p.facts, tm)
+	return true, nil
+}
+
+// retractFact removes the first fact unifying with the cell.
+func (m *Machine) retractFact(c rt.Cell) (bool, error) {
+	tm := m.readCell(c)
+	fn, ok := term.Indicator(tm)
+	if !ok {
+		return false, fmt.Errorf("machine: retract of a non-callable term")
+	}
+	p := m.dyn[fn]
+	if p == nil {
+		return false, nil
+	}
+	for i, f := range p.facts {
+		mark := m.H.Mark()
+		addr := m.H.LoadTerm(m.Mod.Tab, term.Rename(f), make(map[*term.VarRef]int))
+		if m.unify(c, rt.MkRef(addr)) {
+			p.facts = append(p.facts[:i], p.facts[i+1:]...)
+			return true, nil
+		}
+		m.H.Undo(mark)
+	}
+	return false, nil
+}
+
+// dynCall dispatches a call/execute whose target has no compiled code to
+// the dynamic database. isExecute selects the continuation (proceed vs
+// next instruction). startIdx resumes enumeration after backtracking.
+// It returns false to fail (no matching fact from startIdx on).
+func (m *Machine) dynCall(fn term.Functor, isExecute bool, callAddr, startIdx int) bool {
+	p := m.dyn[fn]
+	if p == nil {
+		return false
+	}
+	for idx := startIdx; idx < len(p.facts); idx++ {
+		mark := m.H.Mark()
+		addr := m.H.LoadTerm(m.Mod.Tab, term.Rename(p.facts[idx]), make(map[*term.VarRef]int))
+		_, factCell := m.H.DerefCell(addr)
+		if !m.unifyDynHead(fn, factCell) {
+			m.H.Undo(mark)
+			continue
+		}
+		// Matched: leave a resume point for the remaining facts.
+		if idx+1 < len(p.facts) {
+			m.pushCP(0)
+			cp := &m.cps[len(m.cps)-1]
+			cp.dynFn = fn
+			cp.dynNext = idx + 1
+			cp.dynAddr = callAddr
+			cp.dynExec = isExecute
+			// The choice point's heap mark must predate this attempt's
+			// bindings so they unwind on retry.
+			cp.mark = mark
+		}
+		if isExecute {
+			m.p = m.cp
+		} else {
+			m.p = callAddr + 1
+		}
+		return true
+	}
+	return false
+}
+
+// unifyDynHead unifies the loaded fact's arguments with the argument
+// registers.
+func (m *Machine) unifyDynHead(fn term.Functor, fact rt.Cell) bool {
+	if fn.Arity == 0 {
+		return fact.Tag == rt.Con && fact.F == fn
+	}
+	_, args := m.compoundShape(fact)
+	for i := 0; i < fn.Arity; i++ {
+		if !m.unify(m.getX(i+1), rt.MkRef(args+i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// DynamicFacts exposes the asserted facts of a predicate (tests and
+// diagnostics).
+func (m *Machine) DynamicFacts(fn term.Functor) []*term.Term {
+	if p := m.dyn[fn]; p != nil {
+		return append([]*term.Term(nil), p.facts...)
+	}
+	return nil
+}
+
+// dynBuiltins handles assert/1 (and assertz/1), retract/1.
+func (m *Machine) dynBuiltin(id wam.BuiltinID) (bool, error) {
+	switch id {
+	case wam.BIAssert:
+		return m.assertFact(m.getX(1))
+	case wam.BIRetract:
+		return m.retractFact(m.getX(1))
+	}
+	return false, fmt.Errorf("machine: unknown dynamic builtin %d", id)
+}

@@ -1,0 +1,580 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+func build(t *testing.T, src string) *Machine {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return New(mod)
+}
+
+func solve(t *testing.T, m *Machine, goal string) *Solution {
+	t.Helper()
+	s, err := m.Solve(goal)
+	if err != nil {
+		t.Fatalf("solve %q: %v", goal, err)
+	}
+	return s
+}
+
+func wantBinding(t *testing.T, s *Solution, name, want string) {
+	t.Helper()
+	tm, err := s.Binding(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.m.Mod.Tab.Write(tm); got != want {
+		t.Fatalf("%s = %s, want %s", name, got, want)
+	}
+}
+
+func TestFactsAndUnification(t *testing.T) {
+	m := build(t, "p(a).\np(b).\n")
+	s := solve(t, m, "p(X)")
+	if !s.OK {
+		t.Fatal("p(X) should succeed")
+	}
+	wantBinding(t, s, "X", "a")
+	ok, err := s.Next()
+	if err != nil || !ok {
+		t.Fatalf("second solution: %v %v", ok, err)
+	}
+	wantBinding(t, s, "X", "b")
+	ok, err = s.Next()
+	if err != nil || ok {
+		t.Fatalf("should have exactly two solutions")
+	}
+}
+
+func TestFailingGoal(t *testing.T) {
+	m := build(t, "p(a).")
+	s := solve(t, m, "p(b)")
+	if s.OK {
+		t.Fatal("p(b) should fail")
+	}
+}
+
+func TestStructureUnification(t *testing.T) {
+	m := build(t, "eq(X, X).")
+	s := solve(t, m, "eq(f(Y, b), f(a, Z))")
+	if !s.OK {
+		t.Fatal("structure unification failed")
+	}
+	wantBinding(t, s, "Y", "a")
+	wantBinding(t, s, "Z", "b")
+}
+
+func TestListBuilding(t *testing.T) {
+	m := build(t, `
+		app([], L, L).
+		app([H|T], L, [H|R]) :- app(T, L, R).
+	`)
+	s := solve(t, m, "app([1,2], [3,4], R)")
+	if !s.OK {
+		t.Fatal("append failed")
+	}
+	wantBinding(t, s, "R", "[1, 2, 3, 4]")
+
+	// Reverse mode: splitting a list via backtracking.
+	s2 := solve(t, m, "app(A, B, [1,2])")
+	if !s2.OK {
+		t.Fatal("split failed")
+	}
+	wantBinding(t, s2, "A", "[]")
+	wantBinding(t, s2, "B", "[1, 2]")
+	n := 1
+	for {
+		ok, err := s2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("app(A, B, [1,2]) gave %d solutions, want 3", n)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := build(t, "double(X, Y) :- Y is X * 2.")
+	s := solve(t, m, "double(21, Y)")
+	wantBinding(t, s, "Y", "42")
+
+	s2 := solve(t, m, "X is 7 // 2 + 10 mod 3")
+	wantBinding(t, s2, "X", "4")
+
+	s3 := solve(t, m, "X is -(5) + abs(-3)")
+	wantBinding(t, s3, "X", "-2")
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	m := build(t, "p(X) :- X is foo + 1.")
+	if _, err := m.Solve("p(X)"); err == nil {
+		t.Fatal("expected arithmetic type error")
+	}
+	m2 := build(t, "p(X) :- X is 1 // 0.")
+	if _, err := m2.Solve("p(X)"); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	m := build(t, "p.")
+	for goal, want := range map[string]bool{
+		"1 < 2":      true,
+		"2 < 1":      false,
+		"2 =< 2":     true,
+		"3 > 1+1":    true,
+		"2+2 =:= 4":  true,
+		"2+2 =\\= 4": false,
+		"5 >= 2*3":   false,
+	} {
+		s := solve(t, m, goal)
+		if s.OK != want {
+			t.Errorf("%s = %v, want %v", goal, s.OK, want)
+		}
+	}
+}
+
+func TestCutPrunesAlternatives(t *testing.T) {
+	m := build(t, `
+		max(X, Y, X) :- X >= Y, !.
+		max(_, Y, Y).
+	`)
+	s := solve(t, m, "max(3, 2, M)")
+	wantBinding(t, s, "M", "3")
+	if ok, _ := s.Next(); ok {
+		t.Fatal("cut should remove the second clause alternative")
+	}
+	s2 := solve(t, m, "max(1, 2, M)")
+	wantBinding(t, s2, "M", "2")
+}
+
+func TestDeepCutRuntime(t *testing.T) {
+	m := build(t, `
+		p(X) :- q(X), !, r(X).
+		p(99).
+		q(1).
+		q(2).
+		r(2).
+	`)
+	// q(1) commits via cut, then r(1) fails; the cut must prevent both
+	// q's second answer and p's second clause.
+	s := solve(t, m, "p(X)")
+	if s.OK {
+		t.Fatalf("p(X) should fail under deep cut, got X")
+	}
+}
+
+func TestNegationBuiltins(t *testing.T) {
+	m := build(t, "p.")
+	cases := map[string]bool{
+		"X = a, X == a":       true,
+		"X = a, X == b":       false,
+		"a \\== b":            true,
+		"f(X) = f(1), X == 1": true,
+		"a \\= a":             false,
+		"a \\= b":             true,
+		"X \\= Y":             false, // variables unify
+		"var(_)":              true,
+		"X = 1, integer(X)":   true,
+		"atom(foo)":           true,
+		"atom(1)":             false,
+		"atomic(1)":           true,
+		"nonvar(f(_))":        true,
+	}
+	for goal, want := range cases {
+		s := solve(t, m, goal)
+		if s.OK != want {
+			t.Errorf("%s = %v, want %v", goal, s.OK, want)
+		}
+	}
+}
+
+func TestNotUnifyLeavesNoBindings(t *testing.T) {
+	m := build(t, "p.")
+	s := solve(t, m, "X = f(Y), X \\= f(g(_)), Y = 1")
+	// X \= f(g(_)) must fail since f(Y) unifies with f(g(_))... it binds Y.
+	// The point: whatever the outcome, bindings from the attempt are undone.
+	if s.OK {
+		t.Fatal("f(Y) unifies with f(g(_)), so \\= must fail")
+	}
+	s2 := solve(t, m, "X = f(a), X \\= f(b), X == f(a)")
+	if !s2.OK {
+		t.Fatal("\\= should succeed and leave X intact")
+	}
+}
+
+func TestFunctorArg(t *testing.T) {
+	m := build(t, "p.")
+	s := solve(t, m, "functor(foo(a, b), N, A)")
+	wantBinding(t, s, "N", "foo")
+	wantBinding(t, s, "A", "2")
+	s2 := solve(t, m, "functor(T, foo, 2)")
+	tm, err := s2.Binding("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Kind != term.KStruct || tm.Fn.Arity != 2 {
+		t.Fatalf("functor/3 built %v", s2.m.Mod.Tab.Write(tm))
+	}
+	s3 := solve(t, m, "arg(2, foo(a, b), X)")
+	wantBinding(t, s3, "X", "b")
+}
+
+func TestWriteOutput(t *testing.T) {
+	m := build(t, "greet :- write(hello), nl, write([1,2]).")
+	var sb strings.Builder
+	m.Out = &sb
+	s := solve(t, m, "greet")
+	if !s.OK {
+		t.Fatal("greet failed")
+	}
+	if got := sb.String(); got != "hello\n[1, 2]" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestIndexingSelectsClause(t *testing.T) {
+	m := build(t, `
+		kind(1, int).
+		kind(a, atom).
+		kind([_|_], list).
+		kind(f(_), struct).
+	`)
+	for goal, want := range map[string]string{
+		"kind(1, K)":    "int",
+		"kind(a, K)":    "atom",
+		"kind([x], K)":  "list",
+		"kind(f(z), K)": "struct",
+	} {
+		s := solve(t, m, goal)
+		if !s.OK {
+			t.Fatalf("%s failed", goal)
+		}
+		wantBinding(t, s, "K", want)
+	}
+	if s := solve(t, m, "kind(b, K)"); s.OK {
+		t.Fatal("kind(b, K) should fail via the constant switch")
+	}
+	// Unbound first argument must still enumerate all clauses.
+	s := solve(t, m, "kind(X, K)")
+	n := 0
+	for s.OK {
+		n++
+		ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if n != 4 {
+		t.Fatalf("unbound dispatch found %d solutions, want 4", n)
+	}
+}
+
+func TestBacktrackingRestoresState(t *testing.T) {
+	m := build(t, `
+		p(X, Y) :- q(X), r(X, Y).
+		q(1).
+		q(2).
+		r(2, found).
+	`)
+	s := solve(t, m, "p(X, Y)")
+	if !s.OK {
+		t.Fatal("p should succeed via backtracking into q")
+	}
+	wantBinding(t, s, "X", "2")
+	wantBinding(t, s, "Y", "found")
+}
+
+func TestUndefinedPredicateFails(t *testing.T) {
+	m := build(t, "p :- missing.")
+	s := solve(t, m, "p")
+	if s.OK {
+		t.Fatal("call to undefined predicate should fail")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := build(t, "loop :- loop.")
+	m.MaxSteps = 1000
+	if _, err := m.Solve("loop"); err != ErrStepLimit {
+		t.Fatalf("expected step limit, got %v", err)
+	}
+}
+
+func TestHaltBuiltin(t *testing.T) {
+	m := build(t, "p :- halt, fail.")
+	s := solve(t, m, "p")
+	if !s.OK {
+		t.Fatal("halt should succeed immediately")
+	}
+}
+
+// TestBenchmarksRun executes every Table 1 benchmark's main/0 on the
+// concrete machine — the paper's Figure 1 "compiled execution" path.
+func TestBenchmarksRun(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := New(mod)
+			ok, err := m.RunMain()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !ok {
+				t.Fatal("main/0 failed")
+			}
+		})
+	}
+}
+
+// TestBenchmarkQueries checks expected answers where the suite records
+// them.
+func TestBenchmarkQueries(t *testing.T) {
+	for _, p := range bench.Programs {
+		if p.Query == "" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(mod)
+			s, err := m.Solve(p.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.OK {
+				t.Fatalf("query %q failed", p.Query)
+			}
+			for name, want := range p.WantBinding {
+				wantBinding(t, s, name, want)
+			}
+		})
+	}
+}
+
+// TestBenchmarksUnindexed re-runs the suite with indexing disabled; the
+// answers must not depend on the indexing instructions.
+func TestBenchmarksUnindexed(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.CompileWith(tab, prog, compiler.Options{Indexing: false})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(mod)
+			ok, err := m.RunMain()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !ok {
+				t.Fatal("main/0 failed without indexing")
+			}
+		})
+	}
+}
+
+func TestModuleSizeCounts(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p(a).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Size() == 0 {
+		t.Fatal("module size should be positive")
+	}
+	if mod.Proc(tab.Func("p", 1)).Profile.Instructions == 0 {
+		t.Fatal("proc profile should count instructions")
+	}
+	_ = wam.FailAddr
+}
+
+func TestTraceOutput(t *testing.T) {
+	m := build(t, "p(a).")
+	var sb strings.Builder
+	m.Trace = &sb
+	if s := solve(t, m, "p(a)"); !s.OK {
+		t.Fatal("p(a) failed")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "get_constant a, A1") || !strings.Contains(out, "proceed") {
+		t.Fatalf("trace incomplete:\n%s", out)
+	}
+}
+
+func TestStandardOrderBuiltins(t *testing.T) {
+	m := build(t, "p.")
+	cases := map[string]bool{
+		"a @< b":          true,
+		"b @< a":          false,
+		"1 @< a":          true, // numbers before atoms
+		"X @< 1":          true, // variables first
+		"a @< f(a)":       true, // atoms before compounds
+		"f(a) @< f(b)":    true,
+		"f(a) @< g(a)":    true, // same arity: by name
+		"f(a) @< h(a, b)": true, // lower arity first
+		"[1] @< [2]":      true,
+		"c @>= c":         true,
+		"c @> b":          true,
+		"a @=< a":         true,
+	}
+	for goal, want := range cases {
+		s := solve(t, m, goal)
+		if s.OK != want {
+			t.Errorf("%s = %v, want %v", goal, s.OK, want)
+		}
+	}
+	s := solve(t, m, "compare(O, f(1, 2), f(1, 3))")
+	wantBinding(t, s, "O", "<")
+	s2 := solve(t, m, "compare(O, [a], [a])")
+	wantBinding(t, s2, "O", "=")
+}
+
+func TestLengthBuiltin(t *testing.T) {
+	m := build(t, "p.")
+	s := solve(t, m, "length([a, b, c], N)")
+	wantBinding(t, s, "N", "3")
+	s2 := solve(t, m, "length(L, 2), L = [x, Y], Y = z")
+	wantBinding(t, s2, "L", "[x, z]")
+	if s3 := solve(t, m, "length([a|b], N)"); s3.OK {
+		t.Fatal("improper list should fail")
+	}
+	if s4 := solve(t, m, "length([a, b], 3)"); s4.OK {
+		t.Fatal("wrong length should fail")
+	}
+	s5 := solve(t, m, "length([a|T], 3)")
+	if !s5.OK {
+		t.Fatal("partial list completion failed")
+	}
+	if _, err := m.Solve("length(L, N)"); err == nil {
+		t.Fatal("doubly unbound length should error")
+	}
+}
+
+func TestAssertRetract(t *testing.T) {
+	m := build(t, "p.")
+	s := solve(t, m, "assert(fact(1)), assert(fact(2)), assert(fact(3)), fact(X)")
+	if !s.OK {
+		t.Fatal("asserted facts not callable")
+	}
+	wantBinding(t, s, "X", "1")
+	var got []string
+	for s.OK {
+		x, _ := s.Binding("X")
+		got = append(got, m.Mod.Tab.Write(x))
+		if ok, _ := s.Next(); !ok {
+			break
+		}
+	}
+	if strings.Join(got, ",") != "1,2,3" {
+		t.Fatalf("fact enumeration = %v", got)
+	}
+	// Retract removes the first match.
+	s2 := solve(t, m, "retract(fact(2)), fact(X), X == 2")
+	if s2.OK {
+		t.Fatal("retracted fact still present")
+	}
+	s3 := solve(t, m, "retract(fact(99))")
+	if s3.OK {
+		t.Fatal("retracting an absent fact should fail")
+	}
+}
+
+func TestAssertWithVariables(t *testing.T) {
+	m := build(t, "p.")
+	s := solve(t, m, "assert(pair(X, X)), pair(7, Y)")
+	if !s.OK {
+		t.Fatal("asserted fact with shared variables failed")
+	}
+	wantBinding(t, s, "Y", "7")
+}
+
+func TestAssertBacktrackPersists(t *testing.T) {
+	// Asserts are not undone by backtracking (standard Prolog).
+	m := build(t, `
+		go :- assert(mark(yes)), fail.
+		go.
+	`)
+	s := solve(t, m, "go, mark(M)")
+	if !s.OK {
+		t.Fatal("assert should survive backtracking")
+	}
+	wantBinding(t, s, "M", "yes")
+}
+
+func TestAssertIntoCompiledPredicateFails(t *testing.T) {
+	m := build(t, "p(static).")
+	if _, err := m.Solve("assert(p(dynamic))"); err == nil {
+		t.Fatal("asserting into a compiled predicate must error")
+	}
+}
+
+func TestDynamicClearLoop(t *testing.T) {
+	// retract/1 is deterministic here (one removal per call, not
+	// re-satisfiable on backtracking), so tables are cleared with the
+	// recursive idiom.
+	m := build(t, `
+		fill :- assert(d(1)), assert(d(2)), assert(d(3)).
+		clear :- retract(d(_)), !, clear.
+		clear.
+	`)
+	s := solve(t, m, "fill, clear, d(_)")
+	if s.OK {
+		t.Fatal("cleared table should have no facts")
+	}
+	s2 := solve(t, m, "fill, d(X), X == 3")
+	if !s2.OK {
+		t.Fatal("refilled table should enumerate to 3")
+	}
+}

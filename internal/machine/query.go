@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+
+	"awam/internal/compiler"
+	"awam/internal/parser"
+	"awam/internal/rt"
+	"awam/internal/term"
+)
+
+// Solution is the result of a query: whether it succeeded and, while it
+// holds, the bindings of the query's variables.
+type Solution struct {
+	OK    bool
+	m     *Machine
+	vars  []*term.Term
+	addrs []int
+}
+
+// SolveGoal compiles the goal conjunction as a query predicate, loads its
+// variables on the heap and runs to the first solution.
+func (m *Machine) SolveGoal(goals []*term.Term) (*Solution, error) {
+	fn, vars, err := compiler.AddQuery(m.Mod, goals)
+	if err != nil {
+		return nil, err
+	}
+	env := make(map[*term.VarRef]int)
+	addrs := make([]int, len(vars))
+	for i, v := range vars {
+		addrs[i] = m.H.LoadTerm(m.Mod.Tab, v, env)
+	}
+	ok, err := m.CallAddrs(fn, addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{OK: ok, m: m, vars: vars, addrs: addrs}, nil
+}
+
+// Solve parses src as a goal conjunction and solves it.
+func (m *Machine) Solve(src string) (*Solution, error) {
+	goals, err := parser.ParseGoal(m.Mod.Tab, src)
+	if err != nil {
+		return nil, err
+	}
+	return m.SolveGoal(goals)
+}
+
+// RunMain runs the conventional benchmark entry point main/0.
+func (m *Machine) RunMain() (bool, error) {
+	fn := m.Mod.Tab.Func("main", 0)
+	return m.CallAddrs(fn, nil)
+}
+
+// Next searches for the next solution by backtracking.
+func (s *Solution) Next() (bool, error) {
+	if !s.OK {
+		return false, nil
+	}
+	ok, err := s.m.Redo()
+	s.OK = ok
+	return ok, err
+}
+
+// Binding returns the current value of the named query variable.
+func (s *Solution) Binding(name string) (*term.Term, error) {
+	if !s.OK {
+		return nil, fmt.Errorf("machine: no active solution")
+	}
+	for i, v := range s.vars {
+		if v.Ref.Name == name {
+			return s.m.H.ReadTerm(s.m.Mod.Tab, s.addrs[i], make(map[int]*term.Term)), nil
+		}
+	}
+	return nil, fmt.Errorf("machine: no query variable %q", name)
+}
+
+// Bindings returns all query-variable values, sharing variable identity
+// across entries.
+func (s *Solution) Bindings() map[string]*term.Term {
+	out := make(map[string]*term.Term, len(s.vars))
+	if !s.OK {
+		return out
+	}
+	shared := make(map[int]*term.Term)
+	for i, v := range s.vars {
+		out[v.Ref.Name] = s.m.H.ReadTerm(s.m.Mod.Tab, s.addrs[i], shared)
+	}
+	return out
+}
+
+// BindingCells exposes the raw heap addresses of the query variables, in
+// query-variable order; the soundness tests compare these against
+// abstract success patterns.
+func (s *Solution) BindingCells() ([]*term.Term, []int) {
+	return s.vars, s.addrs
+}
+
+// Heap exposes the machine heap (tests and the soundness checker).
+func (m *Machine) Heap() *rt.Heap { return m.H }

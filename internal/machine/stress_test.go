@@ -1,0 +1,274 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"awam/internal/compiler"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// TestDeepRecursionEnvironments: long last-call chains must not grow the
+// environment chain (LCO) and deep non-tail recursion must work.
+func TestDeepRecursion(t *testing.T) {
+	m := build(t, `
+		count(N, N) :- !.
+		count(I, N) :- I < N, I1 is I + 1, count(I1, N).
+		sum(0, 0) :- !.
+		sum(N, S) :- N1 is N - 1, sum(N1, S1), S is S1 + N.
+	`)
+	s := solve(t, m, "count(0, 50000)")
+	if !s.OK {
+		t.Fatal("tail-recursive count failed")
+	}
+	s2 := solve(t, m, "sum(2000, S)")
+	wantBinding(t, s2, "S", "2001000")
+}
+
+// TestBacktrackingRestoresArgumentRegisters: choice points must restore
+// the argument registers exactly.
+func TestBacktrackingRestoresArgs(t *testing.T) {
+	m := build(t, `
+		p(X, Y) :- q(X), X = Y.
+		q(1).
+		q(2).
+		q(3).
+	`)
+	// Force failure of the first two alternatives via the second arg.
+	s := solve(t, m, "p(V, 3)")
+	if !s.OK {
+		t.Fatal("p(V, 3) should succeed via the third alternative")
+	}
+	wantBinding(t, s, "V", "3")
+}
+
+// TestTrailAcrossDeepBacktracking: bindings made many choice points deep
+// must unwind correctly.
+func TestTrailAcrossDeepBacktracking(t *testing.T) {
+	m := build(t, `
+		perm([], []).
+		perm(L, [X|P]) :- sel(X, L, R), perm(R, P).
+		sel(X, [X|T], T).
+		sel(X, [H|T], [H|R]) :- sel(X, T, R).
+	`)
+	s := solve(t, m, "perm([1,2,3,4], P)")
+	count := 0
+	seen := make(map[string]bool)
+	for s.OK {
+		p, err := s.Binding("P")
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := m.Mod.Tab.Write(p)
+		if seen[key] {
+			t.Fatalf("duplicate permutation %s", key)
+		}
+		seen[key] = true
+		count++
+		ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if count != 24 {
+		t.Fatalf("got %d permutations, want 24", count)
+	}
+}
+
+// TestCutInsideBacktracking: cut committing inside a deep alternative.
+func TestCutCommitsFirstSolutionOnly(t *testing.T) {
+	m := build(t, `
+		first(X, L) :- member(X, L), !.
+		member(X, [X|_]).
+		member(X, [_|T]) :- member(X, T).
+	`)
+	s := solve(t, m, "first(F, [a,b,c])")
+	wantBinding(t, s, "F", "a")
+	if ok, _ := s.Next(); ok {
+		t.Fatal("cut should leave exactly one solution")
+	}
+}
+
+// TestLargeTermConstruction: building and decomposing a wide structure.
+func TestLargeTerms(t *testing.T) {
+	args := make([]string, 100)
+	for i := range args {
+		args[i] = fmt.Sprintf("%d", i)
+	}
+	src := "big(f(" + strings.Join(args, ",") + ")).\n"
+	m := build(t, src)
+	s := solve(t, m, "big(T), arg(57, T, A)")
+	if !s.OK {
+		t.Fatal("big term query failed")
+	}
+	wantBinding(t, s, "A", "56")
+}
+
+// TestHeapGrowthAndReset: repeated failing attempts must not leak heap
+// between solutions (heap is truncated on backtracking).
+func TestHeapTruncationOnBacktrack(t *testing.T) {
+	m := build(t, `
+		waste(0) :- !.
+		waste(N) :- mk(N, _), N1 is N - 1, waste(N1).
+		mk(N, f(N, N, N, N)).
+		pick(1) :- waste(50), fail.
+		pick(2).
+	`)
+	s := solve(t, m, "pick(X)")
+	wantBinding(t, s, "X", "2")
+}
+
+// TestFailureInjectionBadTarget: a module whose call targets are
+// corrupted must produce machine errors, not panics.
+func TestFailureInjectionBadTarget(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p :- q.\nq.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the call target to point past the code (a single trailing
+	// goal compiles to execute, so patch both).
+	for i := range mod.Code {
+		if mod.Code[i].Op == wam.OpCall || mod.Code[i].Op == wam.OpExecute {
+			mod.Code[i].L = len(mod.Code) + 100
+		}
+	}
+	m := New(mod)
+	if _, err := m.Solve("p"); err == nil {
+		t.Fatal("expected pc-out-of-range error")
+	}
+}
+
+// TestFailureInjectionBadOpcode: unknown opcodes error out cleanly.
+func TestFailureInjectionBadOpcode(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Code[mod.Procs[tab.Func("p", 0)].Entry] = wam.Instr{Op: 250}
+	m := New(mod)
+	if _, err := m.Solve("p"); err == nil {
+		t.Fatal("expected unknown-opcode error")
+	}
+}
+
+// TestZeroArityChainsAndSteps: step counting is monotone and the same
+// query gives the same count when re-run on a fresh machine.
+func TestDeterministicStepCounts(t *testing.T) {
+	src := `
+		main :- a, b, c.
+		a. b. c.
+	`
+	run := func() int64 {
+		m := build(t, src)
+		ok, err := m.RunMain()
+		if err != nil || !ok {
+			t.Fatalf("run: %v %v", ok, err)
+		}
+		return m.Steps
+	}
+	if run() != run() {
+		t.Fatal("step counts must be deterministic")
+	}
+}
+
+// TestArithmeticEdgeCases covers negatives and mod/rem semantics.
+func TestArithmeticEdgeCases(t *testing.T) {
+	m := build(t, "p.")
+	cases := map[string]string{
+		"X is -7 mod 3":        "2", // mod follows the divisor's sign
+		"X is 7 mod -3":        "-2",
+		"X is -7 rem 3":        "-1", // rem follows the dividend's sign
+		"X is -2147483648 - 1": "-2147483649",
+		"X is 2 * 3 - 10":      "-4",
+		"X is min(3, -2)":      "-2",
+		"X is max(3, -2)":      "3",
+		"X is abs(-9)":         "9",
+		"X is 1 << 10":         "1024",
+		"X is 1024 >> 3":       "128",
+	}
+	for goal, want := range cases {
+		s := solve(t, m, goal)
+		if !s.OK {
+			t.Errorf("%s failed", goal)
+			continue
+		}
+		got, err := s.Binding("X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mod.Tab.Write(got) != want {
+			t.Errorf("%s = %s, want %s", goal, m.Mod.Tab.Write(got), want)
+		}
+	}
+}
+
+// TestEnvironmentProtectedByChoicePoints: an environment deallocated by
+// LCO must stay usable by an older choice point's alternatives (the
+// classic WAM stack-protection scenario; here environments are linked,
+// so the test pins the behavioral contract).
+func TestEnvironmentProtection(t *testing.T) {
+	m := build(t, `
+		top(R) :- mid(X), last(X, R).
+		mid(X) :- pick(X), check(X).
+		pick(1).
+		pick(2).
+		pick(3).
+		check(X) :- X > 1.
+		last(X, R) :- R is X * 10.
+	`)
+	// pick(1) fails check; the retry must see mid's environment intact.
+	s := solve(t, m, "top(R)")
+	if !s.OK {
+		t.Fatal("top failed")
+	}
+	wantBinding(t, s, "R", "20")
+	ok, err := s.Next()
+	if err != nil || !ok {
+		t.Fatalf("second solution: %v %v", ok, err)
+	}
+	wantBinding(t, s, "R", "30")
+}
+
+// TestYRegistersSurviveNestedCalls: permanent variables hold across
+// deeply nested calls that thrash the X registers.
+func TestYRegistersSurviveNestedCalls(t *testing.T) {
+	m := build(t, `
+		go(A, B, C, R) :- wide(A), wide(B), wide(C), R = t(A, B, C).
+		wide(X) :- f8(X, _, _, _, _, _, _, _).
+		f8(X, X, X, X, X, X, X, X).
+	`)
+	s := solve(t, m, "go(1, 2, 3, R)")
+	wantBinding(t, s, "R", "t(1, 2, 3)")
+}
+
+// TestChoicePointHeapDiscipline: heap addresses saved in a choice point
+// stay valid across repeated deep failures (value-trail restoration).
+func TestChoicePointHeapDiscipline(t *testing.T) {
+	m := build(t, `
+		search(In, Out) :- transform(In, Mid), accept(Mid, Out).
+		transform(X, big(X, [X, X])).
+		transform(X, small(X)).
+		accept(small(X), X).
+	`)
+	s := solve(t, m, "search(42, Out)")
+	if !s.OK {
+		t.Fatal("search failed")
+	}
+	wantBinding(t, s, "Out", "42")
+}

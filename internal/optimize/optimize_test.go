@@ -1,0 +1,218 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/core"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+func buildAnalyzed(t *testing.T, src string) (*term.Tab, *wam.Module, *core.Result) {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(mod).AnalyzeMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, mod, res
+}
+
+func TestSpecializeGroundList(t *testing.T) {
+	src := `
+main :- sum([1,2,3], S), out(S).
+sum([], 0).
+sum([X|Xs], S) :- sum(Xs, S0), S is S0 + X.
+out(_).
+`
+	tab, mod, res := buildAnalyzed(t, src)
+	opt, stats := Specialize(mod, res)
+	if stats.Total == 0 {
+		t.Fatal("sum's first argument is always a ground list; expected specializations")
+	}
+	dis := opt.Disasm()
+	if !strings.Contains(dis, "get_list* A1") && !strings.Contains(dis, "get_nil* A1") {
+		t.Fatalf("expected specialized list instructions:\n%s", dis)
+	}
+	// The original module is untouched.
+	if strings.Contains(mod.Disasm(), "get_list*") {
+		t.Fatal("Specialize modified the input module")
+	}
+	_ = tab
+}
+
+func TestSpecializedModuleRunsCorrectly(t *testing.T) {
+	src := `
+main :- sum([1,2,3], S), check(S).
+sum([], 0).
+sum([X|Xs], S) :- sum(Xs, S0), S is S0 + X.
+check(6).
+`
+	_, mod, res := buildAnalyzed(t, src)
+	opt, _ := Specialize(mod, res)
+	m := machine.New(opt)
+	ok, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("optimized module errored: %v", err)
+	}
+	if !ok {
+		t.Fatal("optimized module failed main/0")
+	}
+}
+
+func TestNoSpecializationForVarArgs(t *testing.T) {
+	src := `
+main :- mk(X), out(X).
+mk(f(1)).
+out(_).
+`
+	_, mod, res := buildAnalyzed(t, src)
+	_, stats := Specialize(mod, res)
+	// mk/1 is called with a free variable: its head get_structure must
+	// stay general (write mode reachable).
+	for k := range stats.Specialized {
+		if strings.Contains(k, "f/1") {
+			t.Fatalf("specialized a write-mode structure: %v", stats.Specialized)
+		}
+	}
+}
+
+// TestBenchmarksOptimizedStillRun is experiment E11's validation half:
+// every benchmark still runs correctly after specialization, proving no
+// specialized instruction ever meets an unbound variable (i.e. the
+// analysis was sound where the optimizer trusted it).
+func TestBenchmarksOptimizedStillRun(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			_, mod, res := buildAnalyzed(t, p.Source)
+			opt, stats := Specialize(mod, res)
+			m := machine.New(opt)
+			ok, err := m.RunMain()
+			if err != nil {
+				t.Fatalf("optimized run error (possible unsound specialization): %v", err)
+			}
+			if !ok {
+				t.Fatal("optimized main/0 failed")
+			}
+			t.Logf("%s: %d instructions specialized in %d predicates",
+				p.Name, stats.Total, stats.PredsTouched)
+		})
+	}
+}
+
+// TestOptimizedSemanticsMatch compares answers between original and
+// optimized modules on queries.
+func TestOptimizedSemanticsMatch(t *testing.T) {
+	for _, p := range bench.Programs {
+		if p.Query == "" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab, mod, res := buildAnalyzed(t, p.Source)
+			m1 := machine.New(mod)
+			s1, err := m1.Solve(p.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, _ := Specialize(mod, res)
+			m2 := machine.New(opt)
+			s2, err := m2.Solve(p.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.OK != s2.OK {
+				t.Fatalf("success mismatch: %v vs %v", s1.OK, s2.OK)
+			}
+			b1, b2 := s1.Bindings(), s2.Bindings()
+			for k, v1 := range b1 {
+				v2 := b2[k]
+				if tab.Write(v1) != tab.Write(v2) {
+					t.Fatalf("binding %s: %s vs %s", k, tab.Write(v1), tab.Write(v2))
+				}
+			}
+		})
+	}
+}
+
+func TestStripUnreachable(t *testing.T) {
+	src := `
+main :- used(3).
+used(X) :- X > 0.
+dead(X) :- deader(X).
+deader(_).
+`
+	tab, mod, res := buildAnalyzed(t, src)
+	stripped, removed := StripUnreachable(mod, res)
+	if len(removed) != 2 {
+		t.Fatalf("removed = %v", removed)
+	}
+	names := map[string]bool{}
+	for _, fn := range removed {
+		names[tab.FuncString(fn)] = true
+	}
+	if !names["dead/1"] || !names["deader/1"] {
+		t.Fatalf("wrong predicates removed: %v", names)
+	}
+	if stripped.Proc(tab.Func("used", 1)) == nil {
+		t.Fatal("reachable predicate stripped")
+	}
+	// The stripped module still runs.
+	m := machine.New(stripped)
+	ok, err := m.RunMain()
+	if err != nil || !ok {
+		t.Fatalf("stripped module: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	src := `
+main :- a, b.
+a.
+b :- fail.
+c.
+`
+	tab, _, res := buildAnalyzed(t, src)
+	r := Reach(res)
+	if !r.Reached[tab.Func("a", 0)] || !r.Reached[tab.Func("b", 0)] {
+		t.Fatal("a and b should be reached")
+	}
+	if r.Reached[tab.Func("c", 0)] {
+		t.Fatal("c should be unreachable")
+	}
+	if !r.Succeeds[tab.Func("a", 0)] {
+		t.Fatal("a succeeds")
+	}
+	if r.Succeeds[tab.Func("b", 0)] {
+		t.Fatal("b never succeeds")
+	}
+}
+
+func TestStripKeepsBenchmarksRunning(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			_, mod, res := buildAnalyzed(t, p.Source)
+			stripped, _ := StripUnreachable(mod, res)
+			m := machine.New(stripped)
+			ok, err := m.RunMain()
+			if err != nil || !ok {
+				t.Fatalf("stripped run: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package parser
+
+import (
+	"testing"
+
+	"awam/internal/term"
+)
+
+// FuzzParseProgram checks the parser never panics and that anything it
+// accepts can be written back and re-parsed. The seed corpus runs as
+// part of the normal test suite; `go test -fuzz=FuzzParseProgram` digs
+// deeper.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"p(X) :- q(X), r(X, [1,2|T]).",
+		"d(U+V, X, DU+DV) :- !, d(U, X, DU), d(V, X, DV).",
+		"a :- (b ; c -> d ; \\+ e).",
+		`s("ABLE WAS I").`,
+		"p(0'a, 'quoted atom', \"str\").",
+		"p([]). p([_|_]). p(f(g(h(1)))). p(-42).",
+		"x :- Y is 3 mod -2, Y < 10.",
+		"% comment\n/* block */ p.",
+		"p(", "p(a) q", ":- 3.", "'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tab := term.NewTab()
+		clauses, err := ParseClauses(tab, src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, c := range clauses {
+			text := tab.WriteClause(c)
+			if _, err := ParseClauses(term.NewTab(), text); err != nil {
+				t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, text, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,288 @@
+// Package plmeta implements the paper's actual comparison target: a
+// dataflow analyzer implemented *in Prolog* and executed by the concrete
+// WAM (internal/machine) — the counterpart of the Aquarius analyzer
+// running under Quintus Prolog in Table 1. Its per-benchmark wall-clock
+// time against internal/core's compiled analysis reproduces the paper's
+// speed-up column.
+//
+// The analyzer performs a mode analysis in the Aquarius spirit (the
+// paper notes Aquarius used a "considerably" simpler domain than its
+// own): per-argument modes over the lattice v (free) / g (ground) /
+// nv (nonvar) / any, with an extension table threaded through the
+// interpretation as a linear list of pat/success pairs. The object
+// program is reflected into obj_pred/3 facts by Reflect; analysis runs
+// to a table fixpoint by repeated passes (the paper's iterative
+// deepening).
+package plmeta
+
+// AnalyzerSource is the Prolog text of the meta-level analyzer. It uses
+// only the Prolog subset our compiler supports: conjunctions, cut,
+// arithmetic, functor/3, arg/3 and type tests — no if-then-else, no
+// assert (the extension table is threaded, which is precisely the
+// expense the paper attributes to Prolog-hosted implementations).
+const AnalyzerSource = `
+% ---- mode lattice: v (free) / g (ground) / nv (nonvar) / any (top) ----
+
+lub(X, Y, X) :- X == Y, !.
+lub(g, nv, nv) :- !.
+lub(nv, g, nv) :- !.
+lub(_, _, any).
+
+meet(g, _, g) :- !.
+meet(_, g, g) :- !.
+meet(nv, _, nv) :- !.
+meet(_, nv, nv) :- !.
+meet(v, _, v) :- !.
+meet(_, v, v) :- !.
+meet(_, _, any).
+
+% ---- environment: list of VarNum-Mode pairs. Unseen variables read as
+% 'u' (no information yet): a variable first met in a clause body is
+% free (v), but one first met in the head under an 'any' argument could
+% be anything — the distinction keeps head binding sound. ----
+
+envget(_, [], u) :- !.
+envget(N, [P-M|_], M) :- N == P, !.
+envget(N, [_|R], M) :- envget(N, R, M).
+
+envset(N, M, [], [N-M]) :- !.
+envset(N, M, [P-_|R], [P-M|R]) :- N == P, !.
+envset(N, M, [E|R0], [E|R]) :- envset(N, M, R0, R).
+
+% ---- term modes ----
+
+mode_of('$v'(N), Env, M) :- !, envget(N, Env, M0), unseen_free(M0, M).
+mode_of(T, _, g) :- atomic(T), !.
+mode_of(T, Env, M) :- functor(T, _, A), args_ground(A, T, Env, g, M).
+
+unseen_free(u, v) :- !.
+unseen_free(M, M).
+
+args_ground(0, _, _, Acc, M) :- !, close_struct(Acc, M).
+args_ground(I, T, Env, Acc, M) :-
+	arg(I, T, X),
+	mode_of(X, Env, MX),
+	acc_ground(MX, Acc, Acc1),
+	I1 is I - 1,
+	args_ground(I1, T, Env, Acc1, M).
+
+acc_ground(g, Acc, Acc) :- !.
+acc_ground(_, _, notg).
+
+close_struct(g, g) :- !.
+close_struct(_, nv).
+
+% ---- setting variable modes across a term ----
+
+setvars_g('$v'(N), E0, E) :- !, envset(N, g, E0, E).
+setvars_g(T, E, E) :- atomic(T), !.
+setvars_g(T, E0, E) :- functor(T, _, A), setvars_g_args(A, T, E0, E).
+
+setvars_g_args(0, _, E, E) :- !.
+setvars_g_args(I, T, E0, E) :-
+	arg(I, T, X), setvars_g(X, E0, E1),
+	I1 is I - 1, setvars_g_args(I1, T, E1, E).
+
+% weaken: after an opaque instantiation, free vars become any; stronger
+% knowledge (g, nv) survives.
+weakvars('$v'(N), E0, E) :- !, envget(N, E0, C), wk(C, M), envset(N, M, E0, E).
+weakvars(T, E, E) :- atomic(T), !.
+weakvars(T, E0, E) :- functor(T, _, A), weakvars_args(A, T, E0, E).
+
+weakvars_args(0, _, E, E) :- !.
+weakvars_args(I, T, E0, E) :-
+	arg(I, T, X), weakvars(X, E0, E1),
+	I1 is I - 1, weakvars_args(I1, T, E1, E).
+
+wk(g, g) :- !.
+wk(nv, nv) :- !.
+wk(_, any).
+
+% hmeet: meet against possibly-absent knowledge.
+hmeet(u, M, M) :- !.
+hmeet(C, M, M1) :- meet(C, M, M1).
+
+% ---- head binding: propagate the call mode into a head argument ----
+
+bind_head(T, g, E0, E) :- !, setvars_g(T, E0, E).
+bind_head('$v'(N), M, E0, E) :- !, envget(N, E0, C), hmeet(C, M, M1), envset(N, M1, E0, E).
+bind_head(T, v, E, E) :- !.             % caller passed a free var: T's vars stay free
+bind_head(T, _, E0, E) :- weakvars(T, E0, E).  % nv/any: unknown bindings inside
+
+bind_head_args(0, _, _, E, E) :- !.
+bind_head_args(I, H, CP, E0, E) :-
+	arg(I, H, T), arg(I, CP, M),
+	bind_head(T, M, E0, E1),
+	I1 is I - 1, bind_head_args(I1, H, CP, E1, E).
+
+% ---- applying a success pattern back to the call arguments ----
+
+apply_succ('$v'(N), M, E0, E) :- !, envget(N, E0, C), hmeet(C, M, M1), envset(N, M1, E0, E).
+apply_succ(T, g, E0, E) :- !, setvars_g(T, E0, E).
+apply_succ(T, _, E0, E) :- weakvars(T, E0, E).
+
+apply_succ_args(0, _, _, E, E) :- !.
+apply_succ_args(I, G, SP, E0, E) :-
+	arg(I, G, T), arg(I, SP, M),
+	apply_succ(T, M, E0, E1),
+	I1 is I - 1, apply_succ_args(I1, G, SP, E1, E).
+
+% ---- calling patterns ----
+
+callpat(G, Env, CP) :-
+	functor(G, F, A),
+	functor(CP, F, A),
+	cp_args(A, G, CP, Env).
+
+cp_args(0, _, _, _) :- !.
+cp_args(I, G, CP, Env) :-
+	arg(I, G, T), mode_of(T, Env, M),
+	arg(I, CP, M),
+	I1 is I - 1, cp_args(I1, G, CP, Env).
+
+succpat(H, Env, SP) :- callpat(H, Env, SP).
+
+% ---- the extension table: a linear list of e(Pattern, Success) ----
+
+tlookup(P, [e(Q, S)|_], S) :- P == Q, !.
+tlookup(P, [_|R], S) :- tlookup(P, R, S).
+
+tupdate(P, S, [e(Q, S0)|R], [e(Q, S1)|R], C0, C) :-
+	P == Q, !, lub_pat(S0, S, S1), upch(S0, S1, C0, C).
+tupdate(P, S, [E|R0], [E|R], C0, C) :- tupdate(P, S, R0, R, C0, C).
+
+upch(S0, S1, C, C) :- S0 == S1, !.
+upch(_, _, _, yes).
+
+lub_pat(bottom, P, P) :- !.
+lub_pat(P, bottom, P) :- !.
+lub_pat(P, Q, R) :-
+	functor(P, F, A), functor(R, F, A),
+	lub_args(A, P, Q, R).
+
+lub_args(0, _, _, _) :- !.
+lub_args(I, P, Q, R) :-
+	arg(I, P, X), arg(I, Q, Y), lub(X, Y, Z), arg(I, R, Z),
+	I1 is I - 1, lub_args(I1, P, Q, R).
+
+% ---- goal reduction (status-passing: OK is yes/no) ----
+
+body([], E, E, T, T, C, C, yes).
+body([G|Gs], E0, E, T0, T, C0, C, OK) :-
+	goal(G, E0, E1, T0, T1, C0, C1, OK1),
+	body_more(OK1, Gs, E1, E, T1, T, C1, C, OK).
+
+body_more(yes, Gs, E0, E, T0, T, C0, C, OK) :- body(Gs, E0, E, T0, T, C0, C, OK).
+body_more(no, _, E, E, T, T, C, C, no).
+
+goal(G, E0, E, T, T, C, C, OK) :- bgoal(G, E0, E, OK), !.
+goal(G, E0, E, T0, T, C0, C, OK) :-
+	callpat(G, E0, CP),
+	tlookup(CP, T0, S), !,
+	use_succ(S, G, E0, E, OK),
+	T = T0, C = C0.
+goal(G, E0, E0, T0, T, _, yes, no) :-
+	% Unexplored calling pattern: record it (bottom) and fail this pass;
+	% the next pass will explore it (iterative deepening).
+	callpat(G, E0, CP),
+	append_entry(T0, e(CP, bottom), T).
+
+use_succ(bottom, _, E, E, no) :- !.
+use_succ(SP, G, E0, E, yes) :- functor(G, _, A), apply_succ_args(A, G, SP, E0, E).
+
+append_entry([], E, [E]).
+append_entry([X|R0], E, [X|R]) :- append_entry(R0, E, R).
+
+% ---- abstract builtins ----
+
+bgoal(!, E, E, yes).
+bgoal(true, E, E, yes).
+bgoal(fail, _, _, no).
+bgoal(halt, E, E, yes).
+bgoal(nl, E, E, yes).
+bgoal(write(_), E, E, yes).
+bgoal(X is Expr, E0, E, yes) :- setvars_g(Expr, E0, E1), setvars_g(X, E1, E).
+bgoal(X < Y, E0, E, yes) :- setvars_g(X, E0, E1), setvars_g(Y, E1, E).
+bgoal(X > Y, E0, E, yes) :- setvars_g(X, E0, E1), setvars_g(Y, E1, E).
+bgoal(X =< Y, E0, E, yes) :- setvars_g(X, E0, E1), setvars_g(Y, E1, E).
+bgoal(X >= Y, E0, E, yes) :- setvars_g(X, E0, E1), setvars_g(Y, E1, E).
+bgoal(X =:= Y, E0, E, yes) :- setvars_g(X, E0, E1), setvars_g(Y, E1, E).
+bgoal(X =\= Y, E0, E, yes) :- setvars_g(X, E0, E1), setvars_g(Y, E1, E).
+bgoal(X = Y, E0, E, yes) :- abs_unify(X, Y, E0, E).
+bgoal(X == Y, E0, E, yes) :- abs_unify(X, Y, E0, E).
+bgoal(_ \== _, E, E, yes).
+bgoal(_ \= _, E, E, yes).
+bgoal(compare(O, _, _), E0, E, yes) :- setvars_g(O, E0, E).
+bgoal(_ @< _, E, E, yes).
+bgoal(_ @=< _, E, E, yes).
+bgoal(_ @> _, E, E, yes).
+bgoal(_ @>= _, E, E, yes).
+bgoal(length(L, N), E0, E, yes) :- narrow_nv(L, E0, E1), setvars_g(N, E1, E).
+bgoal(assert(_), E, E, yes).
+bgoal(retract(_), E, E, yes).
+bgoal(var(_), E, E, yes).
+bgoal(nonvar(X), E0, E, yes) :- narrow_nv(X, E0, E).
+bgoal(atom(X), E0, E, yes) :- setvars_g(X, E0, E).
+bgoal(integer(X), E0, E, yes) :- setvars_g(X, E0, E).
+bgoal(atomic(X), E0, E, yes) :- setvars_g(X, E0, E).
+bgoal(functor(T, F, A), E0, E, yes) :-
+	narrow_nv(T, E0, E1), setvars_g(F, E1, E2), setvars_g(A, E2, E).
+bgoal(arg(I, T, X), E0, E, yes) :-
+	setvars_g(I, E0, E1), narrow_nv(T, E1, E2), weakvars(X, E2, E).
+
+narrow_nv('$v'(N), E0, E) :- !, envget(N, E0, C), hmeet(C, nv, M), envset(N, M, E0, E).
+narrow_nv(_, E, E).
+
+% Abstract =/2: ground on one side grounds the other; otherwise both
+% sides' free variables become any.
+abs_unify(X, Y, E0, E) :-
+	mode_of(X, E0, MX), mode_of(Y, E0, MY),
+	abs_unify_m(MX, MY, X, Y, E0, E).
+
+abs_unify_m(g, _, _, Y, E0, E) :- !, setvars_g(Y, E0, E).
+abs_unify_m(_, g, X, _, E0, E) :- !, setvars_g(X, E0, E).
+abs_unify_m(_, _, X, Y, E0, E) :- weakvars(X, E0, E1), weakvars(Y, E1, E).
+
+% ---- clause exploration ----
+
+explore(CP, T0, T, C0, C) :-
+	functor(CP, F, A),
+	obj_pred(F, A, Clauses), !,
+	clauses(Clauses, CP, T0, T1, C0, C1, bottom, S),
+	tupdate(CP, S, T1, T, C1, C).
+explore(_, T, T, C, C).
+
+clauses([], _, T, T, C, C, S, S).
+clauses([cl(H, B)|R], CP, T0, T, C0, C, S0, S) :-
+	try_clause(H, B, CP, T0, T1, C0, C1, S0, S1),
+	clauses(R, CP, T1, T, C1, C, S1, S).
+
+try_clause(H, B, CP, T0, T, C0, C, S0, S) :-
+	functor(CP, _, A),
+	bind_head_args(A, H, CP, [], E0),
+	body(B, E0, E, T0, T, C0, C, OK),
+	finish_clause(OK, H, E, S0, S).
+
+finish_clause(yes, H, E, S0, S) :- succpat(H, E, SP), lub_pat(S0, SP, S).
+finish_clause(no, _, _, S, S).
+
+% ---- the fixpoint driver ----
+
+pass([], T, T, C, C).
+pass([e(CP, _)|R], T0, T, C0, C) :-
+	explore(CP, T0, T1, C0, C1),
+	pass(R, T1, T, C1, C).
+
+iterate(T0, T) :-
+	pass(T0, T0, T1, no, C),
+	continue(C, T1, T).
+
+continue(yes, T0, T) :- iterate(T0, T).
+continue(no, T, T).
+
+analyze(T) :-
+	entry_pattern(CP),
+	iterate([e(CP, bottom)], T).
+
+main :- analyze(_).
+`

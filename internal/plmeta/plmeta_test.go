@@ -1,0 +1,216 @@
+package plmeta
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+func runner(t *testing.T, src string) *Runner {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := NewRunner(tab, prog)
+	if err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	return r
+}
+
+func TestReflectShape(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p(X, a) :- q(X), X = 1.\nq(_).\nmain :- p(_, _).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := Reflect(tab, prog)
+	for _, want := range []string{
+		"obj_pred(p, 2,",
+		"obj_pred(q, 1,",
+		"obj_pred(main, 0,",
+		"cl(p('$v'(1), a), [q('$v'(1)), '$v'(1) = 1])",
+		"entry_pattern(main).",
+	} {
+		if !strings.Contains(facts, want) {
+			t.Errorf("reflection missing %q in:\n%s", want, facts)
+		}
+	}
+}
+
+func TestAnalyzeSimpleModes(t *testing.T) {
+	r := runner(t, `
+main :- p(1, X), use(X).
+p(A, A).
+use(_).
+`)
+	tbl, steps, _, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("no machine steps counted")
+	}
+	entries := r.TableEntries(tbl)
+	joined := strings.Join(entries, "\n")
+	// p called with (g, v) must succeed with both ground.
+	if !strings.Contains(joined, "p(g, v) -> p(g, g)") {
+		t.Fatalf("mode analysis table:\n%s", joined)
+	}
+	if !strings.Contains(joined, "main -> main") {
+		t.Fatalf("main should succeed:\n%s", joined)
+	}
+}
+
+func TestAnalyzeArithmetic(t *testing.T) {
+	r := runner(t, `
+main :- d(1, X), out(X).
+d(A, B) :- B is A + 1.
+out(_).
+`)
+	tbl, _, _, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.TableEntries(tbl), "\n")
+	if !strings.Contains(joined, "d(g, v) -> d(g, g)") {
+		t.Fatalf("is/2 should ground its result:\n%s", joined)
+	}
+}
+
+func TestAnalyzeRecursion(t *testing.T) {
+	r := runner(t, `
+main :- app([1, 2], [3], X), out(X).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+out(_).
+`)
+	tbl, _, _, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.TableEntries(tbl), "\n")
+	if !strings.Contains(joined, "app(g, g, v) -> app(g, g, g)") {
+		t.Fatalf("append modes:\n%s", joined)
+	}
+}
+
+func TestAnalyzeFailure(t *testing.T) {
+	r := runner(t, `
+main :- p(_).
+p(X) :- q(X).
+q(_) :- fail.
+`)
+	tbl, _, _, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.TableEntries(tbl), "\n")
+	if !strings.Contains(joined, "-> bottom") {
+		t.Fatalf("failing predicates should stay bottom:\n%s", joined)
+	}
+}
+
+// TestAnalyzeAllBenchmarks: the Prolog-hosted analyzer reaches a
+// fixpoint on every Table 1 benchmark and sees main/0 succeed.
+func TestAnalyzeAllBenchmarks(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			r := runner(t, p.Source)
+			tbl, steps, dur, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries := r.TableEntries(tbl)
+			if len(entries) == 0 {
+				t.Fatal("empty extension table")
+			}
+			joined := strings.Join(entries, "\n")
+			if !strings.Contains(joined, "main -> main") {
+				t.Fatalf("main should succeed:\n%s", joined)
+			}
+			t.Logf("%s: %d entries, %d WAM steps, %v", p.Name, len(entries), steps, dur)
+		})
+	}
+}
+
+// TestPrologAnalyzerInternals unit-tests the analyzer's own Prolog
+// predicates by querying them directly on the WAM — the lattice, the
+// environment and the abstract builtins.
+func TestPrologAnalyzerInternals(t *testing.T) {
+	r := runner(t, "main.\n")
+	m := machine.New(r.Mod)
+	cases := map[string]string{
+		"lub(g, g, X)":                  "g",
+		"lub(g, nv, X)":                 "nv",
+		"lub(v, g, X)":                  "any",
+		"lub(any, g, X)":                "any",
+		"meet(g, any, X)":               "g",
+		"meet(v, any, X)":               "v",
+		"meet(nv, v, X)":                "nv",
+		"envget(3, [1-g, 3-nv], X)":     "nv",
+		"envget(9, [1-g], X)":           "u", // unseen: no information yet
+		"mode_of('$v'(9), [1-g], X)":    "v", // unseen reads as free in bodies
+		"hmeet(u, any, X)":              "any",
+		"hmeet(v, any, X)":              "v",
+		"mode_of('$v'(2), [2-g], X)":    "g",
+		"mode_of(f(1, a), [], X)":       "g",
+		"mode_of(f('$v'(1)), [1-v], X)": "nv",
+		"mode_of(g('$v'(1)), [1-g], X)": "g",
+		"lub_pat(bottom, p(g), X)":      "p(g)",
+		"lub_pat(p(g, v), p(nv, g), X)": "p(nv, any)",
+	}
+	for goal, want := range cases {
+		sol, err := m.Solve(goal)
+		if err != nil {
+			t.Fatalf("%s: %v", goal, err)
+		}
+		if !sol.OK {
+			t.Errorf("%s failed", goal)
+			continue
+		}
+		got, err := sol.Binding("X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := r.Tab.Write(got); s != want {
+			t.Errorf("%s = %s, want %s", goal, s, want)
+		}
+	}
+}
+
+// TestPrologAnalyzerTableOps exercises the threaded extension table.
+func TestPrologAnalyzerTableOps(t *testing.T) {
+	r := runner(t, "main.\n")
+	m := machine.New(r.Mod)
+	sol, err := m.Solve("tupdate(p(g), p(g), [e(q(v), bottom), e(p(g), bottom)], T, no, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.OK {
+		t.Fatal("tupdate failed")
+	}
+	tbl, _ := sol.Binding("T")
+	ch, _ := sol.Binding("C")
+	if got := r.Tab.Write(tbl); got != "[e(q(v), bottom), e(p(g), p(g))]" {
+		t.Fatalf("table = %s", got)
+	}
+	if r.Tab.Write(ch) != "yes" {
+		t.Fatal("update should report a change")
+	}
+	// Updating with the same value reports no change.
+	sol2, err := m.Solve("tupdate(p(g), p(g), [e(p(g), p(g))], _, no, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sol2.Binding("C"); r.Tab.Write(got) != "no" {
+		t.Fatal("idempotent update should not report a change")
+	}
+}

@@ -1,0 +1,143 @@
+package plmeta
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"awam/internal/compiler"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Reflect renders a parsed program as object-level facts for the
+// Prolog-hosted analyzer: one obj_pred(Name, Arity, [cl(Head, Body),
+// ...]) fact per predicate, with clause variables reified as '$v'(N)
+// terms, plus the entry_pattern fact for main/0.
+func Reflect(tab *term.Tab, prog *term.Program) string {
+	var b strings.Builder
+	for _, fn := range prog.Order {
+		fmt.Fprintf(&b, "obj_pred(%s, %d, [", quoteAtom(tab, fn.Name), fn.Arity)
+		for i, cl := range prog.ClausesOf(fn) {
+			if i > 0 {
+				b.WriteString(",\n    ")
+			}
+			b.WriteString(reflectClause(tab, cl))
+		}
+		b.WriteString("]).\n")
+	}
+	b.WriteString("entry_pattern(main).\n")
+	return b.String()
+}
+
+// reflectClause renders cl(Head, [Goal, ...]) with reified variables.
+func reflectClause(tab *term.Tab, cl term.Clause) string {
+	nums := make(map[*term.VarRef]int)
+	head := reify(tab, cl.Head, nums)
+	goals := make([]string, len(cl.Body))
+	for i, g := range cl.Body {
+		goals[i] = reify(tab, g, nums)
+	}
+	return fmt.Sprintf("cl(%s, [%s])", head, strings.Join(goals, ", "))
+}
+
+// reify writes tm with each variable replaced by '$v'(N).
+func reify(tab *term.Tab, tm *term.Term, nums map[*term.VarRef]int) string {
+	sub := substituteVars(tab, tm, nums)
+	return tab.Write(sub)
+}
+
+func substituteVars(tab *term.Tab, tm *term.Term, nums map[*term.VarRef]int) *term.Term {
+	switch tm.Kind {
+	case term.KVar:
+		n, ok := nums[tm.Ref]
+		if !ok {
+			n = len(nums) + 1
+			nums[tm.Ref] = n
+		}
+		return term.MkStruct(tab.Func("$v", 1), term.MkInt(int64(n)))
+	case term.KStruct:
+		args := make([]*term.Term, len(tm.Args))
+		for i, a := range tm.Args {
+			args[i] = substituteVars(tab, a, nums)
+		}
+		return term.MkStruct(tm.Fn, args...)
+	default:
+		return tm
+	}
+}
+
+func quoteAtom(tab *term.Tab, a term.Atom) string {
+	return tab.Write(term.MkAtom(a))
+}
+
+// Runner is a prepared Prolog-hosted analysis: the analyzer source plus
+// the reflected object program, compiled once for the WAM, with the
+// query predicate pre-linked so repeated runs measure only analysis.
+type Runner struct {
+	Tab *term.Tab
+	Mod *wam.Module
+	// Source is the combined Prolog text (diagnostics).
+	Source  string
+	queryFn term.Functor
+}
+
+// NewRunner reflects prog and compiles the combined analyzer program.
+// Note the object program is re-rendered through its own atom table —
+// the analyzer's machine is independent of the caller's pipeline.
+func NewRunner(tab *term.Tab, prog *term.Program) (*Runner, error) {
+	src := AnalyzerSource + "\n" + Reflect(tab, prog)
+	atab := term.NewTab()
+	aprog, err := parser.ParseProgram(atab, src)
+	if err != nil {
+		return nil, fmt.Errorf("plmeta: analyzer source: %w", err)
+	}
+	mod, err := compiler.Compile(atab, aprog)
+	if err != nil {
+		return nil, fmt.Errorf("plmeta: analyzer compile: %w", err)
+	}
+	goals, err := parser.ParseGoal(atab, "analyze(T)")
+	if err != nil {
+		return nil, err
+	}
+	fn, _, err := compiler.AddQuery(mod, goals)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Tab: atab, Mod: mod, Source: src, queryFn: fn}, nil
+}
+
+// Run executes one full analysis on the WAM and returns the final
+// extension table as a term, the machine steps spent, and the wall time.
+func (r *Runner) Run() (*term.Term, int64, time.Duration, error) {
+	m := machine.New(r.Mod) // fresh machine per run (fresh heap)
+	tblAddr := m.Heap().PushVar()
+	start := time.Now()
+	ok, err := m.CallAddrs(r.queryFn, []int{tblAddr})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, m.Steps, elapsed, err
+	}
+	if !ok {
+		return nil, m.Steps, elapsed, fmt.Errorf("plmeta: analysis failed")
+	}
+	tbl := m.Heap().ReadTerm(r.Tab, tblAddr, make(map[int]*term.Term))
+	return tbl, m.Steps, elapsed, nil
+}
+
+// TableEntries decodes the e(Pattern, Success) list into display
+// strings.
+func (r *Runner) TableEntries(tbl *term.Term) []string {
+	var out []string
+	for r.Tab.IsCons(tbl) {
+		e := tbl.Args[0]
+		if e.Kind == term.KStruct && len(e.Args) == 2 {
+			out = append(out, fmt.Sprintf("%s -> %s",
+				r.Tab.Write(e.Args[0]), r.Tab.Write(e.Args[1])))
+		}
+		tbl = tbl.Args[1]
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package refint
+
+import (
+	"fmt"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// builtin executes an inline builtin over tree terms, mirroring the
+// machine's semantics exactly (the differential tests depend on it).
+func (in *Interp) builtin(id wam.BuiltinID, g *term.Term) (bool, error) {
+	arg := func(i int) *term.Term { return g.Args[i] }
+	switch id {
+	case wam.BITrue, wam.BIWrite, wam.BINl, wam.BIHalt:
+		return true, nil
+	case wam.BIFail:
+		return false, nil
+	case wam.BIIs:
+		v, err := in.eval(arg(1))
+		if err != nil {
+			return false, err
+		}
+		return in.unify(arg(0), term.MkInt(v)), nil
+	case wam.BILt, wam.BILe, wam.BIGt, wam.BIGe, wam.BIArithEq, wam.BIArithNe:
+		l, err := in.eval(arg(0))
+		if err != nil {
+			return false, err
+		}
+		r, err := in.eval(arg(1))
+		if err != nil {
+			return false, err
+		}
+		switch id {
+		case wam.BILt:
+			return l < r, nil
+		case wam.BILe:
+			return l <= r, nil
+		case wam.BIGt:
+			return l > r, nil
+		case wam.BIGe:
+			return l >= r, nil
+		case wam.BIArithEq:
+			return l == r, nil
+		default:
+			return l != r, nil
+		}
+	case wam.BIUnify:
+		return in.unify(arg(0), arg(1)), nil
+	case wam.BINotUnify:
+		m := in.mark()
+		ok := in.unify(arg(0), arg(1))
+		in.undo(m)
+		return !ok, nil
+	case wam.BIEq:
+		return in.structEqual(arg(0), arg(1)), nil
+	case wam.BINotEq:
+		return !in.structEqual(arg(0), arg(1)), nil
+	case wam.BIVar:
+		return in.deref(arg(0)).Kind == term.KVar, nil
+	case wam.BINonvar:
+		return in.deref(arg(0)).Kind != term.KVar, nil
+	case wam.BIAtom:
+		return in.deref(arg(0)).Kind == term.KAtom, nil
+	case wam.BIInteger:
+		return in.deref(arg(0)).Kind == term.KInt, nil
+	case wam.BIAtomic:
+		k := in.deref(arg(0)).Kind
+		return k == term.KAtom || k == term.KInt, nil
+	case wam.BIFunctor:
+		return in.biFunctor(g)
+	case wam.BIArg:
+		return in.biArg(g)
+	case wam.BICompare:
+		var rel string
+		switch o := in.termCompare(arg(1), arg(2)); {
+		case o < 0:
+			rel = "<"
+		case o > 0:
+			rel = ">"
+		default:
+			rel = "="
+		}
+		return in.unify(arg(0), term.MkAtom(in.tab.Intern(rel))), nil
+	case wam.BITermLt:
+		return in.termCompare(arg(0), arg(1)) < 0, nil
+	case wam.BITermLe:
+		return in.termCompare(arg(0), arg(1)) <= 0, nil
+	case wam.BITermGt:
+		return in.termCompare(arg(0), arg(1)) > 0, nil
+	case wam.BITermGe:
+		return in.termCompare(arg(0), arg(1)) >= 0, nil
+	case wam.BILength:
+		return in.biLength(g)
+	default:
+		return false, fmt.Errorf("refint: builtin %s not implemented", wam.BuiltinName(id))
+	}
+}
+
+// termCompare mirrors the machine's standard order of terms. Variables
+// order by creation sequence (the machine uses heap addresses, which
+// follow the same order).
+func (in *Interp) termCompare(a, b *term.Term) int {
+	a, b = in.deref(a), in.deref(b)
+	ra, rb := refOrderRank(a), refOrderRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch a.Kind {
+	case term.KVar:
+		return in.cellOf(a.Ref).serial - in.cellOf(b.Ref).serial
+	case term.KInt:
+		switch {
+		case a.Int < b.Int:
+			return -1
+		case a.Int > b.Int:
+			return 1
+		}
+		return 0
+	case term.KAtom:
+		if in.tab.Name(a.Fn.Name) < in.tab.Name(b.Fn.Name) {
+			return -1
+		}
+		if in.tab.Name(a.Fn.Name) > in.tab.Name(b.Fn.Name) {
+			return 1
+		}
+		return 0
+	default:
+		if a.Fn.Arity != b.Fn.Arity {
+			return a.Fn.Arity - b.Fn.Arity
+		}
+		na, nb := in.tab.Name(a.Fn.Name), in.tab.Name(b.Fn.Name)
+		if na != nb {
+			if na < nb {
+				return -1
+			}
+			return 1
+		}
+		for i := range a.Args {
+			if c := in.termCompare(a.Args[i], b.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+func refOrderRank(t *term.Term) int {
+	switch t.Kind {
+	case term.KVar:
+		return 0
+	case term.KInt:
+		return 1
+	case term.KAtom:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// biLength mirrors the machine's length/2.
+func (in *Interp) biLength(g *term.Term) (bool, error) {
+	t := in.deref(g.Args[0])
+	n := 0
+	for in.tab.IsCons(t) {
+		n++
+		t = in.deref(t.Args[1])
+	}
+	switch {
+	case in.tab.IsNil(t):
+		return in.unify(g.Args[1], term.MkInt(int64(n))), nil
+	case t.Kind == term.KVar:
+		lt := in.deref(g.Args[1])
+		if lt.Kind != term.KInt {
+			return false, fmt.Errorf("refint: length/2 with partial list needs a bound length")
+		}
+		want := int(lt.Int)
+		if want < n {
+			return false, nil
+		}
+		elems := make([]*term.Term, want-n)
+		for i := range elems {
+			elems[i] = term.NewVar("_")
+		}
+		return in.unify(t, term.MkList(in.tab, elems, nil)), nil
+	default:
+		return false, nil
+	}
+}
+
+func (in *Interp) eval(t *term.Term) (int64, error) {
+	t = in.deref(t)
+	switch t.Kind {
+	case term.KInt:
+		return t.Int, nil
+	case term.KVar:
+		return 0, fmt.Errorf("refint: arithmetic on unbound variable")
+	case term.KAtom:
+		return 0, fmt.Errorf("refint: atom %s is not arithmetic", in.tab.Name(t.Fn.Name))
+	}
+	name := in.tab.Name(t.Fn.Name)
+	if t.Fn.Arity == 1 {
+		v, err := in.eval(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		switch name {
+		case "-":
+			return -v, nil
+		case "+":
+			return v, nil
+		case "abs":
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("refint: unknown arithmetic functor %s/1", name)
+	}
+	if t.Fn.Arity == 2 {
+		l, err := in.eval(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch name {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "//", "/":
+			if r == 0 {
+				return 0, fmt.Errorf("refint: division by zero")
+			}
+			return l / r, nil
+		case "mod":
+			if r == 0 {
+				return 0, fmt.Errorf("refint: mod by zero")
+			}
+			v := l % r
+			if (v < 0 && r > 0) || (v > 0 && r < 0) {
+				v += r
+			}
+			return v, nil
+		case "rem":
+			if r == 0 {
+				return 0, fmt.Errorf("refint: rem by zero")
+			}
+			return l % r, nil
+		case "min":
+			if l < r {
+				return l, nil
+			}
+			return r, nil
+		case "max":
+			if l > r {
+				return l, nil
+			}
+			return r, nil
+		case "<<":
+			return l << uint(r), nil
+		case ">>":
+			return l >> uint(r), nil
+		}
+		return 0, fmt.Errorf("refint: unknown arithmetic functor %s/2", name)
+	}
+	return 0, fmt.Errorf("refint: unevaluable term")
+}
+
+func (in *Interp) structEqual(a, b *term.Term) bool {
+	a, b = in.deref(a), in.deref(b)
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case term.KVar:
+		return a.Ref == b.Ref
+	case term.KAtom:
+		return a.Fn.Name == b.Fn.Name
+	case term.KInt:
+		return a.Int == b.Int
+	case term.KStruct:
+		if a.Fn != b.Fn {
+			return false
+		}
+		for i := range a.Args {
+			if !in.structEqual(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (in *Interp) biFunctor(g *term.Term) (bool, error) {
+	t := in.deref(g.Args[0])
+	switch t.Kind {
+	case term.KAtom:
+		return in.unify(g.Args[1], term.MkAtom(t.Fn.Name)) &&
+			in.unify(g.Args[2], term.MkInt(0)), nil
+	case term.KInt:
+		return in.unify(g.Args[1], term.MkInt(t.Int)) &&
+			in.unify(g.Args[2], term.MkInt(0)), nil
+	case term.KStruct:
+		return in.unify(g.Args[1], term.MkAtom(t.Fn.Name)) &&
+			in.unify(g.Args[2], term.MkInt(int64(t.Fn.Arity))), nil
+	case term.KVar:
+		name := in.deref(g.Args[1])
+		arity := in.deref(g.Args[2])
+		if arity.Kind != term.KInt {
+			return false, fmt.Errorf("refint: functor/3 arity not an integer")
+		}
+		n := int(arity.Int)
+		if n == 0 {
+			return in.unify(g.Args[0], name), nil
+		}
+		if name.Kind != term.KAtom {
+			return false, fmt.Errorf("refint: functor/3 name not an atom")
+		}
+		args := make([]*term.Term, n)
+		for i := range args {
+			args[i] = term.NewVar("_")
+		}
+		return in.unify(g.Args[0], term.MkStruct(term.Functor{Name: name.Fn.Name, Arity: n}, args...)), nil
+	}
+	return false, nil
+}
+
+func (in *Interp) biArg(g *term.Term) (bool, error) {
+	n := in.deref(g.Args[0])
+	t := in.deref(g.Args[1])
+	if n.Kind != term.KInt {
+		return false, fmt.Errorf("refint: arg/3 index not an integer")
+	}
+	if t.Kind != term.KStruct {
+		return false, nil
+	}
+	i := int(n.Int)
+	if i < 1 || i > t.Fn.Arity {
+		return false, nil
+	}
+	return in.unify(g.Args[2], t.Args[i-1]), nil
+}

@@ -1,0 +1,300 @@
+// Package refint is a reference Prolog interpreter: a direct recursive
+// SLD resolver over source clauses, with no compilation, no registers
+// and no clause indexing. It exists to differentially test the WAM
+// pipeline — for any goal, machine answers and refint answers must
+// agree — exactly as internal/baseline cross-validates the abstract
+// machine.
+//
+// Supported: the same builtin set as the machine (arithmetic,
+// comparison, type tests, unification, functor/arg), cut, and the
+// control constructs after compiler expansion (refint interprets the
+// expanded program, so ';'/'->'/'\+' are covered through their auxiliary
+// predicates).
+package refint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// ErrStepLimit reports exhausted execution budget.
+var ErrStepLimit = errors.New("refint: step limit exceeded")
+
+// binding cells: variables are bound by side effect and unwound via the
+// trail, like a textbook interpreter.
+type cell struct {
+	bound *term.Term
+	// serial is the creation sequence number, used by the standard order
+	// of terms (the machine orders variables by heap address, which
+	// follows the same sequence).
+	serial int
+}
+
+// Interp is a reference interpreter instance.
+type Interp struct {
+	tab      *term.Tab
+	prog     *term.Program
+	builtins map[term.Functor]wam.BuiltinID
+
+	cells map[*term.VarRef]*cell
+	trail []*cell
+
+	Steps    int64
+	MaxSteps int64
+	err      error
+}
+
+// New returns an interpreter for prog. The program should be the
+// control-expanded form (compiler.ExpandedProgram) when it uses
+// ';'/'->'/'\+'.
+func New(tab *term.Tab, prog *term.Program) *Interp {
+	return &Interp{
+		tab:      tab,
+		prog:     prog,
+		builtins: wam.Builtins(tab),
+		cells:    make(map[*term.VarRef]*cell),
+		MaxSteps: 50_000_000,
+	}
+}
+
+func (in *Interp) cellOf(v *term.VarRef) *cell {
+	c, ok := in.cells[v]
+	if !ok {
+		c = &cell{serial: len(in.cells)}
+		in.cells[v] = c
+	}
+	return c
+}
+
+// deref resolves variable bindings.
+func (in *Interp) deref(t *term.Term) *term.Term {
+	for t.Kind == term.KVar {
+		c := in.cellOf(t.Ref)
+		if c.bound == nil {
+			return t
+		}
+		t = c.bound
+	}
+	return t
+}
+
+func (in *Interp) bind(v *term.VarRef, t *term.Term) {
+	c := in.cellOf(v)
+	c.bound = t
+	in.trail = append(in.trail, c)
+}
+
+func (in *Interp) mark() int { return len(in.trail) }
+
+func (in *Interp) undo(m int) {
+	for i := len(in.trail) - 1; i >= m; i-- {
+		in.trail[i].bound = nil
+	}
+	in.trail = in.trail[:m]
+}
+
+// unify is the textbook algorithm (no occurs check, as in the machine).
+func (in *Interp) unify(a, b *term.Term) bool {
+	in.Steps++
+	a, b = in.deref(a), in.deref(b)
+	if a.Kind == term.KVar && b.Kind == term.KVar && a.Ref == b.Ref {
+		return true
+	}
+	if a.Kind == term.KVar {
+		in.bind(a.Ref, b)
+		return true
+	}
+	if b.Kind == term.KVar {
+		in.bind(b.Ref, a)
+		return true
+	}
+	switch {
+	case a.Kind == term.KAtom && b.Kind == term.KAtom:
+		return a.Fn.Name == b.Fn.Name
+	case a.Kind == term.KInt && b.Kind == term.KInt:
+		return a.Int == b.Int
+	case a.Kind == term.KStruct && b.Kind == term.KStruct:
+		if a.Fn != b.Fn {
+			return false
+		}
+		for i := range a.Args {
+			if !in.unify(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// cutSignal implements cut through panic/recover across the solver's
+// recursion, carrying the barrier depth of the clause body being cut.
+type cutSignal struct{ depth int }
+
+// Solve enumerates solutions of the goal list, calling yield with the
+// interpreter positioned at each solution (read bindings there). yield
+// returns false to stop the search. Solve reports whether the search was
+// stopped early.
+func (in *Interp) Solve(goals []*term.Term, yield func() bool) (bool, error) {
+	in.err = nil
+	stopped := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(cutSignal); ok {
+					return // cut at the query level: search over
+				}
+				panic(r)
+			}
+		}()
+		stopped = !in.solveSeq(goals, 0, func() bool { return yield() })
+	}()
+	return stopped, in.err
+}
+
+// tryResult is the outcome of attempting one clause.
+type tryResult int
+
+const (
+	tryContinue tryResult = iota // try the next clause
+	tryCut                       // a cut committed: skip remaining clauses
+	tryAbort                     // stop the whole search
+)
+
+// solveSeq proves the goal list left to right; cont is invoked at full
+// success; returning false from cont aborts the whole search. depth is
+// the current clause body's cut barrier.
+func (in *Interp) solveSeq(goals []*term.Term, depth int, cont func() bool) bool {
+	if in.err != nil {
+		return false
+	}
+	if len(goals) == 0 {
+		return cont()
+	}
+	in.Steps++
+	if in.Steps > in.MaxSteps {
+		in.err = ErrStepLimit
+		return false
+	}
+	g := in.deref(goals[0])
+	rest := goals[1:]
+	fn, ok := term.Indicator(g)
+	if !ok {
+		in.err = fmt.Errorf("refint: non-callable goal %s", in.tab.Write(g))
+		return false
+	}
+	switch {
+	case fn.Name == in.tab.Cut && fn.Arity == 0:
+		if !in.solveSeq(rest, depth, cont) {
+			return false
+		}
+		// Exhausted the continuation: prune this body's alternatives and
+		// the predicate's remaining clauses.
+		panic(cutSignal{depth: depth})
+	case fn.Name == in.tab.True && fn.Arity == 0:
+		return in.solveSeq(rest, depth, cont)
+	}
+	if id, isBI := in.builtins[fn]; isBI {
+		m := in.mark()
+		ok, err := in.builtin(id, g)
+		if err != nil {
+			in.err = err
+			return false
+		}
+		if ok {
+			if !in.solveSeq(rest, depth, cont) {
+				return false
+			}
+		}
+		in.undo(m)
+		return true
+	}
+	idxs, defined := in.prog.Preds[fn]
+	if !defined {
+		return true // undefined predicates fail
+	}
+	for _, ci := range idxs {
+		switch in.tryClause(g, ci, depth, rest, cont) {
+		case tryAbort:
+			return false
+		case tryCut:
+			return true
+		}
+		if in.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// tryClause attempts one clause of the called predicate: rename, unify
+// the head, run the body (with a fresh cut barrier), then the caller's
+// continuation. All bindings are unwound before returning — including
+// when a cut unwinds past intermediate frames, since the deferred undo
+// runs during panic recovery.
+func (in *Interp) tryClause(g *term.Term, ci, depth int, rest []*term.Term, cont func() bool) (res tryResult) {
+	m := in.mark()
+	defer in.undo(m)
+	bodyDepth := depth + 1
+	defer func() {
+		if r := recover(); r != nil {
+			if sig, ok := r.(cutSignal); ok && sig.depth == bodyDepth {
+				res = tryCut
+				return
+			}
+			panic(r)
+		}
+	}()
+	cl := term.RenameClause(in.prog.Clauses[ci])
+	if !in.unify(g, cl.Head) {
+		return tryContinue
+	}
+	proceed := func() bool { return in.solveSeq(rest, depth, cont) }
+	if !in.solveSeq(cl.Body, bodyDepth, proceed) {
+		return tryAbort
+	}
+	return tryContinue
+}
+
+// ReadBinding returns the current value of a variable.
+func (in *Interp) ReadBinding(v *term.Term) *term.Term {
+	return in.resolve(v, 0)
+}
+
+func (in *Interp) resolve(t *term.Term, depth int) *term.Term {
+	if depth > 10_000 {
+		return term.MkAtom(in.tab.Intern("<deep>"))
+	}
+	t = in.deref(t)
+	if t.Kind != term.KStruct {
+		return t
+	}
+	args := make([]*term.Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = in.resolve(a, depth+1)
+	}
+	return &term.Term{Kind: term.KStruct, Fn: t.Fn, Args: args}
+}
+
+// AllSolutions solves the goals and renders each solution's bindings of
+// the given variables canonically, sorted, up to max solutions.
+func (in *Interp) AllSolutions(goals []*term.Term, vars []*term.Term, max int) ([]string, error) {
+	var out []string
+	_, err := in.Solve(goals, func() bool {
+		parts := make([]string, len(vars))
+		for i, v := range vars {
+			parts[i] = in.tab.Write(in.ReadBinding(v))
+		}
+		out = append(out, fmt.Sprintf("%v", parts))
+		return len(out) < max
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

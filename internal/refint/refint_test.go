@@ -1,0 +1,292 @@
+package refint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+// machineSolutions enumerates up to max solutions of goalSrc on the WAM,
+// rendering bindings in variable-name order.
+func machineSolutions(t *testing.T, src, goalSrc string, max int) ([]string, error) {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(mod)
+	m.MaxSteps = 1_000_000
+	sol, err := m.Solve(goalSrc)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for sol.OK && len(out) < max {
+		bindings := sol.Bindings()
+		names := make([]string, 0, len(bindings))
+		for n := range bindings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = n + "=" + tab.Write(bindings[n])
+		}
+		out = append(out, strings.Join(parts, ","))
+		ok, err := sol.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return out, nil
+}
+
+// refintSolutions does the same on the reference interpreter.
+func refintSolutions(t *testing.T, src, goalSrc string, max int) ([]string, error) {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := compiler.ExpandedProgram(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals, err := parser.ParseGoal(tab, goalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	var vars []*term.Term
+	for _, g := range goals {
+		for _, v := range (&term.Clause{Head: term.MkAtom(tab.True), Body: []*term.Term{g}}).Vars() {
+			if !seen[v.Ref.Name] {
+				seen[v.Ref.Name] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Ref.Name < vars[j].Ref.Name })
+	in := New(tab, expanded)
+	in.MaxSteps = 1_000_000
+	var out []string
+	_, err = in.Solve(goals, func() bool {
+		parts := make([]string, len(vars))
+		for i, v := range vars {
+			parts[i] = v.Ref.Name + "=" + tab.Write(in.ReadBinding(v))
+		}
+		out = append(out, strings.Join(parts, ","))
+		return len(out) < max
+	})
+	return out, err
+}
+
+// diff compares the two engines on one (program, goal) pair; solutions
+// must agree in order and content (variables render up to renaming, so
+// only variable-free answers are compared strictly).
+func diff(t *testing.T, src, goal string, max int) {
+	t.Helper()
+	ms, errM := machineSolutions(t, src, goal, max)
+	rs, errR := refintSolutions(t, src, goal, max)
+	if (errM == nil) != (errR == nil) {
+		t.Fatalf("error disagreement on %q: machine=%v refint=%v", goal, errM, errR)
+	}
+	if errM != nil {
+		return
+	}
+	if len(ms) != len(rs) {
+		t.Fatalf("solution counts differ on %q: machine %d %v vs refint %d %v",
+			goal, len(ms), ms, len(rs), rs)
+	}
+	for i := range ms {
+		if normalizeVars(ms[i]) != normalizeVars(rs[i]) {
+			t.Fatalf("solution %d differs on %q:\n  machine: %s\n  refint:  %s",
+				i, goal, ms[i], rs[i])
+		}
+	}
+}
+
+// normalizeVars replaces engine-specific fresh-variable names (_123,
+// _G7) with a counter in order of appearance, making renderings
+// comparable across engines.
+func normalizeVars(s string) string {
+	var b strings.Builder
+	next := 0
+	names := make(map[string]int)
+	i := 0
+	for i < len(s) {
+		if s[i] == '_' {
+			j := i + 1
+			for j < len(s) && (s[j] == 'G' || (s[j] >= '0' && s[j] <= '9')) {
+				j++
+			}
+			name := s[i:j]
+			id, ok := names[name]
+			if !ok {
+				id = next
+				next++
+				names[name] = id
+			}
+			fmt.Fprintf(&b, "_v%d", id)
+			i = j
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func TestRefintBasics(t *testing.T) {
+	src := `
+		app([], L, L).
+		app([H|T], L, [H|R]) :- app(T, L, R).
+	`
+	diff(t, src, "app([1,2], [3], R)", 10)
+	diff(t, src, "app(A, B, [1,2,3])", 10)
+	diff(t, src, "app([1], [2], [3])", 10) // fails in both
+}
+
+func TestRefintCut(t *testing.T) {
+	src := `
+		max(X, Y, X) :- X >= Y, !.
+		max(_, Y, Y).
+		first(X, [X|_]) :- !.
+		first(X, [_|T]) :- first(X, T).
+		once_member(X, [X|_]) :- !.
+		once_member(X, [_|T]) :- once_member(X, T).
+	`
+	diff(t, src, "max(3, 2, M)", 10)
+	diff(t, src, "max(1, 2, M)", 10)
+	diff(t, src, "first(F, [a,b,c])", 10)
+	diff(t, src, "once_member(X, [p,q,r])", 10)
+}
+
+func TestRefintDeepCutAndArith(t *testing.T) {
+	src := `
+		classify(X, small) :- X < 10, !.
+		classify(X, big) :- X >= 10.
+		range(N, N, [N]) :- !.
+		range(M, N, [M|R]) :- M < N, M1 is M + 1, range(M1, N, R).
+	`
+	diff(t, src, "classify(5, C)", 10)
+	diff(t, src, "classify(50, C)", 10)
+	diff(t, src, "range(1, 5, L)", 10)
+}
+
+func TestRefintControlConstructs(t *testing.T) {
+	src := `
+		sign(X, neg) :- X < 0.
+		sign(X, S) :- \+ X < 0, (X =:= 0 -> S = zero ; S = pos).
+		pick(X) :- (X = a ; X = b).
+	`
+	diff(t, src, "sign(-3, S)", 10)
+	diff(t, src, "sign(0, S)", 10)
+	diff(t, src, "sign(9, S)", 10)
+	diff(t, src, "pick(P)", 10)
+}
+
+// TestRefintBenchmarkQueries: the WAM and the reference interpreter
+// agree on every benchmark query of both suites.
+func TestRefintBenchmarkQueries(t *testing.T) {
+	for _, p := range bench.AllPrograms() {
+		if p.Query == "" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			diff(t, p.Source, p.Query, 5)
+		})
+	}
+}
+
+// TestRefintDifferentialFuzz generates random logic programs (facts,
+// recursive rules, random cuts) and checks the two engines produce the
+// same solutions in the same order.
+func TestRefintDifferentialFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(314))
+	consts := []string{"a", "b", "c"}
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		var b strings.Builder
+		// Random edge facts.
+		for i := 0; i < 2+r.Intn(5); i++ {
+			fmt.Fprintf(&b, "e(%s, %s).\n", consts[r.Intn(3)], consts[r.Intn(3)])
+		}
+		// A unary classification with optional cut.
+		cut1 := ""
+		if r.Intn(2) == 0 {
+			cut1 = "!, "
+		}
+		fmt.Fprintf(&b, "n(%s) :- %strue.\nn(%s).\n", consts[r.Intn(3)], cut1, consts[r.Intn(3)])
+		// Bounded path search (depth counter keeps both engines finite).
+		b.WriteString("p(X, Y, 0) :- e(X, Y).\n")
+		b.WriteString("p(X, Z, s(D)) :- e(X, Y), p(Y, Z, D).\n")
+		// A rule mixing the pieces, sometimes with a cut.
+		cut2 := ""
+		if r.Intn(2) == 0 {
+			cut2 = "!, "
+		}
+		fmt.Fprintf(&b, "q(X, Z) :- e(X, Y), %sn(Y), e(Y, Z).\n", cut2)
+		src := b.String()
+		goals := []string{
+			"e(X, Y)",
+			"n(X)",
+			"p(a, X, s(s(0)))",
+			fmt.Sprintf("p(%s, %s, D)", consts[r.Intn(3)], consts[r.Intn(3)]),
+			"q(X, Z)",
+		}
+		goal := goals[r.Intn(len(goals))]
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("trial %d panicked on %q:\n%s\n%v", trial, goal, src, rec)
+				}
+			}()
+			diff(t, src, goal, 20)
+		}()
+	}
+}
+
+// TestRefintOrderBuiltins: standard order and length/2 agree between
+// the machine and the reference interpreter.
+func TestRefintOrderBuiltins(t *testing.T) {
+	src := `
+		msort([], []).
+		msort([X], [X]) :- !.
+		msort(L, S) :- split(L, A, B), msort(A, SA), msort(B, SB), merge(SA, SB, S).
+		split([], [], []).
+		split([X|R], [X|A], B) :- split(R, B, A).
+		merge([], L, L) :- !.
+		merge(L, [], L) :- !.
+		merge([X|Xs], [Y|Ys], [X|R]) :- X @=< Y, !, merge(Xs, [Y|Ys], R).
+		merge(Xs, [Y|Ys], [Y|R]) :- merge(Xs, Ys, R).
+	`
+	diff(t, src, "msort([banana, apple, cherry], S)", 5)
+	diff(t, src, "msort([f(2), f(1), a, 10, 2, g(x,y)], S)", 5)
+	diff(t, src, "compare(O, f(1), f(2))", 5)
+	diff(t, src, "compare(O, abc, abd)", 5)
+	diff(t, src, "compare(O, 3, 3)", 5)
+	diff(t, src, "a @< b, 1 @< a, 1 @< f(x), b @> a, c @>= c", 5)
+	diff(t, src, "length([a,b,c], N)", 5)
+	diff(t, src, "length(L, 3)", 5)
+	diff(t, src, "length([x|T], 4)", 5)
+	diff(t, src, "length([a|b], N)", 5) // improper list fails
+}

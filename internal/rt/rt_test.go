@@ -1,0 +1,235 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awam/internal/term"
+)
+
+func TestPushVarIsUnbound(t *testing.T) {
+	h := NewHeap()
+	a := h.PushVar()
+	c := h.At(a)
+	if c.Tag != Ref || c.A != a {
+		t.Fatalf("fresh var cell = %+v", c)
+	}
+	if h.Deref(a) != a {
+		t.Fatal("unbound var should deref to itself")
+	}
+}
+
+func TestDerefFollowsChains(t *testing.T) {
+	h := NewHeap()
+	a := h.PushVar()
+	b := h.PushVar()
+	c := h.Push(MkInt(7))
+	h.Bind(a, MkRef(b))
+	h.Bind(b, MkRef(c))
+	if got := h.Deref(a); got != c {
+		t.Fatalf("Deref = %d, want %d", got, c)
+	}
+	addr, cell := h.DerefCell(a)
+	if cell.Tag != Int || cell.I != 7 || addr != c {
+		t.Fatalf("DerefCell = %+v @%d", cell, addr)
+	}
+}
+
+func TestResolveCellOffHeapConstant(t *testing.T) {
+	h := NewHeap()
+	c, addr := h.ResolveCell(MkInt(3))
+	if c.Tag != Int || addr != -1 {
+		t.Fatalf("ResolveCell = %+v @%d", c, addr)
+	}
+}
+
+func TestUndoRestoresBindings(t *testing.T) {
+	h := NewHeap()
+	a := h.PushVar()
+	m := h.Mark()
+	b := h.PushVar()
+	h.Bind(a, MkRef(b))
+	h.Bind(b, MkInt(1))
+	h.Undo(m)
+	if h.Top() != m.HeapTop {
+		t.Fatalf("heap not truncated: %d vs %d", h.Top(), m.HeapTop)
+	}
+	if c := h.At(a); c.Tag != Ref || c.A != a {
+		t.Fatalf("binding not undone: %+v", c)
+	}
+}
+
+func TestUndoRestoresAbstractCells(t *testing.T) {
+	h := NewHeap()
+	g := h.PushOpen(AGround, 0)
+	m := h.Mark()
+	h.Bind(g, MkCon(5))
+	h.Undo(m)
+	if c := h.At(g); c.Tag != AGround {
+		t.Fatalf("abstract cell not restored: %+v", c)
+	}
+}
+
+func TestUndoTrailOnlyKeepsHeap(t *testing.T) {
+	h := NewHeap()
+	a := h.PushVar()
+	m := h.Mark()
+	h.Bind(a, MkInt(9))
+	b := h.PushVar()
+	h.UndoTrailOnly(m)
+	if c := h.At(a); c.Tag != Ref {
+		t.Fatal("binding should be undone")
+	}
+	if h.Top() != b+1 {
+		t.Fatal("heap should keep its top")
+	}
+}
+
+func TestLoadAndReadRoundTrip(t *testing.T) {
+	tab := term.NewTab()
+	h := NewHeap()
+	x := term.NewVar("X")
+	src := term.MkStruct(tab.Func("f", 3),
+		term.MkInt(1),
+		term.MkList(tab, []*term.Term{term.MkAtom(tab.Intern("a")), x}, nil),
+		x,
+	)
+	addr := h.LoadTerm(tab, src, make(map[*term.VarRef]int))
+	back := h.ReadTerm(tab, addr, make(map[int]*term.Term))
+	if back.Kind != term.KStruct || back.Fn != tab.Func("f", 3) {
+		t.Fatalf("round trip = %s", tab.Write(back))
+	}
+	if back.Args[0].Int != 1 {
+		t.Fatalf("first arg = %s", tab.Write(back.Args[0]))
+	}
+	// Sharing must survive: arg 2's last element and arg 3 are the same
+	// variable.
+	lastElem := back.Args[1].Args[1].Args[0]
+	if !term.SameVar(lastElem, back.Args[2]) {
+		t.Fatalf("sharing lost in round trip: %s", tab.Write(back))
+	}
+}
+
+func TestReadCellTermConstants(t *testing.T) {
+	tab := term.NewTab()
+	h := NewHeap()
+	if got := tab.Write(h.ReadCellTerm(tab, MkInt(42), map[int]*term.Term{})); got != "42" {
+		t.Fatalf("int = %s", got)
+	}
+	if got := tab.Write(h.ReadCellTerm(tab, MkCon(tab.Intern("a")), map[int]*term.Term{})); got != "a" {
+		t.Fatalf("atom = %s", got)
+	}
+}
+
+func TestCyclicReadTerminates(t *testing.T) {
+	tab := term.NewTab()
+	h := NewHeap()
+	// Build f(X) then bind X to the whole structure (a rational tree).
+	fnAddr := h.Push(Cell{Tag: Fun, F: tab.Func("f", 1)})
+	argAddr := h.PushVar()
+	strAddr := h.Push(Cell{Tag: Str, A: fnAddr})
+	h.Bind(argAddr, MkRef(strAddr))
+	out := h.ReadTerm(tab, strAddr, make(map[int]*term.Term))
+	if !contains(tab.Write(out), "<cycle>") {
+		t.Fatalf("cyclic term should cut off: %s", tab.Write(out))
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && (stringsIndex(s, sub) >= 0))
+}
+
+func stringsIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestLoadReadProperty: loading then reading any generated term gives a
+// structurally equal term (up to variable renaming).
+func TestLoadReadProperty(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		tm := genTerm(r, tab, 4)
+		h := NewHeap()
+		addr := h.LoadTerm(tab, tm, make(map[*term.VarRef]int))
+		back := h.ReadTerm(tab, addr, make(map[int]*term.Term))
+		return equalModVars(tm, back, map[*term.VarRef]*term.VarRef{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genTerm(r *rand.Rand, tab *term.Tab, depth int) *term.Term {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return term.MkInt(int64(r.Intn(100)))
+		case 1:
+			return term.MkAtom(tab.Intern("c"))
+		default:
+			return term.NewVar("V")
+		}
+	}
+	if r.Intn(2) == 0 {
+		return term.MkList(tab, []*term.Term{genTerm(r, tab, depth-1)}, genTerm(r, tab, depth-1))
+	}
+	n := r.Intn(3) + 1
+	args := make([]*term.Term, n)
+	for i := range args {
+		args[i] = genTerm(r, tab, depth-1)
+	}
+	return term.MkStruct(tab.Func("g", n), args...)
+}
+
+func equalModVars(a, b *term.Term, env map[*term.VarRef]*term.VarRef) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case term.KVar:
+		if prev, ok := env[a.Ref]; ok {
+			return prev == b.Ref
+		}
+		env[a.Ref] = b.Ref
+		return true
+	case term.KAtom:
+		return a.Fn.Name == b.Fn.Name
+	case term.KInt:
+		return a.Int == b.Int
+	default:
+		if a.Fn != b.Fn {
+			return false
+		}
+		for i := range a.Args {
+			if !equalModVars(a.Args[i], b.Args[i], env) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestTagProperties(t *testing.T) {
+	open := []Tag{Ref, AAny, ANV, AGround, AConst, AList, AVar}
+	for _, tag := range open {
+		if !tag.IsOpen() {
+			t.Errorf("%s should be open", tag)
+		}
+	}
+	closed := []Tag{Str, Fun, Lis, Con, Int, AAtom, AInt}
+	for _, tag := range closed {
+		if tag.IsOpen() {
+			t.Errorf("%s should not be open", tag)
+		}
+	}
+	if Ref.IsAbstract() || !AAny.IsAbstract() {
+		t.Error("IsAbstract misclassifies")
+	}
+}

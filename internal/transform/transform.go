@@ -1,0 +1,108 @@
+// Package transform renders the paper's Section 5 source-to-source
+// transformation: the program a "transforming approach" analyzer would
+// partially evaluate and then run. For every predicate p it produces
+//
+//	p'(X...) :- abstract(X..., Xa...),
+//	            ( explored(p(Xa...)) -> lookupET(p(Xa...))
+//	            ; assert(explored(p(Xa...))), p(Xa...) ).
+//
+//	p(X...) :- <body with q replaced by q'>, updateET(p(X...)), fail.
+//	...
+//	p(Lub...) :- lookupET(p(Lub...)).
+//
+// The output is explanatory (the abstract WAM performs this control
+// scheme directly in its reinterpreted call/proceed, so the transformed
+// program never needs to be executed here); it exists to document the
+// equivalence the paper draws between the two implementations and to
+// serve the transform subcommand and tests (experiment E7).
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Program renders the transformed source of an entire program.
+func Program(tab *term.Tab, prog *term.Program) string {
+	var b strings.Builder
+	builtins := wam.Builtins(tab)
+	for _, fn := range prog.Order {
+		b.WriteString(Predicate(tab, prog, fn, builtins))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Predicate renders the transformed clauses of one predicate.
+func Predicate(tab *term.Tab, prog *term.Program, fn term.Functor, builtins map[term.Functor]wam.BuiltinID) string {
+	var b strings.Builder
+	name := tab.Name(fn.Name)
+
+	// The wrapper predicate p'.
+	vars := fresh(fn.Arity, "X")
+	avars := fresh(fn.Arity, "Xa")
+	head := apply(name+"'", vars)
+	pat := apply(name, avars)
+	fmt.Fprintf(&b, "%s :-\n", head)
+	if fn.Arity > 0 {
+		fmt.Fprintf(&b, "\tabstract([%s], [%s]),\n", strings.Join(vars, ", "), strings.Join(avars, ", "))
+	}
+	fmt.Fprintf(&b, "\t( explored(%s) -> lookupET(%s)\n", pat, pat)
+	fmt.Fprintf(&b, "\t; assert(explored(%s)), %s\n\t).\n", pat, pat)
+
+	// The deterministic clauses: original bodies with calls redirected to
+	// wrappers, then updateET + artificial failure.
+	for _, cl := range prog.ClausesOf(fn) {
+		headTxt := tab.Write(cl.Head)
+		var goals []string
+		for _, g := range cl.Body {
+			goals = append(goals, renameGoal(tab, g, builtins))
+		}
+		goals = append(goals, fmt.Sprintf("updateET(%s)", headTxt), "fail")
+		fmt.Fprintf(&b, "%s :- %s.\n", headTxt, strings.Join(goals, ", "))
+	}
+
+	// The summarizing return clause.
+	lubs := fresh(fn.Arity, "Lub")
+	lubHead := apply(name, lubs)
+	fmt.Fprintf(&b, "%s :- lookupET(%s).\n", lubHead, lubHead)
+	return b.String()
+}
+
+// renameGoal redirects user-predicate calls to their primed wrappers;
+// builtins and control goals stay as they are.
+func renameGoal(tab *term.Tab, g *term.Term, builtins map[term.Functor]wam.BuiltinID) string {
+	fn, ok := term.Indicator(g)
+	if !ok {
+		return tab.Write(g)
+	}
+	if _, isBI := builtins[fn]; isBI || fn.Name == tab.Cut || fn.Name == tab.True {
+		return tab.Write(g)
+	}
+	if g.Kind == term.KAtom {
+		return tab.Name(fn.Name) + "'"
+	}
+	args := make([]string, len(g.Args))
+	for i, a := range g.Args {
+		args[i] = tab.Write(a)
+	}
+	return apply(tab.Name(fn.Name)+"'", args)
+}
+
+func fresh(n int, prefix string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i+1)
+	}
+	return out
+}
+
+func apply(name string, args []string) string {
+	if len(args) == 0 {
+		return name
+	}
+	return name + "(" + strings.Join(args, ", ") + ")"
+}

@@ -1,0 +1,81 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// TestSection5Example reproduces the paper's Section 5 transformation of
+//
+//	p(X) :- q, r(X).
+//	p(a).
+func TestSection5Example(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p(X) :- q, r(X).\np(a).\nq.\nr(_).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Predicate(tab, prog, tab.Func("p", 1), wam.Builtins(tab))
+	for _, want := range []string{
+		"p'(X1) :-",
+		"abstract([X1], [Xa1])",
+		"explored(p(Xa1)) -> lookupET(p(Xa1))",
+		"assert(explored(p(Xa1))), p(Xa1)",
+		"p(X) :- q', r'(X), updateET(p(X)), fail.",
+		"p(a) :- updateET(p(a)), fail.",
+		"p(Lub1) :- lookupET(p(Lub1)).",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuiltinsNotRedirected(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p(X, Y) :- Y is X + 1, q(Y).\nq(_).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Program(tab, prog)
+	if strings.Contains(out, "is'") {
+		t.Fatalf("builtin is/2 must not be primed:\n%s", out)
+	}
+	if !strings.Contains(out, "q'(Y)") {
+		t.Fatalf("user call q must be primed:\n%s", out)
+	}
+}
+
+func TestZeroArityPredicates(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "main :- go.\ngo.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Program(tab, prog)
+	if !strings.Contains(out, "main' :-") {
+		t.Fatalf("zero-arity wrapper missing:\n%s", out)
+	}
+	if strings.Contains(out, "abstract([]") {
+		t.Fatalf("zero-arity predicates need no abstraction:\n%s", out)
+	}
+	if !strings.Contains(out, "go', updateET(main), fail.") {
+		t.Fatalf("body call should be primed:\n%s", out)
+	}
+}
+
+func TestCutPreserved(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, "p(X) :- !, q(X).\np(_).\nq(_).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Program(tab, prog)
+	if !strings.Contains(out, ":- !, q'(X), updateET") {
+		t.Fatalf("cut should be kept in place:\n%s", out)
+	}
+}

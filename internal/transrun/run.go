@@ -1,0 +1,72 @@
+package transrun
+
+import (
+	"fmt"
+	"time"
+
+	"awam/internal/compiler"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Runner is a prepared transformed-program analysis.
+type Runner struct {
+	// Tab is the atom table of the transformed program's pipeline.
+	Tab *term.Tab
+	// Source is the generated Prolog text (diagnostics).
+	Source  string
+	mod     *wam.Module
+	queryFn term.Functor
+}
+
+// NewRunner transforms prog and compiles the result for the WAM.
+func NewRunner(tab *term.Tab, prog *term.Program) (*Runner, error) {
+	src, err := Transform(tab, prog)
+	if err != nil {
+		return nil, err
+	}
+	atab := term.NewTab()
+	aprog, err := parser.ParseProgram(atab, src)
+	if err != nil {
+		return nil, fmt.Errorf("transrun: generated source: %w", err)
+	}
+	mod, err := compiler.Compile(atab, aprog)
+	if err != nil {
+		return nil, fmt.Errorf("transrun: generated compile: %w", err)
+	}
+	goals, err := parser.ParseGoal(atab, "'$transrun'")
+	if err != nil {
+		return nil, err
+	}
+	fn, _, err := compiler.AddQuery(mod, goals)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Tab: atab, Source: src, mod: mod, queryFn: fn}, nil
+}
+
+// Run executes the transformed analysis once and returns the extension
+// table as "pattern -> success" strings, the WAM steps spent, and the
+// wall time.
+func (r *Runner) Run() ([]string, int64, time.Duration, error) {
+	m := machine.New(r.mod)
+	start := time.Now()
+	ok, err := m.CallAddrs(r.queryFn, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, m.Steps, elapsed, err
+	}
+	if !ok {
+		return nil, m.Steps, elapsed, fmt.Errorf("transrun: analysis failed")
+	}
+	var out []string
+	for _, f := range m.DynamicFacts(r.Tab.Func("$et", 2)) {
+		if f.Kind == term.KStruct && len(f.Args) == 2 {
+			out = append(out, fmt.Sprintf("%s -> %s",
+				r.Tab.Write(f.Args[0]), r.Tab.Write(f.Args[1])))
+		}
+	}
+	return out, m.Steps, elapsed, nil
+}

@@ -1,0 +1,441 @@
+// Package transrun implements the paper's *transforming approach* for
+// real: it partially evaluates the abstract interpretation with respect
+// to the source program, producing an ordinary Prolog program that
+// performs the dataflow analysis when executed — then runs that program
+// on the concrete WAM.
+//
+// This is the second of the three implementation strategies the paper
+// discusses (meta-interpretation, transformation, abstract WAM) and
+// completes the repository's set: internal/plmeta is the
+// meta-interpreting analyzer, internal/core the compiled abstract WAM,
+// and this package the transformed program. The abstract domain is the
+// same simple mode lattice as plmeta's (v / g / nv / any), so the two
+// baselines are comparable.
+//
+// For every predicate p/n the transformation emits (cf. the paper's
+// Section 5):
+//
+//	'p$w'(M1..Mn, S1..Sn) :-              % the wrapper p'
+//	    ( '$explored'(p(M1..Mn)) -> true
+//	    ; assert('$explored'(p(M1..Mn))), 'p$t'(M1..Mn) ),
+//	    '$et'(p(M1..Mn), p(S1..Sn)).      % lookupET
+//
+//	'p$t'(M1..Mn) :- <abstract clause 1>, '$update_et'(...), fail.
+//	...
+//	'p$t'(_..).                           % clauses exhausted
+//
+// where <abstract clause i> is the clause's head unification and body
+// partially evaluated over the mode domain: head matching compiles to
+// meet/hb goals over mode variables, builtins to their mode effects, and
+// user calls to wrapper calls followed by success-pattern application.
+// The extension table lives in the assert database ('$et'/2 facts), as
+// the paper says Prolog-hosted analyzers kept it.
+package transrun
+
+import (
+	"fmt"
+	"strings"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Transform renders the analyzed version of prog as Prolog source
+// (support library included). Running goal '$transrun' on it computes
+// the mode analysis of prog from main/0.
+func Transform(tab *term.Tab, prog *term.Program) (string, error) {
+	g := &gen{tab: tab, prog: prog, builtins: wam.Builtins(tab)}
+	var b strings.Builder
+	b.WriteString(supportLibrary)
+	b.WriteString("\n% ---- transformed program ----\n\n")
+	for _, fn := range prog.Order {
+		if err := g.predicate(&b, fn); err != nil {
+			return "", err
+		}
+	}
+	// The driver's entry pass.
+	if prog.Preds[tab.Func("main", 0)] == nil {
+		return "", fmt.Errorf("transrun: program has no main/0 entry point")
+	}
+	b.WriteString("'$pass' :- 'main$w'.\n'$pass'.\n")
+	return b.String(), nil
+}
+
+type gen struct {
+	tab      *term.Tab
+	prog     *term.Program
+	builtins map[term.Functor]wam.BuiltinID
+	fresh    int
+}
+
+// newVar returns a fresh generated variable name.
+func (g *gen) newVar() string {
+	g.fresh++
+	return fmt.Sprintf("V%d", g.fresh)
+}
+
+// env tracks the current mode expression of each clause variable
+// (SSA-style: a Prolog variable name or the constant "g").
+type env map[*term.VarRef]string
+
+// predicate emits the wrapper and the try clauses for one predicate.
+func (g *gen) predicate(b *strings.Builder, fn term.Functor) error {
+	w := mangle(g.tab, fn, "$w")
+	t := mangle(g.tab, fn, "$t")
+	n := fn.Arity
+
+	ms := seq("M", n)
+	ss := seq("S", n)
+	cp := apply(patName(g.tab, fn), ms)
+	sp := apply(patName(g.tab, fn), ss)
+	fmt.Fprintf(b, "%s :-\n", apply(w, append(append([]string{}, ms...), ss...)))
+	fmt.Fprintf(b, "\t( '$explored'(%s) -> true\n", cp)
+	fmt.Fprintf(b, "\t; assert('$explored'(%s)), %s\n\t),\n", cp, apply(t, ms))
+	fmt.Fprintf(b, "\t'$et'(%s, %s).\n", cp, sp)
+
+	for _, cl := range g.prog.ClausesOf(fn) {
+		if err := g.clause(b, fn, cl, t, ms); err != nil {
+			return err
+		}
+	}
+	// Exploration always completes.
+	anon := make([]string, n)
+	for i := range anon {
+		anon[i] = "_"
+	}
+	fmt.Fprintf(b, "%s.\n\n", apply(t, anon))
+	return nil
+}
+
+// clause emits one abstract clause of the try predicate.
+func (g *gen) clause(b *strings.Builder, fn term.Functor, cl term.Clause, t string, ms []string) error {
+	e := make(env)
+	var goals []string
+
+	// Head matching: propagate argument modes into clause variables.
+	if cl.Head.Kind == term.KStruct {
+		for i, arg := range cl.Head.Args {
+			g.bindHead(&goals, e, arg, ms[i])
+		}
+	}
+
+	// Body.
+	for _, goal := range cl.Body {
+		if err := g.goal(&goals, e, goal); err != nil {
+			return fmt.Errorf("%s: %w", g.tab.FuncString(fn), err)
+		}
+	}
+
+	// Success pattern and table update.
+	sms := make([]string, fn.Arity)
+	if cl.Head.Kind == term.KStruct {
+		for i, arg := range cl.Head.Args {
+			sms[i] = g.modeExpr(&goals, e, arg)
+		}
+	}
+	cp := apply(patName(g.tab, fn), ms)
+	sp := apply(patName(g.tab, fn), sms)
+	goals = append(goals, fmt.Sprintf("'$update_et'(%s, %s)", cp, sp), "fail")
+
+	fmt.Fprintf(b, "%s :- %s.\n", apply(t, ms), strings.Join(goals, ", "))
+	return nil
+}
+
+// bindHead emits the abstract head unification of one argument.
+func (g *gen) bindHead(goals *[]string, e env, arg *term.Term, m string) {
+	switch arg.Kind {
+	case term.KVar:
+		if cur, seen := e[arg.Ref]; seen {
+			nv := g.newVar()
+			*goals = append(*goals, fmt.Sprintf("meet(%s, %s, %s)", cur, m, nv))
+			e[arg.Ref] = nv
+		} else {
+			e[arg.Ref] = m
+		}
+	case term.KAtom, term.KInt:
+		// Constants match any incoming mode abstractly.
+	case term.KStruct:
+		forEachVar(arg, func(v *term.VarRef) {
+			cur, seen := e[v]
+			if !seen {
+				cur = "v"
+			}
+			nv := g.newVar()
+			*goals = append(*goals, fmt.Sprintf("hb(%s, %s, %s)", m, cur, nv))
+			e[v] = nv
+		})
+	}
+}
+
+// modeExpr returns the mode of a term under the current environment,
+// emitting an sm/2 goal for compounds with variables.
+func (g *gen) modeExpr(goals *[]string, e env, tm *term.Term) string {
+	switch tm.Kind {
+	case term.KVar:
+		if cur, ok := e[tm.Ref]; ok {
+			return cur
+		}
+		e[tm.Ref] = "v"
+		return "v"
+	case term.KAtom, term.KInt:
+		return "g"
+	default:
+		var vars []string
+		forEachVar(tm, func(v *term.VarRef) {
+			if cur, ok := e[v]; ok {
+				vars = append(vars, cur)
+			} else {
+				e[v] = "v"
+				vars = append(vars, "v")
+			}
+		})
+		if len(vars) == 0 {
+			return "g"
+		}
+		nv := g.newVar()
+		*goals = append(*goals, fmt.Sprintf("sm([%s], %s)", strings.Join(vars, ", "), nv))
+		return nv
+	}
+}
+
+// groundVars sets every variable of tm to mode g (a pure renaming, no
+// goal needed).
+func (g *gen) groundVars(e env, tm *term.Term) {
+	forEachVar(tm, func(v *term.VarRef) { e[v] = "g" })
+}
+
+// weakenVars applies u1 (ground-if-other-side-ground, else wk) to every
+// variable of tm under the driving mode expression m.
+func (g *gen) weakenVars(goals *[]string, e env, tm *term.Term, m string) {
+	forEachVar(tm, func(v *term.VarRef) {
+		cur, seen := e[v]
+		if !seen {
+			cur = "v"
+		}
+		nv := g.newVar()
+		*goals = append(*goals, fmt.Sprintf("u1(%s, %s, %s)", m, cur, nv))
+		e[v] = nv
+	})
+}
+
+// goal emits the abstract translation of one body goal.
+func (g *gen) goal(goals *[]string, e env, goal *term.Term) error {
+	fn, ok := term.Indicator(goal)
+	if !ok {
+		return fmt.Errorf("transrun: non-callable goal")
+	}
+	switch {
+	case fn.Name == g.tab.Cut && fn.Arity == 0:
+		return nil // the abstract scheme explores all clauses
+	case fn.Name == g.tab.True && fn.Arity == 0:
+		return nil
+	}
+	if id, isBI := g.builtins[fn]; isBI {
+		return g.builtinGoal(goals, e, goal, id)
+	}
+	// User call: wrapper with call modes in, success modes out.
+	n := fn.Arity
+	ins := make([]string, n)
+	for i := 0; i < n; i++ {
+		ins[i] = g.modeExpr(goals, e, goal.Args[i])
+	}
+	outs := make([]string, n)
+	for i := range outs {
+		outs[i] = g.newVar()
+	}
+	*goals = append(*goals, apply(mangle(g.tab, fn, "$w"), append(append([]string{}, ins...), outs...)))
+	// Apply the success modes back to the arguments.
+	for i := 0; i < n; i++ {
+		arg := goal.Args[i]
+		switch arg.Kind {
+		case term.KVar:
+			nv := g.newVar()
+			*goals = append(*goals, fmt.Sprintf("meet(%s, %s, %s)", e[arg.Ref], outs[i], nv))
+			e[arg.Ref] = nv
+		case term.KStruct:
+			g.weakenVars(goals, e, arg, outs[i])
+		}
+	}
+	return nil
+}
+
+// builtinGoal emits the mode effect of an inline builtin.
+func (g *gen) builtinGoal(goals *[]string, e env, goal *term.Term, id wam.BuiltinID) error {
+	switch id {
+	case wam.BITrue, wam.BIWrite, wam.BINl, wam.BIHalt,
+		wam.BINotUnify, wam.BINotEq, wam.BIVar,
+		wam.BITermLt, wam.BITermLe, wam.BITermGt, wam.BITermGe:
+		return nil
+	case wam.BIFail:
+		*goals = append(*goals, "fail")
+		return nil
+	case wam.BIIs, wam.BILt, wam.BILe, wam.BIGt, wam.BIGe, wam.BIArithEq, wam.BIArithNe:
+		// Arithmetic success grounds both sides.
+		g.groundVars(e, goal.Args[0])
+		g.groundVars(e, goal.Args[1])
+		return nil
+	case wam.BIAtom, wam.BIInteger, wam.BIAtomic:
+		g.groundVars(e, goal.Args[0])
+		return nil
+	case wam.BINonvar:
+		if goal.Args[0].Kind == term.KVar {
+			v := goal.Args[0].Ref
+			cur, seen := e[v]
+			if !seen {
+				cur = "v"
+			}
+			nv := g.newVar()
+			*goals = append(*goals, fmt.Sprintf("meet(%s, nv, %s)", cur, nv))
+			e[v] = nv
+		}
+		return nil
+	case wam.BIUnify, wam.BIEq:
+		m1 := g.modeExpr(goals, e, goal.Args[0])
+		m2 := g.modeExpr(goals, e, goal.Args[1])
+		g.weakenVars(goals, e, goal.Args[0], m2)
+		g.weakenVars(goals, e, goal.Args[1], m1)
+		return nil
+	case wam.BICompare:
+		g.groundVars(e, goal.Args[0])
+		return nil
+	case wam.BIFunctor:
+		if goal.Args[0].Kind == term.KVar {
+			v := goal.Args[0].Ref
+			cur, seen := e[v]
+			if !seen {
+				cur = "v"
+			}
+			nv := g.newVar()
+			*goals = append(*goals, fmt.Sprintf("meet(%s, nv, %s)", cur, nv))
+			e[v] = nv
+		}
+		g.groundVars(e, goal.Args[1])
+		g.groundVars(e, goal.Args[2])
+		return nil
+	case wam.BIArg:
+		g.groundVars(e, goal.Args[0])
+		g.weakenVars(goals, e, goal.Args[2], "any")
+		return nil
+	case wam.BILength:
+		if goal.Args[0].Kind == term.KVar {
+			v := goal.Args[0].Ref
+			cur, seen := e[v]
+			if !seen {
+				cur = "v"
+			}
+			nv := g.newVar()
+			*goals = append(*goals, fmt.Sprintf("meet(%s, nv, %s)", cur, nv))
+			e[v] = nv
+		}
+		g.groundVars(e, goal.Args[1])
+		return nil
+	case wam.BIAssert, wam.BIRetract:
+		return nil // not modeled
+	default:
+		return fmt.Errorf("transrun: builtin %s not supported", wam.BuiltinName(id))
+	}
+}
+
+func forEachVar(tm *term.Term, f func(*term.VarRef)) {
+	switch tm.Kind {
+	case term.KVar:
+		f(tm.Ref)
+	case term.KStruct:
+		for _, a := range tm.Args {
+			forEachVar(a, f)
+		}
+	}
+}
+
+// mangle derives the wrapper/try predicate name for fn.
+func mangle(tab *term.Tab, fn term.Functor, suffix string) string {
+	return "'" + strings.ReplaceAll(tab.Name(fn.Name), "'", "\\'") + suffix + "'"
+}
+
+// patName is the pattern functor: the original predicate name.
+func patName(tab *term.Tab, fn term.Functor) string {
+	name := tab.Name(fn.Name)
+	return "'" + strings.ReplaceAll(name, "'", "\\'") + "'"
+}
+
+func apply(name string, args []string) string {
+	if len(args) == 0 {
+		return name
+	}
+	return name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func seq(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i+1)
+	}
+	return out
+}
+
+// supportLibrary is the runtime the transformed program links against:
+// the mode lattice, the assert-database extension table, and the
+// iterative driver — everything a Prolog-hosted transforming analyzer
+// needs, as the paper describes.
+const supportLibrary = `
+% ---- transrun support library (mode lattice + assert-database ET) ----
+
+lub(X, Y, X) :- X == Y, !.
+lub(g, nv, nv) :- !.
+lub(nv, g, nv) :- !.
+lub(_, _, any).
+
+meet(g, _, g) :- !.
+meet(_, g, g) :- !.
+meet(nv, _, nv) :- !.
+meet(_, nv, nv) :- !.
+meet(v, _, v) :- !.
+meet(_, v, v) :- !.
+meet(_, _, any).
+
+wk(g, g) :- !.
+wk(nv, nv) :- !.
+wk(_, any).
+
+% head binding of a variable inside a compound argument.
+hb(g, _, g) :- !.
+hb(v, C, C) :- !.
+hb(_, C, W) :- wk(C, W).
+
+% one-sided abstract unification effect.
+u1(g, _, g) :- !.
+u1(_, C, W) :- wk(C, W).
+
+% shape mode: a compound is ground iff all its variables are. Every
+% clause commits (the failure-driven clause loop must not re-enter
+% support predicates with weaker answers).
+sm([], g) :- !.
+sm([g|R], M) :- !, sm(R, M).
+sm(_, nv).
+
+lub_pat(P, Q, R) :-
+	functor(P, F, A), functor(R, F, A),
+	lub_args(A, P, Q, R).
+lub_args(0, _, _, _) :- !.
+lub_args(I, P, Q, R) :-
+	arg(I, P, X), arg(I, Q, Y), lub(X, Y, Z), arg(I, R, Z),
+	I1 is I - 1, lub_args(I1, P, Q, R).
+
+'$update_et'(CP, SP) :- '$et'(CP, S0), !, lub_pat(S0, SP, S1), '$replace_et'(CP, S0, S1).
+'$update_et'(CP, SP) :- assert('$et'(CP, SP)), assert('$changed'(t)).
+'$replace_et'(_, S, S) :- !.
+'$replace_et'(CP, _, S1) :- retract('$et'(CP, _)), assert('$et'(CP, S1)), assert('$changed'(t)).
+
+'$clear_changed' :- retract('$changed'(t)), !, '$clear_changed'.
+'$clear_changed'.
+'$clear_explored' :- retract('$explored'(_)), !, '$clear_explored'.
+'$clear_explored'.
+
+'$transrun' :- '$iterate'.
+'$iterate' :-
+	'$clear_changed', '$clear_explored',
+	'$pass',
+	'$decide'.
+'$decide' :- '$changed'(t), !, '$iterate'.
+'$decide'.
+`

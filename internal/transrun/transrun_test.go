@@ -1,0 +1,200 @@
+package transrun
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/parser"
+	"awam/internal/plmeta"
+	"awam/internal/term"
+)
+
+func runner(t *testing.T, src string) *Runner {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := NewRunner(tab, prog)
+	if err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	return r
+}
+
+func entries(t *testing.T, r *Runner) []string {
+	t.Helper()
+	out, steps, _, err := r.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n--- generated ---\n%s", err, r.Source)
+	}
+	if steps == 0 {
+		t.Fatal("no machine steps")
+	}
+	return out
+}
+
+func TestTransformedSimple(t *testing.T) {
+	r := runner(t, `
+main :- p(1, X), use(X).
+p(A, A).
+use(_).
+`)
+	joined := strings.Join(entries(t, r), "\n")
+	for _, want := range []string{
+		"main -> main",
+		"p(g, v) -> p(g, g)",
+		"use(g) -> use(g)",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %q in transformed analysis:\n%s\n--- generated ---\n%s",
+				want, joined, r.Source)
+		}
+	}
+}
+
+func TestTransformedRecursion(t *testing.T) {
+	r := runner(t, `
+main :- app([1,2], [3], X), use(X).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+use(_).
+`)
+	joined := strings.Join(entries(t, r), "\n")
+	if !strings.Contains(joined, "app(g, g, v) -> app(g, g, g)") {
+		t.Fatalf("append modes missing:\n%s", joined)
+	}
+}
+
+func TestTransformedArithmeticAndFailure(t *testing.T) {
+	r := runner(t, `
+main :- d(1, X), out(X), never(_).
+d(A, B) :- B is A + 1.
+out(_).
+never(X) :- X < 0, fail.
+`)
+	joined := strings.Join(entries(t, r), "\n")
+	if !strings.Contains(joined, "d(g, v) -> d(g, g)") {
+		t.Fatalf("is/2 grounding missing:\n%s", joined)
+	}
+	// never/1 fails: its entry stays absent or bottomless — main must
+	// still appear unexplored-failed... main calls never, which fails, so
+	// main itself records no success.
+	if strings.Contains(joined, "never(") {
+		t.Fatalf("failing predicate should have no success entry:\n%s", joined)
+	}
+}
+
+// TestTransformedMatchesHosted: the transforming approach and the
+// meta-interpreting approach implement the same mode analysis; on each
+// benchmark, every entry the transformed program derives must be below
+// or equal to the hosted analyzer's fixpoint for the same pattern
+// (the transformed scheme may retain entries for patterns the hosted
+// passes no longer reach, which stay below the fixpoint).
+func TestTransformedMatchesHosted(t *testing.T) {
+	order := map[string]int{"v": 0, "g": 1, "nv": 2, "any": 3, "u": 0}
+	leqMode := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		switch b {
+		case "any":
+			return true
+		case "nv":
+			return a == "g" || a == "nv"
+		}
+		return false
+	}
+	_ = order
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := NewRunner(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trEntries, _, _, err := tr.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosted, err := plmeta.NewRunner(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, _, _, err := hosted.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hostedMap := make(map[string]string)
+			for _, e := range hosted.TableEntries(tbl) {
+				parts := strings.SplitN(e, " -> ", 2)
+				hostedMap[parts[0]] = parts[1]
+			}
+			if len(trEntries) == 0 {
+				t.Fatal("transformed analysis produced no entries")
+			}
+			foundMain := false
+			for _, e := range trEntries {
+				parts := strings.SplitN(e, " -> ", 2)
+				if parts[0] == "main" {
+					foundMain = true
+				}
+				hostedSucc, ok := hostedMap[parts[0]]
+				if !ok {
+					continue // pattern only reached by the transformed run
+				}
+				if !succLeq(parts[1], hostedSucc, leqMode) {
+					t.Errorf("entry %s: transformed %s not below hosted %s",
+						parts[0], parts[1], hostedSucc)
+				}
+			}
+			if !foundMain {
+				t.Fatalf("main entry missing:\n%s", strings.Join(trEntries, "\n"))
+			}
+		})
+	}
+}
+
+// succLeq compares "p(m1, m2)" success patterns argument-wise.
+func succLeq(a, b string, leqMode func(x, y string) bool) bool {
+	if a == b {
+		return true
+	}
+	if b == "bottom" {
+		return a == "bottom"
+	}
+	if a == "bottom" {
+		return true
+	}
+	argsA := patArgs(a)
+	argsB := patArgs(b)
+	if len(argsA) != len(argsB) {
+		return false
+	}
+	for i := range argsA {
+		if !leqMode(argsA[i], argsB[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func patArgs(p string) []string {
+	i := strings.IndexByte(p, '(')
+	if i < 0 {
+		return nil
+	}
+	body := strings.TrimSuffix(p[i+1:], ")")
+	parts := strings.Split(body, ",")
+	for j := range parts {
+		parts[j] = strings.TrimSpace(parts[j])
+	}
+	return parts
+}

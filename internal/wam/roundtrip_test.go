@@ -1,0 +1,75 @@
+package wam_test
+
+import (
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/core"
+	"awam/internal/machine"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// TestDisasmAssembleRoundTrip compiles every benchmark, disassembles it,
+// reassembles the text, and checks the reassembled module behaves
+// identically: main/0 runs with the same step count and the analysis
+// produces the same extension table. This validates both the assembler
+// and that the textual WAM format carries the full program (the paper's
+// input format was textual WAM code from the PLM compiler).
+func TestDisasmAssembleRoundTrip(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab := term.NewTab()
+			prog, err := parser.ParseProgram(tab, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := compiler.Compile(tab, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := mod.Disasm()
+			mod2, err := wam.Assemble(tab, text)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if len(mod2.Code) != len(mod.Code) {
+				t.Fatalf("code size differs: %d vs %d", len(mod2.Code), len(mod.Code))
+			}
+			// Same concrete behavior, instruction for instruction.
+			m1 := machine.New(mod)
+			ok1, err1 := m1.RunMain()
+			m2 := machine.New(mod2)
+			ok2, err2 := m2.RunMain()
+			if ok1 != ok2 || (err1 == nil) != (err2 == nil) {
+				t.Fatalf("behavior differs: (%v,%v) vs (%v,%v)", ok1, err1, ok2, err2)
+			}
+			if m1.Steps != m2.Steps {
+				t.Fatalf("step counts differ: %d vs %d", m1.Steps, m2.Steps)
+			}
+			// Same analysis results.
+			r1, err := core.New(mod).AnalyzeMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := core.New(mod2).AnalyzeMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.TableSize != r2.TableSize || r1.Steps != r2.Steps {
+				t.Fatalf("analysis differs: table %d/%d steps %d/%d",
+					r1.TableSize, r2.TableSize, r1.Steps, r2.Steps)
+			}
+			for i, e1 := range r1.Entries {
+				e2 := r2.Entries[i]
+				if e1.Key != e2.Key || !e1.Succ.Equal(e2.Succ) {
+					t.Fatalf("entry %d differs: %s vs %s", i,
+						e1.CP.String(tab), e2.CP.String(tab))
+				}
+			}
+		})
+	}
+}
