@@ -22,6 +22,9 @@
 package awam
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"sort"
 	"time"
@@ -38,6 +41,28 @@ import (
 	"awam/internal/wam"
 )
 
+// Typed errors. Failures returned by Load, LoadFile, Analyze and
+// AnalyzeContext wrap one of these sentinels (and the underlying cause),
+// so callers can branch with errors.Is without string matching.
+var (
+	// ErrParse reports unreadable Prolog source or an unparsable entry
+	// calling pattern.
+	ErrParse = errors.New("awam: parse error")
+	// ErrCompile reports source that parsed but could not be compiled to
+	// WAM code.
+	ErrCompile = errors.New("awam: compile error")
+	// ErrAnalysisBudget reports an analysis stopped by its abstract step
+	// budget (WithMaxSteps).
+	ErrAnalysisBudget = errors.New("awam: analysis budget exhausted")
+	// ErrCanceled reports an analysis stopped by its context; the error
+	// also wraps the context's cause (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCanceled = errors.New("awam: analysis canceled")
+	// ErrBadOption reports an invalid analysis option value, such as a
+	// negative depth or worker count.
+	ErrBadOption = errors.New("awam: invalid analysis option")
+)
+
 // System is a loaded, compiled logic program.
 type System struct {
 	tab  *term.Tab
@@ -45,16 +70,18 @@ type System struct {
 	mod  *wam.Module
 }
 
-// Load parses and compiles Prolog source text.
+// Load parses and compiles Prolog source text. Unreadable source fails
+// with an error wrapping ErrParse; source that parses but cannot be
+// compiled fails with one wrapping ErrCompile.
 func Load(source string) (*System, error) {
 	tab := term.NewTab()
 	prog, err := parser.ParseProgram(tab, source)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	mod, err := compiler.Compile(tab, prog)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrCompile, err)
 	}
 	return &System{tab: tab, prog: prog, mod: mod}, nil
 }
@@ -144,12 +171,27 @@ type AnalyzeOption func(*analyzeCfg)
 type analyzeCfg struct {
 	cfg   core.Config
 	entry string
+	// err records the first invalid option; Analyze surfaces it instead
+	// of running with a silently clamped configuration.
+	err error
+}
+
+func (c *analyzeCfg) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
 }
 
 // WithDepth sets the term-depth restriction (default 4, as in the
-// paper).
+// paper). Negative depths are rejected by Analyze with ErrBadOption.
 func WithDepth(k int) AnalyzeOption {
-	return func(c *analyzeCfg) { c.cfg.Depth = k }
+	return func(c *analyzeCfg) {
+		if k < 0 {
+			c.fail(fmt.Errorf("%w: negative depth %d", ErrBadOption, k))
+			return
+		}
+		c.cfg.Depth = k
+	}
 }
 
 // WithHashTable replaces the paper's linear extension table by a hashed
@@ -165,10 +207,41 @@ func WithoutIndexing() AnalyzeOption {
 }
 
 // WithWorklist selects the dependency-tracking worklist fixpoint instead
-// of the paper's naive iteration. Results are identical; the worklist
-// executes fewer abstract instructions.
+// of the paper's naive iteration. Summaries are at least as precise and
+// the worklist executes fewer abstract instructions; its table keeps
+// only the calling patterns reachable at the fixpoint.
 func WithWorklist() AnalyzeOption {
 	return func(c *analyzeCfg) { c.cfg.Strategy = core.StrategyWorklist }
+}
+
+// WithParallelism selects the parallel fixpoint engine with n workers
+// over a sharded extension table. n = 0 sizes the pool to
+// runtime.GOMAXPROCS(0); negative n is rejected by Analyze with
+// ErrBadOption. The result is byte-identical to WithWorklist for every
+// worker count and schedule.
+func WithParallelism(n int) AnalyzeOption {
+	return func(c *analyzeCfg) {
+		if n < 0 {
+			c.fail(fmt.Errorf("%w: negative worker count %d", ErrBadOption, n))
+			return
+		}
+		c.cfg.Strategy = core.StrategyParallel
+		c.cfg.Parallelism = n
+	}
+}
+
+// WithMaxSteps bounds the number of abstract instructions the analysis
+// may execute; exceeding it fails with ErrAnalysisBudget. Nonpositive
+// budgets are rejected by Analyze with ErrBadOption. Under
+// WithParallelism the bound applies per worker.
+func WithMaxSteps(n int64) AnalyzeOption {
+	return func(c *analyzeCfg) {
+		if n <= 0 {
+			c.fail(fmt.Errorf("%w: nonpositive step budget %d", ErrBadOption, n))
+			return
+		}
+		c.cfg.MaxSteps = n
+	}
 }
 
 // WithEntry analyzes from an explicit calling pattern, e.g.
@@ -196,29 +269,58 @@ type AnalysisStats struct {
 }
 
 // Analyze runs the compiled dataflow analysis (the paper's abstract
-// WAM).
+// WAM). It is AnalyzeContext with a background context; see there for
+// the errors it returns.
 func (s *System) Analyze(opts ...AnalyzeOption) (*Analysis, error) {
+	return s.AnalyzeContext(context.Background(), opts...)
+}
+
+// AnalyzeContext runs the compiled dataflow analysis under a context:
+// cancellation or deadline expiry stops the fixpoint promptly — in every
+// strategy, including all workers of the parallel engine — and fails
+// with an error wrapping ErrCanceled and the context's cause.
+//
+// Other failures wrap ErrBadOption (an invalid option value, such as a
+// negative depth or worker count), ErrParse (an unparsable WithEntry
+// pattern) or ErrAnalysisBudget (the WithMaxSteps abstract-instruction
+// budget was exhausted).
+func (s *System) AnalyzeContext(ctx context.Context, opts ...AnalyzeOption) (*Analysis, error) {
 	c := analyzeCfg{cfg: core.DefaultConfig()}
 	for _, o := range opts {
 		o(&c)
+	}
+	if c.err != nil {
+		return nil, c.err
 	}
 	a := core.NewWith(s.mod, c.cfg)
 	var res *core.Result
 	var err error
 	if c.entry == "" {
-		res, err = a.AnalyzeAll()
+		res, err = a.AnalyzeAllContext(ctx)
 	} else {
 		var cp *domain.Pattern
 		cp, err = domain.ParseAbs(s.tab, c.entry)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: entry pattern: %w", ErrParse, err)
 		}
-		res, err = a.Analyze(cp)
+		res, err = a.AnalyzeContext(ctx, cp)
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapAnalysisErr(err)
 	}
 	return &Analysis{sys: s, res: res, an: a}, nil
+}
+
+// wrapAnalysisErr maps internal analysis failures onto the package's
+// typed errors, preserving the cause chain.
+func wrapAnalysisErr(err error) error {
+	switch {
+	case errors.Is(err, core.ErrStepLimit):
+		return fmt.Errorf("%w: %w", ErrAnalysisBudget, err)
+	case errors.Is(err, core.ErrCanceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
 }
 
 // Report renders the extension table with modes and aliasing.

@@ -1,6 +1,7 @@
 package awam
 
 import (
+	"fmt"
 	"testing"
 
 	"awam/internal/baseline"
@@ -262,6 +263,68 @@ func BenchmarkStrategy(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+			})
+		}
+	}
+}
+
+func buildProgram(b *testing.B, p bench.Program) built {
+	b.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built{tab: tab, prog: prog, mod: mod}
+}
+
+// BenchmarkAnalyzeParallel compares the sequential worklist with the
+// parallel engine (sharded extension table) across worker counts, on a
+// real multi-predicate benchmark (zebra) and on generated wide programs
+// whose extension tables hold thousands of calling patterns. The
+// worklist-hash row isolates the table-representation effect from the
+// engine effect: it runs the sequential worklist over the hashed table
+// ablation. The measured numbers are recorded in EXPERIMENTS.md.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	programs := []bench.Program{}
+	if p, ok := bench.ByName("zebra"); ok {
+		programs = append(programs, p)
+	}
+	programs = append(programs, bench.WideProgram(128), bench.WideProgram(256), bench.WideProgram(512))
+	runCfg := func(b *testing.B, env built, cfg core.Config) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewWith(env.mod, cfg).AnalyzeMain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, p := range programs {
+		p := p
+		env := buildProgram(b, p)
+		b.Run(p.Name+"/worklist", func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = core.StrategyWorklist
+			runCfg(b, env, cfg)
+		})
+		b.Run(p.Name+"/worklist-hash", func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = core.StrategyWorklist
+			cfg.Table = core.TableHash
+			runCfg(b, env, cfg)
+		})
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/parallel-%d", p.Name, workers), func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.Strategy = core.StrategyParallel
+				cfg.Parallelism = workers
+				runCfg(b, env, cfg)
 			})
 		}
 	}

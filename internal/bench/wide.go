@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WideProgram generates a synthetic benchmark with the given number of
+// independent predicate families, for scaling experiments on the
+// fixpoint engines (BenchmarkAnalyzeParallel). Each family combines a
+// renamed copy of the naive-reverse/length/check cluster — recursive
+// predicates whose analysis produces realistic list-typed calling
+// patterns — with a fan of calls to a family-local dispatch predicate,
+// one distinct functor per call. Atoms all abstract to the same `atom`
+// element and the depth-k restriction caps list-shape diversity, but
+// distinct functors stay distinct under abstraction, so the fan gives
+// the table one calling pattern per functor: the extension table grows
+// linearly with the family count while each entry's clause work stays
+// constant. That is the regime where the table representation (linear
+// scan, hash, sharded hash) dominates the analysis cost. Wide programs
+// are deliberately not part of Programs or Extended: they measure
+// engine scaling, not the paper's Table 1.
+func WideProgram(families int) Program {
+	const fan = 24
+	var b strings.Builder
+	mains := make([]string, families)
+	for i := 0; i < families; i++ {
+		goals := []string{
+			fmt.Sprintf("p%[1]d_rev([a,b,c,d,e,f], R), p%[1]d_len(R, N), p%[1]d_check(N, R)", i),
+		}
+		for f := 0; f < fan; f++ {
+			goals = append(goals, fmt.Sprintf("p%d_q(k%d(a, [b]))", i, f))
+		}
+		fmt.Fprintf(&b, `
+p%[1]d_main :- %[2]s.
+p%[1]d_rev([], []).
+p%[1]d_rev([X|T], R) :- p%[1]d_rev(T, RT), p%[1]d_app(RT, [X], R).
+p%[1]d_app([], L, L).
+p%[1]d_app([X|L1], L2, [X|L3]) :- p%[1]d_app(L1, L2, L3).
+p%[1]d_len([], 0).
+p%[1]d_len([_|T], N) :- p%[1]d_len(T, M), N is M+1.
+p%[1]d_check(0, _).
+p%[1]d_check(N, L) :- N > 0, p%[1]d_use(L).
+p%[1]d_use(_).
+p%[1]d_q(_).
+`, i, strings.Join(goals, ", "))
+		mains[i] = fmt.Sprintf("p%d_main", i)
+	}
+	fmt.Fprintf(&b, "\nmain :- %s.\n", strings.Join(mains, ", "))
+	return Program{
+		Name:   fmt.Sprintf("wide_%d", families),
+		Source: b.String(),
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -35,8 +36,12 @@ type Config struct {
 	// MaxSteps bounds the number of abstract instructions executed.
 	MaxSteps int64
 	// Strategy selects the fixpoint algorithm: the paper's naive
-	// iteration (default) or the dependency-tracking worklist.
+	// iteration (default), the dependency-tracking worklist, or the
+	// concurrent worklist.
 	Strategy Strategy
+	// Parallelism is the worker-goroutine count for StrategyParallel;
+	// 0 means runtime.GOMAXPROCS(0). Ignored by the other strategies.
+	Parallelism int
 }
 
 // DefaultConfig matches the paper's prototype: k = 4, linear extension
@@ -45,8 +50,39 @@ func DefaultConfig() Config {
 	return Config{Depth: 4, Table: TableLinear, Indexing: true, MaxSteps: 500_000_000}
 }
 
+// Validate rejects configurations that cannot be meant: negative values
+// where only counts make sense, or enum fields outside their range. Zero
+// values are always valid (they select documented defaults).
+func (c Config) Validate() error {
+	if c.Depth < 0 {
+		return fmt.Errorf("core: invalid config: negative depth %d", c.Depth)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: invalid config: negative parallelism %d", c.Parallelism)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("core: invalid config: negative step budget %d", c.MaxSteps)
+	}
+	switch c.Table {
+	case TableLinear, TableHash:
+	default:
+		return fmt.Errorf("core: invalid config: unknown table kind %d", c.Table)
+	}
+	switch c.Strategy {
+	case StrategyNaive, StrategyWorklist, StrategyParallel:
+	default:
+		return fmt.Errorf("core: invalid config: unknown strategy %d", c.Strategy)
+	}
+	return nil
+}
+
 // ErrStepLimit reports an exceeded abstract step budget.
 var ErrStepLimit = errors.New("core: abstract step limit exceeded")
+
+// ErrCanceled reports an analysis stopped by its context; it wraps the
+// context's cause (errors.Is also matches context.Canceled or
+// context.DeadlineExceeded).
+var ErrCanceled = errors.New("core: analysis canceled")
 
 // Analyzer is an abstract WAM over one compiled module.
 type Analyzer struct {
@@ -57,9 +93,19 @@ type Analyzer struct {
 	h     *rt.Heap
 	x     []rt.Cell
 	table Table
-	// wl is non-nil while the worklist strategy runs; solve dispatches
-	// on it.
-	wl *wlState
+	// Exactly one of wl, par, fin is non-nil while the corresponding
+	// phase runs; solve dispatches on them.
+	wl  *wlState
+	par *parState
+	fin *finState
+	// ctx, when non-nil, cancels the analysis (checked every few
+	// thousand abstract instructions).
+	ctx context.Context
+	// parCur is the entry this parallel worker is exploring (dependency
+	// recording); specFail marks a clause that speculatively survived a
+	// bottom callee during parallel discovery (its success is discarded).
+	parCur   *Entry
+	specFail bool
 
 	// Steps counts executed abstract instructions — the paper's "Exec"
 	// column in Table 1.
@@ -78,9 +124,11 @@ type Analyzer struct {
 // New returns an analyzer for mod with the default configuration.
 func New(mod *wam.Module) *Analyzer { return NewWith(mod, DefaultConfig()) }
 
-// NewWith returns an analyzer with an explicit configuration.
+// NewWith returns an analyzer with an explicit configuration. Zero
+// values select defaults (depth 4, 500M-step budget); invalid values are
+// rejected by Config.Validate when the analysis runs, not clamped here.
 func NewWith(mod *wam.Module, cfg Config) *Analyzer {
-	if cfg.Depth <= 0 {
+	if cfg.Depth == 0 {
 		cfg.Depth = 4
 	}
 	if cfg.MaxSteps == 0 {
@@ -144,6 +192,12 @@ func (a *Analyzer) AnalyzeMain() (*Result, error) {
 // additionally, for predicates never reached) from an all-any calling
 // pattern per predicate, so every predicate gets information.
 func (a *Analyzer) AnalyzeAll() (*Result, error) {
+	return a.AnalyzeAllContext(context.Background())
+}
+
+// AnalyzeAllContext is AnalyzeAll honoring ctx: cancellation or deadline
+// expiry stops the fixpoint with an error wrapping ErrCanceled.
+func (a *Analyzer) AnalyzeAllContext(ctx context.Context) (*Result, error) {
 	var entries []*domain.Pattern
 	if a.mod.Proc(a.tab.Func("main", 0)) != nil {
 		entries = append(entries, domain.NewPattern(a.tab.Func("main", 0), nil))
@@ -156,18 +210,41 @@ func (a *Analyzer) AnalyzeAll() (*Result, error) {
 			entries = append(entries, domain.NewPattern(fn, args))
 		}
 	}
+	a.ctx = ctx
 	return a.analyze(entries)
 }
 
 // Analyze runs the extension-table fixpoint from the given top-level
 // calling pattern.
 func (a *Analyzer) Analyze(entry *domain.Pattern) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), entry)
+}
+
+// AnalyzeContext is Analyze honoring ctx; see AnalyzeAllContext.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, entry *domain.Pattern) (*Result, error) {
+	a.ctx = ctx
 	return a.analyze([]*domain.Pattern{entry})
 }
 
 func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
-	if a.cfg.Strategy == StrategyWorklist {
+	if err := a.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.ctx == context.Background() {
+		a.ctx = nil // skip per-tick Done checks for the common case
+	}
+	if a.ctx != nil {
+		select {
+		case <-a.ctx.Done():
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, a.ctx.Err())
+		default:
+		}
+	}
+	switch a.cfg.Strategy {
+	case StrategyWorklist:
 		return a.analyzeWorklist(entries)
+	case StrategyParallel:
+		return a.analyzeParallel(entries)
 	}
 	a.table = a.newTable()
 	a.Steps = 0
@@ -215,9 +292,30 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 	return res, nil
 }
 
+// tick is the periodic safety check inside runClause (every few
+// thousand abstract instructions): context cancellation, on top of the
+// per-instruction step-budget check.
+func (a *Analyzer) tick() bool {
+	if a.ctx != nil {
+		select {
+		case <-a.ctx.Done():
+			a.fail(fmt.Errorf("%w: %w", ErrCanceled, a.ctx.Err()))
+			return false
+		default:
+		}
+	}
+	return true
+}
+
 // solve explores a calling pattern: the reinterpreted call instruction
 // (Section 5). It returns the success pattern (nil = bottom/fail).
 func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
+	if a.fin != nil {
+		return a.solveFin(cp)
+	}
+	if a.par != nil {
+		return a.solvePar(cp)
+	}
 	if a.wl != nil {
 		return a.solveWL(cp)
 	}
@@ -384,10 +482,13 @@ func (a *Analyzer) chainTargets(addr int) []int {
 
 // Report renders the extension table like the paper's discussion:
 // calling pattern, success pattern, derived modes, and aliasing pairs.
+// Run statistics (steps, iterations) are deliberately absent: they
+// depend on the fixpoint strategy and schedule, while the report is a
+// pure function of the analysis result (identical across strategies).
+// Use Result.Steps/Iterations or awam.Analysis.Stats for the costs.
 func (r *Result) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%% extension table: %d calling patterns, %d abstract instructions, %d iterations\n",
-		r.TableSize, r.Steps, r.Iterations)
+	fmt.Fprintf(&b, "%% extension table: %d calling patterns\n", r.TableSize)
 	for _, e := range r.Entries {
 		fmt.Fprintf(&b, "call    %s\n", e.CP.String(r.Tab))
 		if e.Succ == nil {

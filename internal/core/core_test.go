@@ -496,8 +496,16 @@ func TestReportRenders(t *testing.T) {
 }
 
 // TestWorklistMatchesNaive: the worklist fixpoint (the future-work
-// algorithm of Section 6) computes exactly the same extension table as
-// the paper's naive iteration, on both benchmark suites.
+// algorithm of Section 6) agrees with the paper's naive iteration, on
+// both benchmark suites. The naive table is the paper-faithful one: it
+// retains transient calling patterns explored under intermediate
+// summaries, and its summaries are running lubs over the whole
+// exploration history. The worklist result is finalized (finalize.go):
+// its entry set is the subset reachable at the fixpoint, and its
+// summaries are recomputed from converged callee summaries only — at
+// least as precise as (⊑) the naive running lub, occasionally strictly
+// so when a historical contribution widened an entry that the final
+// summaries no longer justify.
 func TestWorklistMatchesNaive(t *testing.T) {
 	for _, p := range bench.AllPrograms() {
 		p := p
@@ -513,8 +521,9 @@ func TestWorklistMatchesNaive(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if naive.TableSize != wl.TableSize {
-				t.Fatalf("table sizes differ: naive %d vs worklist %d", naive.TableSize, wl.TableSize)
+			if wl.TableSize == 0 || wl.TableSize > naive.TableSize {
+				t.Fatalf("finalized worklist table (%d entries) should be a nonempty subset of naive (%d)",
+					wl.TableSize, naive.TableSize)
 			}
 			nk := make(map[string]*Entry)
 			for _, e := range naive.Entries {
@@ -525,12 +534,20 @@ func TestWorklistMatchesNaive(t *testing.T) {
 				if !ok {
 					t.Fatalf("pattern %s only found by worklist", we.CP.String(tab))
 				}
-				if !ne.Succ.Equal(we.Succ) {
-					t.Fatalf("success mismatch for %s: naive %s vs worklist %s",
+				if !domain.LeqPattern(tab, we.Succ, ne.Succ) {
+					t.Fatalf("worklist success not below naive for %s: naive %s vs worklist %s",
 						we.CP.String(tab), ne.Succ.String(tab), we.Succ.String(tab))
 				}
 			}
-			t.Logf("%s: naive %d steps, worklist %d steps", p.Name, naive.Steps, wl.Steps)
+			for _, fn := range wl.Predicates() {
+				ns, ws := naive.SuccessFor(fn), wl.SuccessFor(fn)
+				if !domain.LeqPattern(tab, ws, ns) {
+					t.Fatalf("per-predicate summary not below naive for %s: naive %s vs worklist %s",
+						tab.FuncString(fn), ns.String(tab), ws.String(tab))
+				}
+			}
+			t.Logf("%s: naive %d steps/%d entries, worklist %d steps/%d entries",
+				p.Name, naive.Steps, naive.TableSize, wl.Steps, wl.TableSize)
 		})
 	}
 }

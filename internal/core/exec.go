@@ -35,6 +35,9 @@ func (a *Analyzer) runClause(addr int) bool {
 			return false
 		}
 		a.Steps++
+		if a.Steps&0xFFF == 0 && !a.tick() {
+			return false
+		}
 		ins := a.mod.Code[p]
 		if ins.A1 > ins.A2 {
 			a.ensureX(ins.A1)
@@ -194,17 +197,18 @@ func (a *Analyzer) runClause(addr int) bool {
 				return false
 			}
 			if ins.Op == wam.OpExecute {
-				// execute = call + proceed.
-				return true
+				// execute = call + proceed. specFail poisons the clause's
+				// success after speculative parallel discovery (absCall).
+				return !a.specFail
 			}
 		case wam.OpProceed:
-			return true
+			return !a.specFail
 		case wam.OpBuiltin:
 			if !a.absBuiltin(wam.BuiltinID(ins.A1), ins.A2) {
 				return false
 			}
 		case wam.OpHalt:
-			return true
+			return !a.specFail
 
 		// --- cut: ignored (sound over-approximation; analyzing as if
 		// every clause is reachable only adds success patterns) ---
@@ -328,6 +332,16 @@ func (a *Analyzer) absCall(fn term.Functor) bool {
 		return false
 	}
 	if succ == nil {
+		if a.par != nil {
+			// Parallel discovery: a bottom summary may just mean the
+			// callee has not converged yet (it was deferred to the work
+			// queue, never explored inline). Keep executing the clause to
+			// discover the calling patterns of later goals, but poison
+			// its success (specFail) — dependency edges guarantee a
+			// re-exploration once the callee grows.
+			a.specFail = true
+			return true
+		}
 		return false
 	}
 	if !a.applyPattern(succ, argAddrs) {

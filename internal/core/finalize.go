@@ -1,0 +1,156 @@
+package core
+
+import (
+	"awam/internal/domain"
+	"awam/internal/rt"
+)
+
+// This file implements the deterministic presentation pass shared by
+// StrategyWorklist and StrategyParallel.
+//
+// Both strategies converge the summary function (calling pattern ->
+// lubbed success pattern) by chaotic iteration, but the raw table they
+// accumulate along the way is schedule-dependent in two ways. First, the
+// entry set: a clause explored under an intermediate summary can
+// generate calling patterns that no longer occur once its callees reach
+// their fixpoint (transients). Second, the summaries themselves: each
+// entry's success pattern is a running lub over every exploration in its
+// history, and a contribution computed from an intermediate callee
+// summary is not always below the one computed from the final summary —
+// the sharing component makes the transfer non-monotone (LubPattern
+// keeps only aliasing common to both sides, so one sharing-free
+// intermediate contribution erases a definite alias for good). Different
+// schedules pass through different intermediate summaries, so both the
+// entry set and the lubbed summaries can differ between the sequential
+// worklist and any parallel interleaving.
+//
+// The finalize pass removes that dependence: it re-explores the program
+// once, depth-first from the entry patterns, and rebuilds both parts of
+// the presentation from scratch. Calling patterns are rediscovered
+// exactly as reachable under converged summaries, in deterministic
+// depth-first order; each entry's published summary is recomputed as the
+// lub of its clause successes under those summaries, free of historical
+// contributions. The converged oracle is consulted only where the replay
+// cannot supply a value of its own: a cyclic consultation (the entry is
+// still running its own clauses) reads the oracle's converged summary.
+// At such points the strategies' oracles agree — a converged cyclic
+// summary absorbed its own recursive contributions under every schedule
+// — so the reported table (Entries, summaries, TableSize, Report,
+// Marshal) is a pure function of the fixpoint, identical across
+// strategies, worker counts and schedules.
+//
+// Termination needs no in-flight bookkeeping: an entry is added to the
+// presentation table before its clauses run (carrying the oracle summary
+// while in progress), so recursive occurrences memo-return immediately
+// and each calling pattern is explored at most once.
+//
+// Completeness of the oracle is a property of the converged strategies:
+// at termination every entry's last exploration read only final
+// summaries (any later growth would have re-enqueued it), so the calling
+// patterns generated under final summaries were all inserted before the
+// queue drained. Soundness of the recomputed summaries follows by
+// induction over the replay: every callee value read is either itself
+// recomputed from sound values or a converged (sound) oracle summary,
+// and clause execution over sound callee summaries yields sound success
+// patterns.
+
+// summaryOracle answers converged-summary lookups; both the sequential
+// Table implementations and the ShardedTable satisfy it.
+type summaryOracle interface {
+	Get(key string) *Entry
+}
+
+// finState is the finalize-pass bookkeeping; solve dispatches on it.
+type finState struct {
+	oracle summaryOracle
+	index  map[string]*Entry
+	order  []*Entry
+}
+
+// finalize rebuilds the presentation table from the converged oracle.
+// The abstract instructions it executes are not charged to a.Steps: the
+// Exec statistic stays comparable to the paper's Table 1 (fixpoint work
+// only).
+func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]*Entry, error) {
+	savedSteps := a.Steps
+	a.Steps = 0
+	a.fin = &finState{oracle: oracle, index: make(map[string]*Entry)}
+	defer func() {
+		a.fin = nil
+		a.Steps = savedSteps
+	}()
+	for _, cp := range entries {
+		// Top level: nothing survives between explorations.
+		a.h = rt.NewHeap()
+		a.solveFin(cp.Canonical())
+		if a.err != nil {
+			return nil, a.err
+		}
+	}
+	return a.fin.order, nil
+}
+
+// solveFin is the reinterpreted call during finalization: memo-return
+// when the calling pattern was already presented, otherwise record it
+// and explore its clauses once (inline, depth-first — the discovery
+// order of a sequential first sight), recomputing its summary from the
+// clause successes. While the entry's own clauses run, Succ holds the
+// converged oracle summary so that cyclic consultations read the
+// fixpoint value; exploreFin replaces it with the recomputed lub.
+func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
+	if a.err != nil {
+		return nil
+	}
+	key := cp.Key()
+	if e := a.fin.index[key]; e != nil {
+		e.Lookups++
+		return e.Succ
+	}
+	e := &Entry{Key: key, CP: cp}
+	if oe := a.fin.oracle.Get(key); oe != nil {
+		e.Succ = oe.Succ
+	} else {
+		// Should be unreachable at a true fixpoint; kept as a warning so
+		// a convergence bug surfaces as imprecision, not silence.
+		a.warnOnce("core: finalize: calling pattern missing from converged table: " + cp.String(a.tab))
+	}
+	a.fin.index[key] = e
+	a.fin.order = append(a.fin.order, e)
+	a.exploreFin(e)
+	return e.Succ
+}
+
+// exploreFin runs the entry's clauses once against the converged
+// summaries and recomputes the published summary as the lub of the
+// clause successes — the single-history value every schedule agrees on.
+// The converged summary (held in e.Succ during the loop, visible to
+// cyclic consultations) must bound each clause success; a violation
+// means the fixpoint phase did not actually converge.
+func (a *Analyzer) exploreFin(e *Entry) {
+	proc := a.mod.Proc(e.CP.Fn)
+	if proc == nil {
+		return
+	}
+	var acc *domain.Pattern
+	for _, clauseAddr := range a.selectClauses(proc, e.CP) {
+		mark := a.h.Mark()
+		argAddrs := a.materialize(e.CP)
+		a.ensureX(e.CP.Fn.Arity)
+		for i, addr := range argAddrs {
+			a.x[i+1] = rt.MkRef(addr)
+		}
+		ok := a.runClause(clauseAddr)
+		if a.err != nil {
+			return
+		}
+		if ok {
+			sp := a.abstractArgs(e.CP.Fn, argAddrs)
+			if e.Succ == nil || !domain.LeqPattern(a.tab, sp, e.Succ) {
+				a.warnOnce("core: finalize: summary not converged for " + e.CP.String(a.tab))
+			}
+			acc = domain.WidenPattern(a.tab, domain.LubPattern(a.tab, acc, sp), a.cfg.Depth)
+		}
+		a.h.Undo(mark)
+	}
+	e.Succ = acc
+}

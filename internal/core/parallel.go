@@ -1,0 +1,303 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"awam/internal/domain"
+	"awam/internal/rt"
+)
+
+// This file implements StrategyParallel: the worklist fixpoint of
+// worklist.go run by N worker goroutines over a lock-striped extension
+// table (ShardedTable). Each worker owns a private Analyzer — its own
+// heap, X registers, step counter and warnings — and pulls table entries
+// from a shared queue. Soundness of any interleaving rests on the same
+// property the sequential strategies use: success-pattern updates are
+// monotone lub-merges on a finite (depth-k-widened) lattice, so chaotic
+// iteration converges to the same least fixpoint regardless of schedule
+// (the confluence argument of Le Charlier-style dependency-driven
+// iteration). Determinism of the *reported* table is then restored by
+// the finalize pass (finalize.go).
+//
+// Two scheduling differences from the sequential worklist:
+//
+//   - Workers never explore a callee inline. solvePar registers the
+//     dependency edge, returns the callee's current summary (bottom on
+//     first sight) and lets the queue schedule the callee — inline
+//     depth-first exploration would serialize the frontier.
+//   - A call whose summary is still bottom does not abort the clause
+//     during the fixpoint phase. The worker keeps executing to discover
+//     the calling patterns of later goals (speculative discovery); the
+//     clause's own success is discarded. Entries discovered under
+//     under-instantiated arguments are explored like any other and
+//     simply go unused by finalize.
+
+// parState is the shared state of one parallel analysis.
+type parState struct {
+	table *ShardedTable
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*Entry
+	idle  int
+	n     int // worker count
+	done  bool
+	err   error
+}
+
+func newParState(n int) *parState {
+	ps := &parState{table: NewShardedTable(), n: n}
+	ps.cond = sync.NewCond(&ps.mu)
+	return ps
+}
+
+// enqueue schedules e unless it is already queued. Callers must not hold
+// any entry mutex ordering issue: parState.mu is always the innermost
+// lock (never held while taking an Entry.mu or a shard mutex).
+func (ps *parState) enqueue(e *Entry) {
+	ps.mu.Lock()
+	if !e.inQueue && !ps.done {
+		e.inQueue = true
+		ps.queue = append(ps.queue, e)
+		ps.cond.Signal()
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *parState) enqueueAll(es []*Entry) {
+	if len(es) == 0 {
+		return
+	}
+	ps.mu.Lock()
+	for _, e := range es {
+		if !e.inQueue && !ps.done {
+			e.inQueue = true
+			ps.queue = append(ps.queue, e)
+		}
+	}
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// next blocks until work is available, returning nil at termination.
+// Termination is the idle-worker barrier: the queue is empty and every
+// worker is parked here, so no one can produce more work.
+func (ps *parState) next() *Entry {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for {
+		if ps.done {
+			return nil
+		}
+		if len(ps.queue) > 0 {
+			e := ps.queue[0]
+			ps.queue = ps.queue[1:]
+			// Cleared at pop, not at completion: growth that lands while
+			// the entry is being explored must be able to re-enqueue it.
+			e.inQueue = false
+			return e
+		}
+		ps.idle++
+		if ps.idle == ps.n {
+			ps.done = true
+			ps.cond.Broadcast()
+			return nil
+		}
+		ps.cond.Wait()
+		ps.idle--
+	}
+}
+
+// fail records the first worker error and wakes everyone to drain out.
+func (ps *parState) fail(err error) {
+	ps.mu.Lock()
+	if ps.err == nil {
+		ps.err = err
+	}
+	ps.done = true
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// analyzeParallel is the StrategyParallel driver, the counterpart of
+// analyze() and analyzeWorklist().
+func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
+	n := a.cfg.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	a.err = nil
+	a.Steps = 0
+	ps := newParState(n)
+
+	seeds := make([]*domain.Pattern, len(entries))
+	for i, cp := range entries {
+		c := cp.Canonical()
+		c.Key() // precompute before publishing (lazy memo, read concurrently)
+		seeds[i] = c
+		if e, created := ps.table.GetOrAdd(c); created {
+			ps.enqueue(e)
+		}
+	}
+
+	workers := make([]*Analyzer, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Analyzer{
+			mod: a.mod, tab: a.tab, cfg: a.cfg, ctx: a.ctx,
+			par: ps, h: rt.NewHeap(), x: make([]rt.Cell, 16),
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.runWorker()
+		}()
+	}
+	wg.Wait()
+
+	// Aggregate private worker state. Warnings are deduped and sorted:
+	// which worker saw a warning first is schedule-dependent.
+	explorations := 0
+	warned := make(map[string]bool, len(a.Warnings))
+	for _, w := range a.Warnings {
+		warned[w] = true
+	}
+	for _, w := range workers {
+		a.Steps += w.Steps
+		explorations += w.Iterations
+		for _, msg := range w.Warnings {
+			if !warned[msg] {
+				warned[msg] = true
+				a.Warnings = append(a.Warnings, msg)
+			}
+		}
+	}
+	sort.Strings(a.Warnings)
+	a.Iterations = explorations
+	if ps.err != nil {
+		return nil, ps.err
+	}
+
+	fixSteps := a.Steps
+	finEntries, err := a.finalize(seeds, ps.table)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tab:        a.tab,
+		Entries:    finEntries,
+		Steps:      fixSteps,
+		Iterations: a.Iterations,
+		TableSize:  len(finEntries),
+		Warnings:   a.Warnings,
+	}, nil
+}
+
+// runWorker is one worker's loop: pull an entry, explore it on a fresh
+// private heap, repeat until the idle barrier closes the queue.
+func (w *Analyzer) runWorker() {
+	ps := w.par
+	for {
+		e := ps.next()
+		if e == nil {
+			return
+		}
+		w.h.Reset()
+		w.Iterations++ // per-worker exploration count
+		w.explorePar(e)
+		if w.err != nil {
+			ps.fail(w.err)
+			return
+		}
+	}
+}
+
+// solvePar is the reinterpreted call under the parallel strategy: ensure
+// the entry exists (scheduling it on first sight), record the dependency
+// edge, and return the current summary. Recording the edge and reading
+// the summary under the same entry lock closes the missed-update race: a
+// merge that lands after our read sees our edge and re-enqueues us; a
+// merge before it is the value we read.
+func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
+	if a.err != nil {
+		return nil
+	}
+	cp.Key() // precompute before publishing
+	e, created := a.par.table.GetOrAdd(cp)
+	if created {
+		a.par.enqueue(e)
+	}
+	e.mu.Lock()
+	if a.parCur != nil {
+		if e.deps == nil {
+			e.deps = make(map[string]*Entry)
+		}
+		// Self-edges included: a recursive clause that read its own
+		// in-flight summary must rerun when the summary grows.
+		e.deps[a.parCur.Key] = a.parCur
+	}
+	succ := e.Succ
+	e.mu.Unlock()
+	return succ
+}
+
+// explorePar runs the entry's clauses once, merging clause successes
+// into the shared entry.
+func (w *Analyzer) explorePar(e *Entry) {
+	w.parCur = e
+	defer func() { w.parCur = nil }()
+	proc := w.mod.Proc(e.CP.Fn)
+	if proc == nil {
+		return
+	}
+	for _, clauseAddr := range w.selectClauses(proc, e.CP) {
+		mark := w.h.Mark()
+		argAddrs := w.materialize(e.CP)
+		w.ensureX(e.CP.Fn.Arity)
+		for i, addr := range argAddrs {
+			w.x[i+1] = rt.MkRef(addr)
+		}
+		w.specFail = false
+		ok := w.runClause(clauseAddr)
+		if w.err != nil {
+			return
+		}
+		if ok {
+			sp := w.abstractArgs(e.CP.Fn, argAddrs)
+			w.mergeSucc(e, sp)
+		}
+		w.h.Undo(mark)
+	}
+}
+
+// mergeSucc lubs a clause success into the shared entry — the monotone
+// update at the heart of the confluence argument. On growth it snapshots
+// the dependents under the entry lock and enqueues them after releasing
+// it (parState.mu is never taken while holding an entry mutex).
+func (w *Analyzer) mergeSucc(e *Entry, sp *domain.Pattern) {
+	var deps []*Entry
+	e.mu.Lock()
+	if e.Succ != nil && domain.LeqPattern(w.tab, sp, e.Succ) {
+		e.mu.Unlock()
+		return
+	}
+	next := domain.WidenPattern(w.tab, domain.LubPattern(w.tab, e.Succ, sp), w.cfg.Depth)
+	if next.Equal(e.Succ) {
+		e.mu.Unlock()
+		return
+	}
+	next.Key() // precompute before publishing
+	e.Succ = next
+	e.Updates++
+	if len(e.deps) > 0 {
+		deps = make([]*Entry, 0, len(e.deps))
+		for _, d := range e.deps {
+			deps = append(deps, d)
+		}
+	}
+	e.mu.Unlock()
+	w.par.enqueueAll(deps)
+}

@@ -15,10 +15,14 @@ import (
 // back; MarshalText/Unmarshal round-trip exactly (tested on the
 // benchmark suites).
 //
+// The output is a pure function of the analysis result: run statistics
+// are not embedded (they vary with the fixpoint strategy and schedule,
+// and the summary must be byte-identical across them). Unmarshal still
+// accepts the "stats steps=N iterations=N" line older summaries carried.
+//
 // Format:
 //
 //	awam-analysis 1
-//	stats steps=N iterations=N
 //	call p(atom, list(g))
 //	succ p(atom, [f(g)|list(g)])
 //	call q(g)
@@ -26,7 +30,6 @@ import (
 func (r *Result) Marshal() string {
 	var b strings.Builder
 	b.WriteString("awam-analysis 1\n")
-	fmt.Fprintf(&b, "stats steps=%d iterations=%d\n", r.Steps, r.Iterations)
 	for _, e := range r.Entries {
 		fmt.Fprintf(&b, "call %s\n", domain.PatternText(r.Tab, e.CP))
 		if e.Succ == nil {
@@ -39,7 +42,8 @@ func (r *Result) Marshal() string {
 }
 
 // Unmarshal parses a summary produced by Marshal, interning names into
-// tab. Statistics are restored; table internals (lookup counts) are not.
+// tab. Table internals (lookup counts) are not restored; a legacy stats
+// line, when present, fills Steps/Iterations.
 func Unmarshal(tab *term.Tab, text string) (*Result, error) {
 	sc := bufio.NewScanner(strings.NewReader(text))
 	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "awam-analysis 1" {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"awam/internal/domain"
 )
 
@@ -18,6 +20,17 @@ type Entry struct {
 	// Lookups counts memoized hits; Updates counts success-pattern lubs.
 	Lookups int
 	Updates int
+
+	// Parallel-engine state (used only by StrategyParallel). The mutex
+	// guards Succ, Updates and deps; dependency edges live on the callee
+	// entry itself — the sharded-table replacement for
+	// wlState.dependents — so a worker that grows a summary can snapshot
+	// and enqueue dependents without any global lock.
+	mu   sync.Mutex
+	deps map[string]*Entry
+	// inQueue dedups work-queue insertions; guarded by the queue lock,
+	// not by mu.
+	inQueue bool
 }
 
 // Table is the extension table: a memo from calling-pattern keys to
@@ -88,3 +101,83 @@ func (t *HashTable) Entries() []*Entry { return t.order }
 
 // Len returns the entry count.
 func (t *HashTable) Len() int { return len(t.order) }
+
+// numShards is the stripe count of ShardedTable; a power of two so the
+// shard pick is a mask. 64 stripes keep contention negligible for any
+// plausible worker count while staying cheap to allocate per analysis.
+const numShards = 64
+
+type tableShard struct {
+	mu    sync.Mutex
+	index map[string]*Entry
+}
+
+// ShardedTable is the lock-striped extension table behind
+// StrategyParallel. Keys hash to one of numShards stripes, each with its
+// own mutex, so concurrent workers rarely collide on table access. It
+// deliberately does not implement the sequential Table interface: a
+// global insertion order is meaningless under concurrency, and the
+// deterministic finalize pass rebuilds an ordered presentation table
+// from this one after the fixpoint converges.
+type ShardedTable struct {
+	shards [numShards]tableShard
+}
+
+// NewShardedTable returns an empty sharded table.
+func NewShardedTable() *ShardedTable {
+	t := &ShardedTable{}
+	for i := range t.shards {
+		t.shards[i].index = make(map[string]*Entry)
+	}
+	return t
+}
+
+// shardOf picks the stripe for a key (FNV-1a, masked).
+func shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (numShards - 1))
+}
+
+// Get returns the entry for key, or nil.
+func (t *ShardedTable) Get(key string) *Entry {
+	s := &t.shards[shardOf(key)]
+	s.mu.Lock()
+	e := s.index[key]
+	s.mu.Unlock()
+	return e
+}
+
+// GetOrAdd returns the entry for cp, creating it when absent, and
+// reports whether it was created. cp must already be canonical with its
+// Key precomputed (patterns published here are read concurrently, and
+// Key memoizes lazily).
+func (t *ShardedTable) GetOrAdd(cp *domain.Pattern) (*Entry, bool) {
+	key := cp.Key()
+	s := &t.shards[shardOf(key)]
+	s.mu.Lock()
+	if e := s.index[key]; e != nil {
+		s.mu.Unlock()
+		return e, false
+	}
+	e := &Entry{Key: key, CP: cp}
+	s.index[key] = e
+	s.mu.Unlock()
+	return e, true
+}
+
+// Len returns the total entry count across shards. It is only exact
+// when no workers are running (used after the fixpoint converges).
+func (t *ShardedTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.index)
+		s.mu.Unlock()
+	}
+	return n
+}

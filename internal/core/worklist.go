@@ -28,6 +28,10 @@ const (
 	// StrategyWorklist re-explores only the dependents of changed
 	// entries.
 	StrategyWorklist
+	// StrategyParallel runs the worklist concurrently: N worker
+	// goroutines, each owning private execution state, pull entries from
+	// a shared queue backed by a lock-striped table (parallel.go).
+	StrategyParallel
 )
 
 // wlState carries the worklist bookkeeping, keyed by table entry.
@@ -96,15 +100,24 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 		}
 	}
 	a.Iterations = a.wl.explorations
+	a.wl = nil
+	// Present the converged table deterministically (finalize.go): the
+	// raw worklist table retains transient calling patterns whose shape
+	// depends on the exploration schedule, so it serves as the summary
+	// oracle while the finalize pass rebuilds the reported entries. This
+	// makes worklist and parallel runs byte-identical.
+	finEntries, err := a.finalize(entries, a.table)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Tab:        a.tab,
-		Entries:    a.table.Entries(),
+		Entries:    finEntries,
 		Steps:      a.Steps,
 		Iterations: a.Iterations,
-		TableSize:  a.table.Len(),
+		TableSize:  len(finEntries),
 		Warnings:   a.Warnings,
 	}
-	a.wl = nil
 	return res, nil
 }
 

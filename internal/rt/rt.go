@@ -146,6 +146,15 @@ func NewHeap() *Heap {
 // Top returns the current heap top (the address the next Push will use).
 func (h *Heap) Top() int { return len(h.Cells) }
 
+// Reset empties the heap for reuse, keeping the allocated capacity —
+// cheaper than a fresh heap for callers that run many short abstract
+// executions (e.g. parallel fixpoint workers, one reset per table
+// entry).
+func (h *Heap) Reset() {
+	h.Cells = h.Cells[:0]
+	h.Trail = h.Trail[:0]
+}
+
 // Push appends a cell and returns its address.
 func (h *Heap) Push(c Cell) int {
 	h.Cells = append(h.Cells, c)
