@@ -171,6 +171,9 @@ type AnalyzeOption func(*analyzeCfg)
 type analyzeCfg struct {
 	cfg   core.Config
 	entry string
+	// tracer is the user's Tracer (observe.go); AnalyzeContext adapts it
+	// onto the internal interface, which needs the symbol table.
+	tracer Tracer
 	// err records the first invalid option; Analyze surfaces it instead
 	// of running with a silently clamped configuration.
 	err error
@@ -194,11 +197,69 @@ func WithDepth(k int) AnalyzeOption {
 	}
 }
 
+// TableKind selects the extension-table representation for WithTable.
+type TableKind int
+
+const (
+	// TableLinear is the paper's linear list of (calling-pattern,
+	// success-pattern) pairs, searched sequentially (the default).
+	TableLinear TableKind = iota
+	// TableHash indexes the table by calling-pattern key.
+	TableHash
+)
+
+// Strategy selects the fixpoint algorithm for WithStrategy.
+type Strategy int
+
+const (
+	// Naive is the paper's scheme: iterate the whole analysis until no
+	// success pattern changes (the default).
+	Naive Strategy = iota
+	// Worklist re-explores only the dependents of changed entries.
+	Worklist
+	// Parallel runs the worklist concurrently over a sharded table; size
+	// the worker pool with WithParallelism. Results are byte-identical to
+	// Worklist for every worker count and schedule.
+	Parallel
+)
+
+// WithTable selects the extension-table representation. Values outside
+// TableLinear and TableHash are rejected by Analyze with ErrBadOption.
+func WithTable(k TableKind) AnalyzeOption {
+	return func(c *analyzeCfg) {
+		switch k {
+		case TableLinear:
+			c.cfg.Table = core.TableLinear
+		case TableHash:
+			c.cfg.Table = core.TableHash
+		default:
+			c.fail(fmt.Errorf("%w: unknown table kind %d", ErrBadOption, k))
+		}
+	}
+}
+
+// WithStrategy selects the fixpoint algorithm. Values outside Naive,
+// Worklist and Parallel are rejected by Analyze with ErrBadOption.
+func WithStrategy(s Strategy) AnalyzeOption {
+	return func(c *analyzeCfg) {
+		switch s {
+		case Naive:
+			c.cfg.Strategy = core.StrategyNaive
+		case Worklist:
+			c.cfg.Strategy = core.StrategyWorklist
+		case Parallel:
+			c.cfg.Strategy = core.StrategyParallel
+		default:
+			c.fail(fmt.Errorf("%w: unknown strategy %d", ErrBadOption, s))
+		}
+	}
+}
+
 // WithHashTable replaces the paper's linear extension table by a hashed
 // one.
-func WithHashTable() AnalyzeOption {
-	return func(c *analyzeCfg) { c.cfg.Table = core.TableHash }
-}
+//
+// Deprecated: use WithTable(TableHash).
+func WithHashTable() AnalyzeOption { return WithTable(TableHash) }
 
 // WithoutIndexing makes the abstract machine explore every clause
 // regardless of indexing instructions.
@@ -210,9 +271,9 @@ func WithoutIndexing() AnalyzeOption {
 // of the paper's naive iteration. Summaries are at least as precise and
 // the worklist executes fewer abstract instructions; its table keeps
 // only the calling patterns reachable at the fixpoint.
-func WithWorklist() AnalyzeOption {
-	return func(c *analyzeCfg) { c.cfg.Strategy = core.StrategyWorklist }
-}
+//
+// Deprecated: use WithStrategy(Worklist).
+func WithWorklist() AnalyzeOption { return WithStrategy(Worklist) }
 
 // WithParallelism selects the parallel fixpoint engine with n workers
 // over a sharded extension table. n = 0 sizes the pool to
@@ -232,8 +293,9 @@ func WithParallelism(n int) AnalyzeOption {
 
 // WithMaxSteps bounds the number of abstract instructions the analysis
 // may execute; exceeding it fails with ErrAnalysisBudget. Nonpositive
-// budgets are rejected by Analyze with ErrBadOption. Under
-// WithParallelism the bound applies per worker.
+// budgets are rejected by Analyze with ErrBadOption. The budget is
+// global: under WithParallelism every worker draws from the same shared
+// pool, so the bound is independent of the worker count.
 func WithMaxSteps(n int64) AnalyzeOption {
 	return func(c *analyzeCfg) {
 		if n <= 0 {
@@ -291,6 +353,9 @@ func (s *System) AnalyzeContext(ctx context.Context, opts ...AnalyzeOption) (*An
 	}
 	if c.err != nil {
 		return nil, c.err
+	}
+	if c.tracer != nil {
+		c.cfg.Tracer = coreTracer{tab: s.tab, t: c.tracer}
 	}
 	a := core.NewWith(s.mod, c.cfg)
 	var res *core.Result
@@ -387,49 +452,35 @@ func (a *Analysis) CallingPatterns(pred string) []string {
 }
 
 // SuccessPattern returns the lubbed success pattern of a predicate, and
-// whether any call of it can succeed.
+// whether any call of it can succeed. It is the convenience string form
+// of Summary(pred).Success; use Summary for structured access.
 func (a *Analysis) SuccessPattern(pred string) (string, bool) {
-	fn, ok := a.findPred(pred)
-	if !ok {
+	s, ok := a.Summary(pred)
+	if !ok || !s.Succeeds {
 		return "", false
 	}
-	succ := a.res.SuccessFor(fn)
-	if succ == nil {
-		return "", false
-	}
-	return succ.String(a.sys.tab), true
+	return s.Success, true
 }
 
-// Modes returns the derived mode declaration of a predicate.
+// Modes returns the derived mode declaration of a predicate. It is the
+// convenience string form of Summary(pred).ModeString(); use Summary for
+// per-argument Mode values.
 func (a *Analysis) Modes(pred string) (string, bool) {
-	fn, ok := a.findPred(pred)
-	if !ok {
+	s, ok := a.Summary(pred)
+	if !ok || len(s.Args) == 0 {
 		return "", false
 	}
-	cp := a.res.CallFor(fn)
-	if cp == nil {
-		return "", false
-	}
-	return core.Modes(a.sys.tab, cp, a.res.SuccessFor(fn)), true
+	return s.ModeString(), true
 }
 
 // AliasPairs returns the 1-based argument pairs that may share variables
-// on success.
+// on success. It is the convenience form of Summary(pred).AliasPairs.
 func (a *Analysis) AliasPairs(pred string) [][2]int {
-	fn, ok := a.findPred(pred)
+	s, ok := a.Summary(pred)
 	if !ok {
 		return nil
 	}
-	succ := a.res.SuccessFor(fn)
-	if succ == nil {
-		return nil
-	}
-	pairs := succ.ArgSharePairs()
-	out := make([][2]int, len(pairs))
-	for i, p := range pairs {
-		out[i] = [2]int{p[0] + 1, p[1] + 1}
-	}
-	return out
+	return s.AliasPairs
 }
 
 // OptimizeStats reports what Optimize changed.

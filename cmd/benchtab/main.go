@@ -6,6 +6,7 @@
 //	benchtab -table 1          # Table 1: analyzer efficiency
 //	benchtab -table 2          # Table 2: speed ratios / config sweep
 //	benchtab -table ablation   # term-depth restriction sweep
+//	benchtab -table observe    # table traffic + working set per benchmark
 //	benchtab -table all        # everything
 //	benchtab -quick            # smaller timing samples
 package main
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, all")
+	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, all")
 	quick := flag.Bool("quick", false, "use short timing samples")
 	flag.Parse()
 
@@ -29,7 +30,7 @@ func main() {
 		opts.MinSampleTime = 5 * time.Millisecond
 	}
 
-	needRows := *table == "1" || *table == "2" || *table == "all"
+	needRows := *table == "1" || *table == "2" || *table == "observe" || *table == "all"
 	var rows []*harness.Metrics
 	var err error
 	if needRows {
@@ -58,6 +59,8 @@ func main() {
 			os.Exit(1)
 		}
 		harness.WriteAblation(os.Stdout, ab)
+	case "observe":
+		harness.WriteObservability(os.Stdout, rows)
 	case "all":
 		harness.WriteTable1(os.Stdout, rows)
 		fmt.Println()
@@ -74,6 +77,8 @@ func main() {
 			os.Exit(1)
 		}
 		harness.WriteAblation(os.Stdout, ab)
+		fmt.Println()
+		harness.WriteObservability(os.Stdout, rows)
 	default:
 		fmt.Fprintln(os.Stderr, "benchtab: unknown table", *table)
 		os.Exit(2)

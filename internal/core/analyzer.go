@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"awam/internal/domain"
 	"awam/internal/rt"
@@ -42,6 +43,11 @@ type Config struct {
 	// Parallelism is the worker-goroutine count for StrategyParallel;
 	// 0 means runtime.GOMAXPROCS(0). Ignored by the other strategies.
 	Parallelism int
+	// Tracer, when non-nil, receives analysis events (observe.go). A nil
+	// tracer costs one pointer test per abstract instruction. Under
+	// StrategyParallel the tracer is shared by all workers and must be
+	// safe for concurrent use.
+	Tracer Tracer
 }
 
 // DefaultConfig matches the paper's prototype: k = 4, linear extension
@@ -107,6 +113,22 @@ type Analyzer struct {
 	parCur   *Entry
 	specFail bool
 
+	// Observability state (observe.go). met is this goroutine's private
+	// counter shard (never nil); tr mirrors cfg.Tracer. attrFn/attrStart
+	// attribute step deltas to predicates at exploration boundaries.
+	// budget points at the step budget shared by every goroutine of one
+	// analysis; allow is the locally reserved allowance (refillSteps).
+	met       *metricsShard
+	tr        Tracer
+	attrFn    term.Functor
+	attrStart int64
+	budget    *int64
+	allow     int64
+	// heapHW tracks the high-water mark across discarded fixpoint heaps;
+	// queueWait accumulates this parallel worker's queue waiting time.
+	heapHW    int
+	queueWait time.Duration
+
 	// Steps counts executed abstract instructions — the paper's "Exec"
 	// column in Table 1.
 	Steps int64
@@ -135,6 +157,10 @@ func NewWith(mod *wam.Module, cfg Config) *Analyzer {
 		cfg.MaxSteps = 500_000_000
 	}
 	a := &Analyzer{mod: mod, tab: mod.Tab, cfg: cfg, x: make([]rt.Cell, 16)}
+	a.met = newMetricsShard()
+	a.tr = cfg.Tracer
+	budget := cfg.MaxSteps
+	a.budget = &budget
 	return a
 }
 
@@ -180,6 +206,10 @@ type Result struct {
 	Iterations int
 	TableSize  int
 	Warnings   []string
+	// Metrics is the run's merged instrumentation (observe.go). Always
+	// populated; covers the fixpoint phase only, so its totals match
+	// Steps.
+	Metrics *Metrics
 }
 
 // AnalyzeMain analyzes the program from the conventional entry point
@@ -249,10 +279,17 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 	a.table = a.newTable()
 	a.Steps = 0
 	a.err = nil
+	*a.budget = a.cfg.MaxSteps
+	a.allow = 0
+	execStart := time.Now()
 	const maxIterations = 1000 // backstop; the finite domain terminates first
 	for a.Iterations = 1; a.Iterations <= maxIterations; a.Iterations++ {
 		a.iter = a.Iterations
 		a.changed = false
+		if a.tr != nil {
+			a.tr.Iteration(a.Iterations)
+		}
+		a.noteHeap()
 		a.h = rt.NewHeap()
 		for _, e := range entries {
 			a.solve(e.Canonical())
@@ -278,6 +315,8 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 			break
 		}
 	}
+	a.attrClose()
+	a.noteHeap()
 	res := &Result{
 		Tab:        a.tab,
 		Entries:    a.table.Entries(),
@@ -285,6 +324,7 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 		Iterations: a.Iterations,
 		TableSize:  a.table.Len(),
 		Warnings:   a.Warnings,
+		Metrics:    a.buildMetrics(nil, time.Since(execStart), 0),
 	}
 	if a.Iterations > maxIterations {
 		return res, fmt.Errorf("core: fixpoint did not converge in %d iterations", maxIterations)
@@ -323,8 +363,14 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 		return nil
 	}
 	key := cp.Key()
+	t0, timed := a.met.sampleTable()
 	e := a.table.Get(key)
+	a.met.doneTable(t0, timed)
 	if e != nil {
+		a.met.hits++
+		if a.tr != nil {
+			a.tr.Table(cp.Fn, TableHit)
+		}
 		if e.exploredIter == a.iter {
 			// Memoized for this iteration (possibly in-flight: a
 			// recursive call sees the last known success pattern).
@@ -334,6 +380,12 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 	} else {
 		e = &Entry{Key: key, CP: cp}
 		a.table.Add(e)
+		a.met.misses++
+		a.met.inserts++
+		if a.tr != nil {
+			a.tr.Table(cp.Fn, TableMiss)
+			a.tr.Table(cp.Fn, TableInsert)
+		}
 	}
 	e.exploredIter = a.iter
 
@@ -344,6 +396,9 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 		return e.Succ
 	}
 
+	a.met.predRuns[cp.Fn]++
+	prevFn := a.attrSwitch(cp.Fn)
+	defer a.attrRestore(prevFn)
 	for _, clauseAddr := range a.selectClauses(proc, cp) {
 		mark := a.h.Mark()
 		argAddrs := a.materialize(cp)
@@ -366,6 +421,10 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 					e.Succ = next
 					e.Updates++
 					a.changed = true
+					a.met.updates++
+					if a.tr != nil {
+						a.tr.Table(cp.Fn, TableUpdate)
+					}
 				}
 			}
 		}
@@ -516,8 +575,19 @@ func (r *Result) Report() string {
 // bound at success, '?' otherwise; 'g' marks arguments ground at
 // success.
 func Modes(tab *term.Tab, cp, succ *domain.Pattern) string {
-	if cp == nil || len(cp.Args) == 0 {
+	parts := ArgModes(tab, cp, succ)
+	if parts == nil {
 		return ""
+	}
+	return tab.Name(cp.Fn.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ArgModes classifies each argument's mode transition as one of "+g",
+// "+", "-g", "-", "-?" or "?" — the per-argument form behind Modes,
+// consumed by the typed Summary API in the facade.
+func ArgModes(tab *term.Tab, cp, succ *domain.Pattern) []string {
+	if cp == nil || len(cp.Args) == 0 {
+		return nil
 	}
 	parts := make([]string, len(cp.Args))
 	for i, in := range cp.Args {
@@ -543,7 +613,7 @@ func Modes(tab *term.Tab, cp, succ *domain.Pattern) string {
 			parts[i] = "?"
 		}
 	}
-	return tab.Name(cp.Fn.Name) + "(" + strings.Join(parts, ", ") + ")"
+	return parts
 }
 
 // EntriesFor returns the table entries of one predicate.

@@ -30,15 +30,23 @@ func (a *Analyzer) runClause(addr int) bool {
 		if a.err != nil {
 			return false
 		}
-		if a.Steps >= a.cfg.MaxSteps {
+		// Step accounting draws on the shared budget in budgetChunk
+		// reservations (observe.go), so the common case is a single local
+		// decrement and the bound stays global across parallel workers.
+		if a.allow <= 0 && !a.refillSteps() {
 			a.fail(ErrStepLimit)
 			return false
 		}
+		a.allow--
 		a.Steps++
 		if a.Steps&0xFFF == 0 && !a.tick() {
 			return false
 		}
 		ins := a.mod.Code[p]
+		a.met.opcodes[ins.Op]++
+		if a.tr != nil {
+			a.tr.Instr(a.attrFn, ins.Op)
+		}
 		if ins.A1 > ins.A2 {
 			a.ensureX(ins.A1)
 		} else {

@@ -3,6 +3,7 @@ package core
 import (
 	"awam/internal/domain"
 	"awam/internal/rt"
+	"awam/internal/term"
 )
 
 // This file implements the deterministic presentation pass shared by
@@ -70,14 +71,31 @@ type finState struct {
 // finalize rebuilds the presentation table from the converged oracle.
 // The abstract instructions it executes are not charged to a.Steps: the
 // Exec statistic stays comparable to the paper's Table 1 (fixpoint work
-// only).
+// only). For the same reason the replay is invisible to the
+// observability layer — its instructions land in a scratch metrics shard
+// that is thrown away, the tracer is detached, and it draws on a private
+// step budget — so Metrics totals stay equal to Result.Steps and a
+// nearly exhausted fixpoint budget cannot fail the presentation pass.
 func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]*Entry, error) {
 	savedSteps := a.Steps
+	savedMet, savedTr := a.met, a.tr
+	savedBudget, savedAllow := a.budget, a.allow
+	savedAttrFn, savedAttrStart := a.attrFn, a.attrStart
 	a.Steps = 0
+	a.met = newMetricsShard()
+	a.tr = nil
+	finBudget := a.cfg.MaxSteps
+	a.budget = &finBudget
+	a.allow = 0
+	a.attrFn = term.Functor{}
+	a.attrStart = 0
 	a.fin = &finState{oracle: oracle, index: make(map[string]*Entry)}
 	defer func() {
 		a.fin = nil
 		a.Steps = savedSteps
+		a.met, a.tr = savedMet, savedTr
+		a.budget, a.allow = savedBudget, savedAllow
+		a.attrFn, a.attrStart = savedAttrFn, savedAttrStart
 	}()
 	for _, cp := range entries {
 		// Top level: nothing survives between explorations.

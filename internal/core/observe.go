@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// This file implements the observability layer of the analyzer: an
+// opt-in Tracer callback interface (zero overhead when nil — the hot
+// loop guards every callback behind a single pointer test) and an
+// always-on Metrics aggregate built from per-worker counter shards.
+//
+// Design rules, enforced throughout internal/core:
+//
+//   - Counters live in a metricsShard owned by exactly one goroutine
+//     (each parallel worker is a private Analyzer with its own shard);
+//     shards are merged only after the worker WaitGroup barrier, so
+//     metric collection is race-free without atomics in the hot loop.
+//   - Only the shared step *budget* is atomic (see refillSteps), and it
+//     is touched once per budgetChunk instructions, not per step.
+//   - The finalize replay and the determinacy pass are not observable:
+//     their instructions are charged to a scratch shard and their
+//     events suppressed, so Metrics totals stay equal to Result.Steps
+//     (the fixpoint-phase Exec statistic) under every strategy.
+
+// Tracer receives analysis events. Install one with Config.Tracer; a
+// nil tracer costs a single pointer test per abstract instruction.
+//
+// Under StrategyParallel callbacks arrive concurrently from every
+// worker goroutine; implementations must be safe for concurrent use.
+type Tracer interface {
+	// Instr fires before each abstract instruction, with the predicate
+	// whose clause is executing.
+	Instr(fn term.Functor, op wam.Op)
+	// Table fires on extension-table operations (lookup hit/miss,
+	// insert, success-pattern update) for the consulted predicate.
+	Table(fn term.Functor, ev TableEvent)
+	// Enqueue fires when a calling pattern is re-enqueued because a
+	// summary it depends on grew (worklist and parallel strategies).
+	Enqueue(fn term.Functor)
+	// Iteration fires at the start of each naive fixpoint pass.
+	Iteration(n int)
+	// Worker fires at parallel worker start (start=true) and exit.
+	Worker(id int, start bool)
+}
+
+// WorkerMetrics is one parallel worker's share of the run.
+type WorkerMetrics struct {
+	ID int
+	// Steps is the number of abstract instructions this worker executed.
+	Steps int64
+	// Explorations is the number of table entries this worker explored.
+	Explorations int64
+	// QueueWait is the total time this worker spent waiting on the
+	// shared work queue (lock acquisition plus idle parking).
+	QueueWait time.Duration
+}
+
+// Metrics is the merged instrumentation of one analysis run. It is
+// always collected (per-worker plain counters, merged after the worker
+// barrier) and describes the fixpoint phase only: the deterministic
+// finalize replay is excluded, so the counter totals match Result.Steps.
+type Metrics struct {
+	// PredSteps is the number of abstract instructions executed inside
+	// each predicate's clauses (exclusive: a callee's instructions are
+	// charged to the callee).
+	PredSteps map[term.Functor]int64
+	// PredRuns is the number of times each predicate's entries were
+	// (re-)explored — the per-predicate re-analysis count.
+	PredRuns map[term.Functor]int64
+	// Opcodes is the per-opcode execution histogram; its sum equals
+	// Result.Steps.
+	Opcodes [wam.NumOps]int64
+	// Extension-table operation counts. A lookup that finds an entry is
+	// a hit; a miss is immediately followed by an insert; an update is
+	// a success-pattern growth.
+	TableHits, TableMisses, TableInserts, TableUpdates int64
+	// Enqueues counts dependency-driven re-enqueues (worklist/parallel).
+	Enqueues int64
+	// HeapHighWater is the largest abstract heap (in cells) any worker
+	// ever held.
+	HeapHighWater int
+	// ExecuteTime is the fixpoint-phase wall time; FinalizeTime is the
+	// deterministic replay's. TableTime estimates the share of
+	// ExecuteTime spent in table operations; it is sampled (one timed
+	// operation in tableSampleEvery), so treat it as an estimate.
+	ExecuteTime, TableTime, FinalizeTime time.Duration
+	// Workers holds per-worker breakdowns (StrategyParallel only).
+	Workers []WorkerMetrics
+}
+
+// metricsShard is one goroutine's private counter set. The zero value
+// is not ready; use newMetricsShard.
+type metricsShard struct {
+	predSteps map[term.Functor]int64
+	predRuns  map[term.Functor]int64
+	opcodes   [wam.NumOps]int64
+
+	hits, misses, inserts, updates, enqueues int64
+
+	tableOps  int64
+	tableTime time.Duration
+}
+
+func newMetricsShard() *metricsShard {
+	return &metricsShard{
+		predSteps: make(map[term.Functor]int64),
+		predRuns:  make(map[term.Functor]int64),
+	}
+}
+
+// tableSampleEvery is the table-op sampling stride: one operation in
+// every tableSampleEvery is timed and scaled up, keeping the clock off
+// the common path.
+const tableSampleEvery = 64
+
+// sampleTable starts a sampled table-operation timing window.
+func (m *metricsShard) sampleTable() (time.Time, bool) {
+	timed := m.tableOps%tableSampleEvery == 0
+	m.tableOps++
+	if timed {
+		return time.Now(), true
+	}
+	return time.Time{}, false
+}
+
+// doneTable closes a sampled timing window.
+func (m *metricsShard) doneTable(t0 time.Time, timed bool) {
+	if timed {
+		m.tableTime += time.Since(t0) * tableSampleEvery
+	}
+}
+
+// merge folds other into m (post-barrier aggregation; no locking).
+func (m *metricsShard) merge(other *metricsShard) {
+	for fn, n := range other.predSteps {
+		m.predSteps[fn] += n
+	}
+	for fn, n := range other.predRuns {
+		m.predRuns[fn] += n
+	}
+	for i := range other.opcodes {
+		m.opcodes[i] += other.opcodes[i]
+	}
+	m.hits += other.hits
+	m.misses += other.misses
+	m.inserts += other.inserts
+	m.updates += other.updates
+	m.enqueues += other.enqueues
+	m.tableOps += other.tableOps
+	m.tableTime += other.tableTime
+}
+
+// attrSwitch charges the steps executed since the last attribution
+// point to the current predicate and makes fn current, returning the
+// previous predicate for attrRestore. Called only at exploration
+// boundaries, so per-predicate accounting costs nothing per instruction.
+func (a *Analyzer) attrSwitch(fn term.Functor) term.Functor {
+	if d := a.Steps - a.attrStart; d > 0 {
+		a.met.predSteps[a.attrFn] += d
+	}
+	prev := a.attrFn
+	a.attrFn = fn
+	a.attrStart = a.Steps
+	return prev
+}
+
+// attrClose flushes the pending attribution delta (driver exit).
+func (a *Analyzer) attrClose() {
+	if d := a.Steps - a.attrStart; d > 0 {
+		a.met.predSteps[a.attrFn] += d
+	}
+	a.attrStart = a.Steps
+}
+
+// noteHeap records the current heap's high-water mark before the heap is
+// replaced or the driver exits (worker heaps are read directly, but the
+// sequential strategies discard heaps between explorations).
+func (a *Analyzer) noteHeap() {
+	if a.h != nil {
+		if hw := a.h.HighWater(); hw > a.heapHW {
+			a.heapHW = hw
+		}
+	}
+}
+
+// attrRestore closes an attribution window opened by attrSwitch.
+func (a *Analyzer) attrRestore(prev term.Functor) {
+	if d := a.Steps - a.attrStart; d > 0 {
+		a.met.predSteps[a.attrFn] += d
+	}
+	a.attrFn = prev
+	a.attrStart = a.Steps
+}
+
+// budgetChunk is the step-allowance granularity: workers reserve this
+// many steps from the shared budget at a time, so the shared atomic is
+// touched once per chunk rather than per instruction.
+const budgetChunk = 4096
+
+// refillSteps reserves another allowance chunk from the shared step
+// budget, reporting false when the budget is exhausted. Unused
+// allowance is refunded by refundSteps, so the global bound is exact up
+// to the chunks currently held by running workers.
+func (a *Analyzer) refillSteps() bool {
+	for {
+		r := atomic.LoadInt64(a.budget)
+		if r <= 0 {
+			return false
+		}
+		take := r
+		if take > budgetChunk {
+			take = budgetChunk
+		}
+		if atomic.CompareAndSwapInt64(a.budget, r, r-take) {
+			a.allow = take
+			return true
+		}
+	}
+}
+
+// refundSteps returns unused allowance to the shared budget (called
+// before a parallel worker parks on the queue, so an idle worker never
+// starves the others of budget).
+func (a *Analyzer) refundSteps() {
+	if a.allow > 0 {
+		atomic.AddInt64(a.budget, a.allow)
+		a.allow = 0
+	}
+}
+
+// buildMetrics assembles the public Metrics from the driver's shard,
+// already merged with any worker shards, plus per-worker breakdowns.
+func (a *Analyzer) buildMetrics(workers []*Analyzer, execute, finalize time.Duration) *Metrics {
+	m := &Metrics{
+		PredSteps:    a.met.predSteps,
+		PredRuns:     a.met.predRuns,
+		Opcodes:      a.met.opcodes,
+		TableHits:    a.met.hits,
+		TableMisses:  a.met.misses,
+		TableInserts: a.met.inserts,
+		TableUpdates: a.met.updates,
+		Enqueues:     a.met.enqueues,
+		ExecuteTime:  execute,
+		TableTime:    a.met.tableTime,
+		FinalizeTime: finalize,
+	}
+	m.HeapHighWater = a.heapHW
+	for i, w := range workers {
+		if hw := w.h.HighWater(); hw > m.HeapHighWater {
+			m.HeapHighWater = hw
+		}
+		m.Workers = append(m.Workers, WorkerMetrics{
+			ID:           i,
+			Steps:        w.Steps,
+			Explorations: int64(w.Iterations),
+			QueueWait:    w.queueWait,
+		})
+	}
+	return m
+}
+
+// Render formats the metrics as the `awam analyze -metrics` report.
+func (m *Metrics) Render(tab *term.Tab) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase    execute=%v table~%v finalize=%v\n",
+		m.ExecuteTime.Round(time.Microsecond), m.TableTime.Round(time.Microsecond),
+		m.FinalizeTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "table    hits=%d misses=%d inserts=%d updates=%d enqueues=%d\n",
+		m.TableHits, m.TableMisses, m.TableInserts, m.TableUpdates, m.Enqueues)
+	fmt.Fprintf(&b, "heap     high-water=%d cells\n", m.HeapHighWater)
+	for _, w := range m.Workers {
+		fmt.Fprintf(&b, "worker   #%d steps=%d explorations=%d queue-wait=%v\n",
+			w.ID, w.Steps, w.Explorations, w.QueueWait.Round(time.Microsecond))
+	}
+	b.WriteString("predicate steps/runs:\n")
+	fns := make([]term.Functor, 0, len(m.PredSteps))
+	for fn := range m.PredSteps {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		if m.PredSteps[fns[i]] != m.PredSteps[fns[j]] {
+			return m.PredSteps[fns[i]] > m.PredSteps[fns[j]]
+		}
+		return tab.FuncString(fns[i]) < tab.FuncString(fns[j])
+	})
+	for _, fn := range fns {
+		fmt.Fprintf(&b, "  %-24s %10d %6d\n", tab.FuncString(fn), m.PredSteps[fn], m.PredRuns[fn])
+	}
+	b.WriteString("opcode histogram:\n")
+	type oc struct {
+		op wam.Op
+		n  int64
+	}
+	var ops []oc
+	for op, n := range m.Opcodes {
+		if n > 0 {
+			ops = append(ops, oc{wam.Op(op), n})
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].n != ops[j].n {
+			return ops[i].n > ops[j].n
+		}
+		return ops[i].op < ops[j].op
+	})
+	for _, o := range ops {
+		fmt.Fprintf(&b, "  %-24s %10d\n", o.op.String(), o.n)
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"awam/internal/domain"
 	"awam/internal/rt"
@@ -53,32 +54,44 @@ func newParState(n int) *parState {
 	return ps
 }
 
-// enqueue schedules e unless it is already queued. Callers must not hold
-// any entry mutex ordering issue: parState.mu is always the innermost
-// lock (never held while taking an Entry.mu or a shard mutex).
-func (ps *parState) enqueue(e *Entry) {
+// enqueue schedules e unless it is already queued, reporting whether it
+// was newly added. Callers must not hold any entry mutex ordering issue:
+// parState.mu is always the innermost lock (never held while taking an
+// Entry.mu or a shard mutex).
+func (ps *parState) enqueue(e *Entry) bool {
+	added := false
 	ps.mu.Lock()
 	if !e.inQueue && !ps.done {
 		e.inQueue = true
 		ps.queue = append(ps.queue, e)
 		ps.cond.Signal()
+		added = true
 	}
 	ps.mu.Unlock()
+	return added
 }
 
-func (ps *parState) enqueueAll(es []*Entry) {
+// enqueueAll schedules every entry not already queued, compacting es in
+// place and returning the subset actually added (the caller owns es, so
+// the observability layer gets the real insertion set without an
+// allocation).
+func (ps *parState) enqueueAll(es []*Entry) []*Entry {
 	if len(es) == 0 {
-		return
+		return nil
 	}
+	k := 0
 	ps.mu.Lock()
 	for _, e := range es {
 		if !e.inQueue && !ps.done {
 			e.inQueue = true
 			ps.queue = append(ps.queue, e)
+			es[k] = e
+			k++
 		}
 	}
 	ps.cond.Broadcast()
 	ps.mu.Unlock()
+	return es[:k]
 }
 
 // next blocks until work is available, returning nil at termination.
@@ -130,7 +143,13 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 	}
 	a.err = nil
 	a.Steps = 0
+	// One budget for the whole analysis: every worker draws chunked
+	// allowances from this shared counter (observe.go), so Config.MaxSteps
+	// bounds the total work regardless of worker count.
+	*a.budget = a.cfg.MaxSteps
+	a.allow = 0
 	ps := newParState(n)
+	execStart := time.Now()
 
 	seeds := make([]*domain.Pattern, len(entries))
 	for i, cp := range entries {
@@ -148,13 +167,14 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 		w := &Analyzer{
 			mod: a.mod, tab: a.tab, cfg: a.cfg, ctx: a.ctx,
 			par: ps, h: rt.NewHeap(), x: make([]rt.Cell, 16),
+			met: newMetricsShard(), tr: a.tr, budget: a.budget,
 		}
 		workers[i] = w
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			w.runWorker()
-		}()
+			w.runWorker(id)
+		}(i)
 	}
 	wg.Wait()
 
@@ -168,6 +188,7 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 	for _, w := range workers {
 		a.Steps += w.Steps
 		explorations += w.Iterations
+		a.met.merge(w.met)
 		for _, msg := range w.Warnings {
 			if !warned[msg] {
 				warned[msg] = true
@@ -177,11 +198,13 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 	}
 	sort.Strings(a.Warnings)
 	a.Iterations = explorations
+	execDur := time.Since(execStart)
 	if ps.err != nil {
 		return nil, ps.err
 	}
 
 	fixSteps := a.Steps
+	finStart := time.Now()
 	finEntries, err := a.finalize(seeds, ps.table)
 	if err != nil {
 		return nil, err
@@ -193,16 +216,27 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 		Iterations: a.Iterations,
 		TableSize:  len(finEntries),
 		Warnings:   a.Warnings,
+		Metrics:    a.buildMetrics(workers, execDur, time.Since(finStart)),
 	}, nil
 }
 
 // runWorker is one worker's loop: pull an entry, explore it on a fresh
 // private heap, repeat until the idle barrier closes the queue.
-func (w *Analyzer) runWorker() {
+func (w *Analyzer) runWorker(id int) {
 	ps := w.par
+	if w.tr != nil {
+		w.tr.Worker(id, true)
+		defer w.tr.Worker(id, false)
+	}
 	for {
+		// Refund the unused step allowance before possibly parking: a
+		// blocked worker must not hold budget the busy ones could use.
+		w.refundSteps()
+		t0 := time.Now()
 		e := ps.next()
+		w.queueWait += time.Since(t0)
 		if e == nil {
+			w.attrClose()
 			return
 		}
 		w.h.Reset()
@@ -210,6 +244,7 @@ func (w *Analyzer) runWorker() {
 		w.explorePar(e)
 		if w.err != nil {
 			ps.fail(w.err)
+			w.attrClose()
 			return
 		}
 	}
@@ -226,11 +261,25 @@ func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
 		return nil
 	}
 	cp.Key() // precompute before publishing
+	t0, timed := a.met.sampleTable()
 	e, created := a.par.table.GetOrAdd(cp)
+	a.met.doneTable(t0, timed)
 	if created {
+		a.met.misses++
+		a.met.inserts++
+		if a.tr != nil {
+			a.tr.Table(cp.Fn, TableMiss)
+			a.tr.Table(cp.Fn, TableInsert)
+		}
 		a.par.enqueue(e)
+	} else {
+		a.met.hits++
+		if a.tr != nil {
+			a.tr.Table(cp.Fn, TableHit)
+		}
 	}
 	e.mu.Lock()
+	e.Lookups++
 	if a.parCur != nil {
 		if e.deps == nil {
 			e.deps = make(map[string]*Entry)
@@ -248,7 +297,12 @@ func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
 // into the shared entry.
 func (w *Analyzer) explorePar(e *Entry) {
 	w.parCur = e
-	defer func() { w.parCur = nil }()
+	w.met.predRuns[e.CP.Fn]++
+	prevFn := w.attrSwitch(e.CP.Fn)
+	defer func() {
+		w.attrRestore(prevFn)
+		w.parCur = nil
+	}()
 	proc := w.mod.Proc(e.CP.Fn)
 	if proc == nil {
 		return
@@ -299,5 +353,15 @@ func (w *Analyzer) mergeSucc(e *Entry, sp *domain.Pattern) {
 		}
 	}
 	e.mu.Unlock()
-	w.par.enqueueAll(deps)
+	w.met.updates++
+	if w.tr != nil {
+		w.tr.Table(e.CP.Fn, TableUpdate)
+	}
+	added := w.par.enqueueAll(deps)
+	w.met.enqueues += int64(len(added))
+	if w.tr != nil {
+		for _, d := range added {
+			w.tr.Enqueue(d.CP.Fn)
+		}
+	}
 }

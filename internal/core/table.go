@@ -6,6 +6,35 @@ import (
 	"awam/internal/domain"
 )
 
+// TableEvent classifies extension-table operations for Tracer.Table.
+type TableEvent int
+
+const (
+	// TableHit is a lookup that found an existing entry.
+	TableHit TableEvent = iota
+	// TableMiss is a lookup that found nothing.
+	TableMiss
+	// TableInsert is a fresh entry insertion (always follows a miss).
+	TableInsert
+	// TableUpdate is a success-pattern growth (monotone lub-merge).
+	TableUpdate
+)
+
+// String names the event for trace output.
+func (ev TableEvent) String() string {
+	switch ev {
+	case TableHit:
+		return "hit"
+	case TableMiss:
+		return "miss"
+	case TableInsert:
+		return "insert"
+	case TableUpdate:
+		return "update"
+	}
+	return "table-event?"
+}
+
 // Entry is one extension-table record: a calling pattern with its lubbed
 // success pattern (nil until some clause succeeds — the paper's "call
 // made but no solution recorded").

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"awam/internal/domain"
 	"awam/internal/rt"
 )
@@ -68,11 +70,15 @@ func (w *wlState) addDep(on, dependent string) {
 	m[dependent] = true
 }
 
-func (w *wlState) enqueue(e *Entry) {
-	if !w.queued[e.Key] {
-		w.queued[e.Key] = true
-		w.queue = append(w.queue, e)
+// enqueue schedules e, reporting whether it was newly added (false when
+// already queued — the observability layer counts real insertions only).
+func (w *wlState) enqueue(e *Entry) bool {
+	if w.queued[e.Key] {
+		return false
 	}
+	w.queued[e.Key] = true
+	w.queue = append(w.queue, e)
+	return true
 }
 
 // analyzeWorklist is the worklist driver, the counterpart of analyze().
@@ -80,8 +86,11 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 	a.table = a.newTable()
 	a.Steps = 0
 	a.err = nil
+	*a.budget = a.cfg.MaxSteps
+	a.allow = 0
 	a.wl = newWLState()
 	a.h = rt.NewHeap()
+	execStart := time.Now()
 	for _, cp := range entries {
 		a.solveWL(cp.Canonical())
 		if a.err != nil {
@@ -93,6 +102,7 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 		a.wl.queue = a.wl.queue[1:]
 		a.wl.queued[e.Key] = false
 		// Top level: nothing survives between explorations.
+		a.noteHeap()
 		a.h = rt.NewHeap()
 		a.exploreWL(e)
 		if a.err != nil {
@@ -101,11 +111,15 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 	}
 	a.Iterations = a.wl.explorations
 	a.wl = nil
+	a.attrClose()
+	a.noteHeap()
+	execDur := time.Since(execStart)
 	// Present the converged table deterministically (finalize.go): the
 	// raw worklist table retains transient calling patterns whose shape
 	// depends on the exploration schedule, so it serves as the summary
 	// oracle while the finalize pass rebuilds the reported entries. This
 	// makes worklist and parallel runs byte-identical.
+	finStart := time.Now()
 	finEntries, err := a.finalize(entries, a.table)
 	if err != nil {
 		return nil, err
@@ -117,6 +131,7 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 		Iterations: a.Iterations,
 		TableSize:  len(finEntries),
 		Warnings:   a.Warnings,
+		Metrics:    a.buildMetrics(nil, execDur, time.Since(finStart)),
 	}
 	return res, nil
 }
@@ -129,13 +144,25 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 		return nil
 	}
 	key := cp.Key()
+	t0, timed := a.met.sampleTable()
 	e := a.table.Get(key)
+	a.met.doneTable(t0, timed)
 	if e == nil {
 		e = &Entry{Key: key, CP: cp}
 		a.table.Add(e)
+		a.met.misses++
+		a.met.inserts++
+		if a.tr != nil {
+			a.tr.Table(cp.Fn, TableMiss)
+			a.tr.Table(cp.Fn, TableInsert)
+		}
 		a.exploreWL(e)
 	} else {
 		e.Lookups++
+		a.met.hits++
+		if a.tr != nil {
+			a.tr.Table(cp.Fn, TableHit)
+		}
 	}
 	if a.wl.current != nil {
 		// Self-dependencies included: a recursive clause that read its
@@ -156,9 +183,12 @@ func (a *Analyzer) exploreWL(e *Entry) {
 	}
 	a.wl.exploring[e.Key] = true
 	a.wl.explorations++
+	a.met.predRuns[e.CP.Fn]++
 	prev := a.wl.current
 	a.wl.current = e
+	prevFn := a.attrSwitch(e.CP.Fn)
 	defer func() {
+		a.attrRestore(prevFn)
 		a.wl.current = prev
 		a.wl.exploring[e.Key] = false
 	}()
@@ -185,9 +215,16 @@ func (a *Analyzer) exploreWL(e *Entry) {
 				if !next.Equal(e.Succ) {
 					e.Succ = next
 					e.Updates++
+					a.met.updates++
+					if a.tr != nil {
+						a.tr.Table(e.CP.Fn, TableUpdate)
+					}
 					for dep := range a.wl.dependents[e.Key] {
-						if de := a.table.Get(dep); de != nil {
-							a.wl.enqueue(de)
+						if de := a.table.Get(dep); de != nil && a.wl.enqueue(de) {
+							a.met.enqueues++
+							if a.tr != nil {
+								a.tr.Enqueue(de.CP.Fn)
+							}
 						}
 					}
 				}

@@ -40,6 +40,13 @@ type Metrics struct {
 	TableSize  int
 	Iterations int
 
+	// Extension-table traffic and peak working set during the compiled
+	// analysis, from the observability layer (core.Result.Metrics).
+	TableHits    int64
+	TableMisses  int64
+	TableUpdates int64
+	HeapCells    int
+
 	CompileMS float64 // Prolog -> WAM compile time ("PLM" column stand-in)
 	OursMS    float64 // compiled analyzer (internal/core)
 	HostedMS  float64 // Prolog-hosted analyzer on the WAM ("Aquarius" stand-in)
@@ -151,6 +158,12 @@ func Measure(p bench.Program, opts MeasureOptions) (*Metrics, error) {
 	m.Exec = res.Steps
 	m.TableSize = res.TableSize
 	m.Iterations = res.Iterations
+	if res.Metrics != nil {
+		m.TableHits = res.Metrics.TableHits
+		m.TableMisses = res.Metrics.TableMisses
+		m.TableUpdates = res.Metrics.TableUpdates
+		m.HeapCells = res.Metrics.HeapHighWater
+	}
 	m.OursMS, err = timeIt(opts.MinSampleTime, func() error {
 		_, err := core.NewWith(mod, opts.CoreConfig).AnalyzeMain()
 		return err
@@ -235,6 +248,20 @@ func WriteTable1(w io.Writer, rows []*Metrics) {
 	}
 	if n > 0 {
 		fmt.Fprintf(w, "%-10s %62s %9.1f\n", "average", "", sum/float64(n))
+	}
+}
+
+// WriteObservability renders the per-benchmark instrumentation columns:
+// extension-table traffic and peak heap, the cost factors the aggregate
+// Table 1 numbers hide.
+func WriteObservability(w io.Writer, rows []*Metrics) {
+	fmt.Fprintln(w, "Observability: extension-table traffic and working set (fixpoint phase)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %7s %7s %7s %8s %8s %10s\n",
+		"Benchmark", "Exec", "Table", "Hits", "Misses", "Updates", "Heap cells")
+	for _, m := range rows {
+		fmt.Fprintf(w, "%-10s %7d %7d %7d %8d %8d %10d\n",
+			m.Name, m.Exec, m.TableSize, m.TableHits, m.TableMisses, m.TableUpdates, m.HeapCells)
 	}
 }
 

@@ -136,6 +136,10 @@ type TrailEntry struct {
 type Heap struct {
 	Cells []Cell
 	Trail []TrailEntry
+	// high is the largest cell count ever reached. The heap only shrinks
+	// at Undo/Reset, so refreshing the mark there (and in HighWater)
+	// observes every peak without a check in the hot Push path.
+	high int
 }
 
 // NewHeap returns a heap with some initial capacity.
@@ -151,8 +155,20 @@ func (h *Heap) Top() int { return len(h.Cells) }
 // executions (e.g. parallel fixpoint workers, one reset per table
 // entry).
 func (h *Heap) Reset() {
+	if len(h.Cells) > h.high {
+		h.high = len(h.Cells)
+	}
 	h.Cells = h.Cells[:0]
 	h.Trail = h.Trail[:0]
+}
+
+// HighWater returns the largest cell count the heap ever held — the
+// analysis working-set statistic reported by core metrics.
+func (h *Heap) HighWater() int {
+	if len(h.Cells) > h.high {
+		h.high = len(h.Cells)
+	}
+	return h.high
 }
 
 // Push appends a cell and returns its address.
@@ -230,6 +246,9 @@ func (h *Heap) Mark() Mark {
 // Undo rolls back all bindings made since the mark and truncates the heap
 // to its marked top.
 func (h *Heap) Undo(m Mark) {
+	if len(h.Cells) > h.high {
+		h.high = len(h.Cells)
+	}
 	for i := len(h.Trail) - 1; i >= m.TrailTop; i-- {
 		e := h.Trail[i]
 		// Entries above the marked heap top vanish with the truncation.

@@ -91,7 +91,75 @@ const (
 	OpGetNilCmp     // get_nil, known nonvar
 	OpGetListRead   // get_list, known nonvar: read mode only
 	OpGetStructRead // get_structure, known nonvar: read mode only
+
+	// NumOps is the opcode count — the size of per-opcode histogram
+	// arrays. Keep it last.
+	NumOps
 )
+
+// opNames maps opcodes to their disassembly mnemonics (X/Y register
+// variants are distinguished so per-opcode histograms stay precise).
+var opNames = [NumOps]string{
+	OpNop:            "nop",
+	OpGetVarX:        "get_variable_x",
+	OpGetVarY:        "get_variable_y",
+	OpGetValX:        "get_value_x",
+	OpGetValY:        "get_value_y",
+	OpGetConst:       "get_constant",
+	OpGetInt:         "get_integer",
+	OpGetNil:         "get_nil",
+	OpGetList:        "get_list",
+	OpGetStruct:      "get_structure",
+	OpPutVarX:        "put_variable_x",
+	OpPutVarY:        "put_variable_y",
+	OpPutValX:        "put_value_x",
+	OpPutValY:        "put_value_y",
+	OpPutConst:       "put_constant",
+	OpPutInt:         "put_integer",
+	OpPutNil:         "put_nil",
+	OpPutList:        "put_list",
+	OpPutStruct:      "put_structure",
+	OpUnifyVarX:      "unify_variable_x",
+	OpUnifyVarY:      "unify_variable_y",
+	OpUnifyValX:      "unify_value_x",
+	OpUnifyValY:      "unify_value_y",
+	OpUnifyConst:     "unify_constant",
+	OpUnifyInt:       "unify_integer",
+	OpUnifyNil:       "unify_nil",
+	OpUnifyVoid:      "unify_void",
+	OpAllocate:       "allocate",
+	OpDeallocate:     "deallocate",
+	OpCall:           "call",
+	OpExecute:        "execute",
+	OpProceed:        "proceed",
+	OpBuiltin:        "builtin",
+	OpHalt:           "halt",
+	OpNeckCut:        "neck_cut",
+	OpGetLevel:       "get_level",
+	OpCutTo:          "cut",
+	OpTryMeElse:      "try_me_else",
+	OpRetryMeElse:    "retry_me_else",
+	OpTrustMe:        "trust_me",
+	OpTry:            "try",
+	OpRetry:          "retry",
+	OpTrust:          "trust",
+	OpSwitchOnTerm:   "switch_on_term",
+	OpSwitchOnConst:  "switch_on_constant",
+	OpSwitchOnStruct: "switch_on_structure",
+	OpGetConstCmp:    "get_constant*",
+	OpGetIntCmp:      "get_integer*",
+	OpGetNilCmp:      "get_nil*",
+	OpGetListRead:    "get_list*",
+	OpGetStructRead:  "get_structure*",
+}
+
+// String returns the opcode's mnemonic.
+func (o Op) String() string {
+	if o < NumOps && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
 
 // FailAddr is the pseudo-address meaning "backtrack" in switch targets.
 const FailAddr = -1

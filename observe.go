@@ -1,0 +1,192 @@
+package awam
+
+import (
+	"sort"
+	"time"
+
+	"awam/internal/core"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// TableEvent classifies the extension-table operations a Tracer sees.
+type TableEvent int
+
+const (
+	// TableHit is a lookup that found an existing entry.
+	TableHit TableEvent = iota
+	// TableMiss is a lookup that found nothing.
+	TableMiss
+	// TableInsert is a fresh entry insertion (always follows a miss).
+	TableInsert
+	// TableUpdate is a success-pattern growth.
+	TableUpdate
+)
+
+// String names the event for trace output.
+func (ev TableEvent) String() string { return core.TableEvent(ev).String() }
+
+// Tracer receives analysis events, installed with WithTracer. Tracing is
+// for understanding a run, not for production metrics — every abstract
+// instruction calls Instr, so expect an order-of-magnitude slowdown;
+// with no tracer installed the instrumentation costs one pointer test
+// per instruction. Under WithParallelism callbacks arrive concurrently
+// from every worker goroutine; implementations must be safe for
+// concurrent use.
+type Tracer interface {
+	// Instr fires before each abstract instruction with the predicate
+	// ("name/arity") whose clause is executing and the opcode name.
+	Instr(pred, opcode string)
+	// Table fires on extension-table operations for the consulted
+	// predicate.
+	Table(pred string, ev TableEvent)
+	// Enqueue fires when a calling pattern is re-enqueued because a
+	// summary it depends on grew (Worklist and Parallel strategies).
+	Enqueue(pred string)
+	// Iteration fires at the start of each Naive fixpoint pass.
+	Iteration(n int)
+	// Worker fires at Parallel worker start (start=true) and exit.
+	Worker(id int, start bool)
+}
+
+// WithTracer installs a Tracer for the analysis. A nil t is a no-op.
+func WithTracer(t Tracer) AnalyzeOption {
+	return func(c *analyzeCfg) { c.tracer = t }
+}
+
+// coreTracer adapts the public string-oriented Tracer onto the internal
+// functor/opcode interface. The symbol table is only read (names are
+// interned at load time), so translation is safe from worker goroutines.
+type coreTracer struct {
+	tab *term.Tab
+	t   Tracer
+}
+
+func (ct coreTracer) Instr(fn term.Functor, op wam.Op) {
+	ct.t.Instr(ct.tab.FuncString(fn), op.String())
+}
+func (ct coreTracer) Table(fn term.Functor, ev core.TableEvent) {
+	ct.t.Table(ct.tab.FuncString(fn), TableEvent(ev))
+}
+func (ct coreTracer) Enqueue(fn term.Functor)   { ct.t.Enqueue(ct.tab.FuncString(fn)) }
+func (ct coreTracer) Iteration(n int)           { ct.t.Iteration(n) }
+func (ct coreTracer) Worker(id int, start bool) { ct.t.Worker(id, start) }
+
+// PredMetrics is the per-predicate share of an analysis run.
+type PredMetrics struct {
+	// Pred is the predicate as "name/arity".
+	Pred string
+	// Steps is the number of abstract instructions executed inside the
+	// predicate's clauses (exclusive: callee instructions are charged to
+	// the callee).
+	Steps int64
+	// Runs is the number of times the predicate's calling patterns were
+	// (re-)explored — its re-analysis count.
+	Runs int64
+}
+
+// OpMetrics is one row of the per-opcode execution histogram.
+type OpMetrics struct {
+	// Opcode is the abstract WAM instruction name.
+	Opcode string
+	// Count is the number of executions.
+	Count int64
+}
+
+// WorkerMetrics is one Parallel worker's share of the run.
+type WorkerMetrics struct {
+	ID int
+	// Steps is the number of abstract instructions the worker executed.
+	Steps int64
+	// Explorations is the number of table entries the worker explored.
+	Explorations int64
+	// QueueWait is the total time the worker spent waiting on the shared
+	// work queue.
+	QueueWait time.Duration
+}
+
+// Metrics is the merged instrumentation of one analysis run. It is
+// always collected — the counters are per-worker plain increments merged
+// after the fixpoint — and covers the fixpoint phase only (the
+// deterministic finalize replay is excluded), so the step totals equal
+// Stats().Exec under every strategy.
+type Metrics struct {
+	// Predicates holds per-predicate steps and re-analysis counts,
+	// sorted by Steps descending (ties by name).
+	Predicates []PredMetrics
+	// Opcodes is the execution histogram, sorted by Count descending;
+	// the counts sum to Stats().Exec.
+	Opcodes []OpMetrics
+	// Extension-table operation counts. A lookup that finds an entry is
+	// a hit; a miss is immediately followed by an insert; an update is a
+	// success-pattern growth.
+	TableHits, TableMisses, TableInserts, TableUpdates int64
+	// Enqueues counts dependency-driven re-enqueues (Worklist/Parallel).
+	Enqueues int64
+	// HeapHighWater is the largest abstract heap (in cells) the analysis
+	// ever held.
+	HeapHighWater int
+	// ExecuteTime is the fixpoint-phase wall time; FinalizeTime the
+	// deterministic presentation pass's. TableTime estimates the share
+	// of ExecuteTime spent in extension-table operations (sampled).
+	ExecuteTime, TableTime, FinalizeTime time.Duration
+	// Workers holds per-worker breakdowns (Parallel strategy only).
+	Workers []WorkerMetrics
+}
+
+// Metrics returns the run's instrumentation. The zero Metrics is
+// returned for analyses loaded with LoadAnalysis (no run happened).
+func (a *Analysis) Metrics() Metrics {
+	cm := a.res.Metrics
+	if cm == nil {
+		return Metrics{}
+	}
+	m := Metrics{
+		TableHits:     cm.TableHits,
+		TableMisses:   cm.TableMisses,
+		TableInserts:  cm.TableInserts,
+		TableUpdates:  cm.TableUpdates,
+		Enqueues:      cm.Enqueues,
+		HeapHighWater: cm.HeapHighWater,
+		ExecuteTime:   cm.ExecuteTime,
+		TableTime:     cm.TableTime,
+		FinalizeTime:  cm.FinalizeTime,
+	}
+	for fn, steps := range cm.PredSteps {
+		m.Predicates = append(m.Predicates, PredMetrics{
+			Pred:  a.sys.tab.FuncString(fn),
+			Steps: steps,
+			Runs:  cm.PredRuns[fn],
+		})
+	}
+	for fn, runs := range cm.PredRuns {
+		if _, seen := cm.PredSteps[fn]; !seen {
+			m.Predicates = append(m.Predicates, PredMetrics{
+				Pred: a.sys.tab.FuncString(fn), Runs: runs,
+			})
+		}
+	}
+	sort.Slice(m.Predicates, func(i, j int) bool {
+		if m.Predicates[i].Steps != m.Predicates[j].Steps {
+			return m.Predicates[i].Steps > m.Predicates[j].Steps
+		}
+		return m.Predicates[i].Pred < m.Predicates[j].Pred
+	})
+	for op, n := range cm.Opcodes {
+		if n > 0 {
+			m.Opcodes = append(m.Opcodes, OpMetrics{Opcode: wam.Op(op).String(), Count: n})
+		}
+	}
+	sort.Slice(m.Opcodes, func(i, j int) bool {
+		if m.Opcodes[i].Count != m.Opcodes[j].Count {
+			return m.Opcodes[i].Count > m.Opcodes[j].Count
+		}
+		return m.Opcodes[i].Opcode < m.Opcodes[j].Opcode
+	})
+	for _, w := range cm.Workers {
+		m.Workers = append(m.Workers, WorkerMetrics{
+			ID: w.ID, Steps: w.Steps, Explorations: w.Explorations, QueueWait: w.QueueWait,
+		})
+	}
+	return m
+}

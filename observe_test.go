@@ -1,0 +1,394 @@
+package awam
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// observeProg is the naive-reverse fixture used across the
+// observability tests; small, recursive, and strategy-sensitive.
+const observeProg = `
+main :- nrev([1,2,3,4,5], R), use(R).
+nrev([], []).
+nrev([X|T], R) :- nrev(T, RT), append(RT, [X], R).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+use(_).
+`
+
+// observeStrategies enumerates the option sets the metrics invariants
+// must hold under.
+var observeStrategies = []struct {
+	name string
+	opts []AnalyzeOption
+}{
+	{"naive", nil},
+	{"worklist", []AnalyzeOption{WithStrategy(Worklist)}},
+	{"parallel-1", []AnalyzeOption{WithParallelism(1)}},
+	{"parallel-4", []AnalyzeOption{WithParallelism(4)}},
+}
+
+// TestMetricsTotals: under every strategy the per-predicate step
+// attribution and the opcode histogram each partition Stats().Exec
+// exactly, and the table counters are internally consistent.
+func TestMetricsTotals(t *testing.T) {
+	sys, err := Load(observeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range observeStrategies {
+		t.Run(sc.name, func(t *testing.T) {
+			an, err := sys.Analyze(sc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec := an.Stats().Exec
+			m := an.Metrics()
+			var predSum, opSum int64
+			for _, p := range m.Predicates {
+				predSum += p.Steps
+			}
+			for _, op := range m.Opcodes {
+				opSum += op.Count
+			}
+			if predSum != exec {
+				t.Errorf("predicate steps sum to %d, Stats().Exec = %d", predSum, exec)
+			}
+			if opSum != exec {
+				t.Errorf("opcode counts sum to %d, Stats().Exec = %d", opSum, exec)
+			}
+			if m.TableMisses != m.TableInserts {
+				t.Errorf("misses (%d) != inserts (%d): every miss must insert",
+					m.TableMisses, m.TableInserts)
+			}
+			if m.TableInserts < int64(an.Stats().TableSize) {
+				t.Errorf("inserts (%d) < final table size (%d)",
+					m.TableInserts, an.Stats().TableSize)
+			}
+			if m.HeapHighWater <= 0 {
+				t.Errorf("HeapHighWater = %d, want > 0", m.HeapHighWater)
+			}
+			var workerSum int64
+			for _, w := range m.Workers {
+				workerSum += w.Steps
+			}
+			if len(m.Workers) > 0 && workerSum != exec {
+				t.Errorf("worker steps sum to %d, Stats().Exec = %d", workerSum, exec)
+			}
+		})
+	}
+}
+
+// TestWorklistParallelAgreement: on a call-free program the parallel
+// engine at one worker has no speculative re-exploration, so its
+// per-predicate step and run counts — not just the rendered result —
+// match the worklist exactly.
+func TestWorklistParallelAgreement(t *testing.T) {
+	sys, err := Load(`
+p(a, b).
+p(c, d).
+q([1, 2, 3]).
+r(X, X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sys.Analyze(WithStrategy(Worklist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.Analyze(WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Report() != wl.Report() {
+		t.Fatalf("reports differ:\n%s\nvs\n%s", par.Report(), wl.Report())
+	}
+	if got, want := par.Stats().TableSize, wl.Stats().TableSize; got != want {
+		t.Errorf("table size %d, worklist has %d", got, want)
+	}
+	type counts struct{ Steps, Runs int64 }
+	perPred := func(m Metrics) map[string]counts {
+		out := make(map[string]counts)
+		for _, p := range m.Predicates {
+			out[p.Pred] = counts{p.Steps, p.Runs}
+		}
+		return out
+	}
+	if got, want := perPred(par.Metrics()), perPred(wl.Metrics()); !reflect.DeepEqual(got, want) {
+		t.Errorf("per-predicate metrics differ:\nparallel: %v\nworklist: %v", got, want)
+	}
+}
+
+// TestOptionValidation: every invalid option value is rejected with
+// ErrBadOption before any analysis runs.
+func TestOptionValidation(t *testing.T) {
+	sys, err := Load(observeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  AnalyzeOption
+	}{
+		{"negative depth", WithDepth(-1)},
+		{"negative workers", WithParallelism(-2)},
+		{"negative budget", WithMaxSteps(-1)},
+		{"zero budget", WithMaxSteps(0)},
+		{"unknown strategy", WithStrategy(Strategy(99))},
+		{"unknown table kind", WithTable(TableKind(99))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := sys.Analyze(tc.opt); !errors.Is(err, ErrBadOption) {
+				t.Fatalf("err = %v, want ErrBadOption", err)
+			}
+		})
+	}
+}
+
+// TestSharedStepBudget: WithMaxSteps is one global pool. A budget below
+// the program's step count fails with ErrAnalysisBudget at every worker
+// count — under the old per-worker accounting, eight workers would have
+// had 8x the allowance and succeeded.
+func TestSharedStepBudget(t *testing.T) {
+	sys, err := Load(observeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := sys.Analyze(WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := an.Stats().Exec
+	small := need / 3
+	if small <= 0 {
+		t.Fatalf("fixture too small: parallel run took %d steps", need)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			_, err := sys.Analyze(WithParallelism(workers), WithMaxSteps(small))
+			if !errors.Is(err, ErrAnalysisBudget) {
+				t.Fatalf("budget %d with %d workers: err = %v, want ErrAnalysisBudget",
+					small, workers, err)
+			}
+		})
+	}
+	// A sufficient budget succeeds and is respected exactly.
+	big := 4 * need
+	an, err = sys.Analyze(WithParallelism(4), WithMaxSteps(big))
+	if err != nil {
+		t.Fatalf("budget %d: %v", big, err)
+	}
+	if got := an.Stats().Exec; got > big {
+		t.Errorf("Stats().Exec = %d exceeds budget %d", got, big)
+	}
+}
+
+// countingTracer tallies events; safe for concurrent use as the Tracer
+// contract requires under WithParallelism.
+type countingTracer struct {
+	mu          sync.Mutex
+	instrs      int64
+	table       map[TableEvent]int64
+	enqueues    int64
+	iterations  int
+	workerStart int
+	workerStop  int
+}
+
+func newCountingTracer() *countingTracer {
+	return &countingTracer{table: make(map[TableEvent]int64)}
+}
+
+func (c *countingTracer) Instr(pred, opcode string) {
+	c.mu.Lock()
+	c.instrs++
+	c.mu.Unlock()
+}
+func (c *countingTracer) Table(pred string, ev TableEvent) {
+	c.mu.Lock()
+	c.table[ev]++
+	c.mu.Unlock()
+}
+func (c *countingTracer) Enqueue(pred string) {
+	c.mu.Lock()
+	c.enqueues++
+	c.mu.Unlock()
+}
+func (c *countingTracer) Iteration(n int) {
+	c.mu.Lock()
+	c.iterations++
+	c.mu.Unlock()
+}
+func (c *countingTracer) Worker(id int, start bool) {
+	c.mu.Lock()
+	if start {
+		c.workerStart++
+	} else {
+		c.workerStop++
+	}
+	c.mu.Unlock()
+}
+
+// TestTracerEvents: the tracer sees exactly the events the metrics
+// count — one Instr per abstract instruction, table events matching the
+// counters — plus the strategy-specific lifecycle callbacks.
+func TestTracerEvents(t *testing.T) {
+	sys, err := Load(observeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("naive", func(t *testing.T) {
+		tr := newCountingTracer()
+		an, err := sys.Analyze(WithTracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.instrs != an.Stats().Exec {
+			t.Errorf("Instr events = %d, Stats().Exec = %d", tr.instrs, an.Stats().Exec)
+		}
+		if tr.iterations != an.Stats().Iterations {
+			t.Errorf("Iteration events = %d, Stats().Iterations = %d",
+				tr.iterations, an.Stats().Iterations)
+		}
+		m := an.Metrics()
+		for _, chk := range []struct {
+			ev   TableEvent
+			want int64
+		}{
+			{TableHit, m.TableHits},
+			{TableMiss, m.TableMisses},
+			{TableInsert, m.TableInserts},
+			{TableUpdate, m.TableUpdates},
+		} {
+			if got := tr.table[chk.ev]; got != chk.want {
+				t.Errorf("%s events = %d, metrics count %d", chk.ev, got, chk.want)
+			}
+		}
+	})
+
+	t.Run("worklist", func(t *testing.T) {
+		tr := newCountingTracer()
+		an, err := sys.Analyze(WithStrategy(Worklist), WithTracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.instrs != an.Stats().Exec {
+			t.Errorf("Instr events = %d, Stats().Exec = %d", tr.instrs, an.Stats().Exec)
+		}
+		if got, want := tr.enqueues, an.Metrics().Enqueues; got != want {
+			t.Errorf("Enqueue events = %d, metrics count %d", got, want)
+		}
+	})
+
+	t.Run("parallel", func(t *testing.T) {
+		const workers = 2
+		tr := newCountingTracer()
+		an, err := sys.Analyze(WithParallelism(workers), WithTracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.instrs != an.Stats().Exec {
+			t.Errorf("Instr events = %d, Stats().Exec = %d", tr.instrs, an.Stats().Exec)
+		}
+		if tr.workerStart != workers || tr.workerStop != workers {
+			t.Errorf("worker events = %d starts / %d stops, want %d each",
+				tr.workerStart, tr.workerStop, workers)
+		}
+	})
+}
+
+// TestDeprecatedOptionWrappers: the deprecated option forms are exact
+// aliases of their WithTable/WithStrategy replacements.
+func TestDeprecatedOptionWrappers(t *testing.T) {
+	sys, err := Load(observeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []struct {
+		name                string
+		deprecated, current AnalyzeOption
+	}{
+		{"WithHashTable", WithHashTable(), WithTable(TableHash)},
+		{"WithWorklist", WithWorklist(), WithStrategy(Worklist)},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			old, err := sys.Analyze(p.deprecated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur, err := sys.Analyze(p.current)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if old.Report() != cur.Report() {
+				t.Errorf("reports differ:\n%s\nvs\n%s", old.Report(), cur.Report())
+			}
+			if old.Marshal() != cur.Marshal() {
+				t.Errorf("marshaled results differ")
+			}
+			if old.Stats() != cur.Stats() {
+				t.Errorf("stats differ: %+v vs %+v", old.Stats(), cur.Stats())
+			}
+		})
+	}
+}
+
+// TestSummaryTyped: the typed Summary agrees with the string accessors
+// built on top of it and exposes per-argument structure.
+func TestSummaryTyped(t *testing.T) {
+	sys, err := Load(observeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := an.Summary("nosuch/3"); ok {
+		t.Error("Summary of undefined predicate reported ok")
+	}
+
+	s, ok := an.Summary("nrev/2")
+	if !ok {
+		t.Fatal("no summary for nrev/2")
+	}
+	if !s.Succeeds {
+		t.Error("nrev/2 marked non-succeeding")
+	}
+	if len(s.Args) != 2 {
+		t.Fatalf("nrev/2 has %d arg summaries, want 2", len(s.Args))
+	}
+	if s.Args[0].Mode != ModeInGround {
+		t.Errorf("nrev/2 arg 1 mode = %v, want %v (ground list in)", s.Args[0].Mode, ModeInGround)
+	}
+	if s.Args[1].Mode != ModeOutGround {
+		t.Errorf("nrev/2 arg 2 mode = %v, want %v (free in, ground out)", s.Args[1].Mode, ModeOutGround)
+	}
+	if s.Args[0].CallType != TypeList {
+		t.Errorf("nrev/2 arg 1 call type = %v, want %v", s.Args[0].CallType, TypeList)
+	}
+	if s.Args[1].CallType != TypeVar {
+		t.Errorf("nrev/2 arg 2 call type = %v, want %v", s.Args[1].CallType, TypeVar)
+	}
+
+	// The string accessors are defined as views of the Summary.
+	modes, ok := an.Modes("nrev/2")
+	if !ok || modes != s.ModeString() {
+		t.Errorf("Modes = %q (ok=%v), Summary.ModeString = %q", modes, ok, s.ModeString())
+	}
+	succ, ok := an.SuccessPattern("nrev/2")
+	if !ok || succ != s.Success {
+		t.Errorf("SuccessPattern = %q (ok=%v), Summary.Success = %q", succ, ok, s.Success)
+	}
+	if got := an.AliasPairs("nrev/2"); !reflect.DeepEqual(got, s.AliasPairs) {
+		t.Errorf("AliasPairs = %v, Summary.AliasPairs = %v", got, s.AliasPairs)
+	}
+}
