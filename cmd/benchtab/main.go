@@ -9,6 +9,7 @@
 //	benchtab -table observe    # table traffic + working set per benchmark
 //	benchtab -table all        # everything
 //	benchtab -quick            # smaller timing samples
+//	benchtab -json out.json    # machine-readable report (BENCH_PR3.json)
 package main
 
 import (
@@ -23,7 +24,33 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, all")
 	quick := flag.Bool("quick", false, "use short timing samples")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this file and exit")
+	label := flag.String("label", "PR3", "revision label recorded in the -json report")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		fmt.Fprintln(os.Stderr, "measuring JSON benchmark report...")
+		rep, err := harness.MeasureBenchJSON(*label, *quick, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteBenchJSON(f, rep); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := harness.DefaultMeasureOptions()
 	if *quick {

@@ -112,11 +112,11 @@ func TestCrossValidation(t *testing.T) {
 
 			coreKeys := make(map[string]*core.Entry)
 			for _, e := range coreRes.Entries {
-				coreKeys[e.Key] = e
+				coreKeys[e.Key()] = e
 			}
 			baseKeys := make(map[string]*core.Entry)
 			for _, e := range baseRes.Entries {
-				baseKeys[e.Key] = e
+				baseKeys[e.Key()] = e
 			}
 			for k, ce := range coreKeys {
 				be, ok := baseKeys[k]
@@ -179,10 +179,10 @@ func TestExtendedCrossValidation(t *testing.T) {
 			}
 			coreKeys := make(map[string]*core.Entry)
 			for _, e := range coreRes.Entries {
-				coreKeys[e.Key] = e
+				coreKeys[e.Key()] = e
 			}
 			for _, be := range baseRes.Entries {
-				ce, ok := coreKeys[be.Key]
+				ce, ok := coreKeys[be.Key()]
 				if !ok {
 					t.Errorf("pattern %s only in baseline", be.CP.String(tab))
 					continue

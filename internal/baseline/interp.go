@@ -111,7 +111,7 @@ func (a *Analyzer) Analyze(entry *domain.Pattern) (*core.Result, error) {
 	entries := make([]*core.Entry, len(a.table))
 	for i, e := range a.table {
 		entries[i] = &core.Entry{
-			Key: e.key, CP: e.cp, Succ: e.succ,
+			CP: e.cp, Succ: e.succ,
 			Lookups: e.lookups, Updates: e.updates,
 		}
 	}

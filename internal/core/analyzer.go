@@ -99,6 +99,15 @@ type Analyzer struct {
 	h     *rt.Heap
 	x     []rt.Cell
 	table Table
+	// in is the analysis-wide hash-conser: every canonical pattern the
+	// engine handles is interned to a dense domain.PatternID, and all
+	// tables, worklists and dependency maps key on those IDs. Parallel
+	// workers share the driver's interner (it is concurrent and its lock
+	// is leaf-level). memo caches the pattern-level lattice operations on
+	// IDs; it is goroutine-private (workers get their own, absorbed into
+	// the driver's after the barrier, like the metrics shards).
+	in   *domain.Interner
+	memo *domain.Memo
 	// Exactly one of wl, par, fin is non-nil while the corresponding
 	// phase runs; solve dispatches on them.
 	wl  *wlState
@@ -159,9 +168,60 @@ func NewWith(mod *wam.Module, cfg Config) *Analyzer {
 	a := &Analyzer{mod: mod, tab: mod.Tab, cfg: cfg, x: make([]rt.Cell, 16)}
 	a.met = newMetricsShard()
 	a.tr = cfg.Tracer
+	a.in = domain.NewInterner()
+	a.memo = domain.NewMemo()
 	budget := cfg.MaxSteps
 	a.budget = &budget
 	return a
+}
+
+// intern resolves cp to its hash-consed ID, counting interner traffic.
+func (a *Analyzer) intern(cp *domain.Pattern) domain.PatternID {
+	id, hit := a.in.Intern(cp)
+	if hit {
+		a.met.internHits++
+	} else {
+		a.met.internMisses++
+	}
+	return id
+}
+
+// leqSumm reports sp ⊑ succ on interned summaries, memoized so the
+// common steady-state check (a clause success already below the
+// accumulated summary) is a map probe instead of a graph walk.
+func (a *Analyzer) leqSumm(spID, succID domain.PatternID) bool {
+	if spID == succID {
+		return true
+	}
+	v, ok := a.memo.Leq(spID, succID)
+	if !ok {
+		v = domain.LeqPattern(a.tab, a.in.Pattern(spID), a.in.Pattern(succID))
+		a.memo.SetLeq(spID, succID, v)
+	}
+	return v
+}
+
+// mergeSumm computes widen(lub(succ, sp), k) — the monotone summary
+// merge every strategy performs — through the ID-keyed memo caches,
+// returning the interned result. The lub cache is the one surfaced in
+// Metrics (LubCacheHits/Misses); the widen cache rides on its output.
+func (a *Analyzer) mergeSumm(succID, spID domain.PatternID) (domain.PatternID, *domain.Pattern) {
+	lubID, ok := a.memo.Lub(succID, spID)
+	if ok {
+		a.met.lubHits++
+	} else {
+		a.met.lubMisses++
+		l := domain.LubPattern(a.tab, a.in.Pattern(succID), a.in.Pattern(spID))
+		lubID = a.intern(l)
+		a.memo.SetLub(succID, spID, lubID)
+	}
+	nextID, ok := a.memo.Widen(lubID)
+	if !ok {
+		w := domain.WidenPattern(a.tab, a.in.Pattern(lubID), a.cfg.Depth)
+		nextID = a.intern(w)
+		a.memo.SetWiden(lubID, nextID)
+	}
+	return nextID, a.in.Pattern(nextID)
 }
 
 func (a *Analyzer) newTable() Table {
@@ -362,9 +422,9 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	key := cp.Key()
+	id := a.intern(cp)
 	t0, timed := a.met.sampleTable()
-	e := a.table.Get(key)
+	e := a.table.Get(id)
 	a.met.doneTable(t0, timed)
 	if e != nil {
 		a.met.hits++
@@ -378,7 +438,7 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 			return e.Succ
 		}
 	} else {
-		e = &Entry{Key: key, CP: cp}
+		e = &Entry{ID: id, CP: a.in.Pattern(id)}
 		a.table.Add(e)
 		a.met.misses++
 		a.met.inserts++
@@ -412,13 +472,15 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 		}
 		if ok {
 			sp := a.abstractArgs(cp.Fn, argAddrs)
+			spID := a.intern(sp)
 			// Fast path: a success pattern below the accumulated one
 			// cannot change it (the common case after the first
 			// iteration), so skip the graph lub entirely.
-			if e.Succ == nil || !domain.LeqPattern(a.tab, sp, e.Succ) {
-				next := domain.WidenPattern(a.tab, domain.LubPattern(a.tab, e.Succ, sp), a.cfg.Depth)
-				if !next.Equal(e.Succ) {
+			if e.succID == domain.BottomID || !a.leqSumm(spID, e.succID) {
+				nextID, next := a.mergeSumm(e.succID, spID)
+				if nextID != e.succID {
 					e.Succ = next
+					e.succID = nextID
 					e.Updates++
 					a.changed = true
 					a.met.updates++

@@ -527,10 +527,10 @@ func TestWorklistMatchesNaive(t *testing.T) {
 			}
 			nk := make(map[string]*Entry)
 			for _, e := range naive.Entries {
-				nk[e.Key] = e
+				nk[e.Key()] = e
 			}
 			for _, we := range wl.Entries {
-				ne, ok := nk[we.Key]
+				ne, ok := nk[we.Key()]
 				if !ok {
 					t.Fatalf("pattern %s only found by worklist", we.CP.String(tab))
 				}

@@ -55,16 +55,18 @@ import (
 // and clause execution over sound callee summaries yields sound success
 // patterns.
 
-// summaryOracle answers converged-summary lookups; both the sequential
-// Table implementations and the ShardedTable satisfy it.
+// summaryOracle answers converged-summary lookups by interned ID; both
+// the sequential Table implementations and the ShardedTable satisfy it.
+// The replay shares the fixpoint phase's interner, so its IDs are
+// directly comparable with the oracle's.
 type summaryOracle interface {
-	Get(key string) *Entry
+	Get(id domain.PatternID) *Entry
 }
 
 // finState is the finalize-pass bookkeeping; solve dispatches on it.
 type finState struct {
 	oracle summaryOracle
-	index  map[string]*Entry
+	index  map[domain.PatternID]*Entry
 	order  []*Entry
 }
 
@@ -89,7 +91,7 @@ func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]
 	a.allow = 0
 	a.attrFn = term.Functor{}
 	a.attrStart = 0
-	a.fin = &finState{oracle: oracle, index: make(map[string]*Entry)}
+	a.fin = &finState{oracle: oracle, index: make(map[domain.PatternID]*Entry)}
 	defer func() {
 		a.fin = nil
 		a.Steps = savedSteps
@@ -119,20 +121,21 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	key := cp.Key()
-	if e := a.fin.index[key]; e != nil {
+	id := a.intern(cp)
+	if e := a.fin.index[id]; e != nil {
 		e.Lookups++
 		return e.Succ
 	}
-	e := &Entry{Key: key, CP: cp}
-	if oe := a.fin.oracle.Get(key); oe != nil {
+	e := &Entry{ID: id, CP: a.in.Pattern(id)}
+	if oe := a.fin.oracle.Get(id); oe != nil {
 		e.Succ = oe.Succ
+		e.succID = oe.succID
 	} else {
 		// Should be unreachable at a true fixpoint; kept as a warning so
 		// a convergence bug surfaces as imprecision, not silence.
 		a.warnOnce("core: finalize: calling pattern missing from converged table: " + cp.String(a.tab))
 	}
-	a.fin.index[key] = e
+	a.fin.index[id] = e
 	a.fin.order = append(a.fin.order, e)
 	a.exploreFin(e)
 	return e.Succ
@@ -149,7 +152,7 @@ func (a *Analyzer) exploreFin(e *Entry) {
 	if proc == nil {
 		return
 	}
-	var acc *domain.Pattern
+	accID := domain.BottomID
 	for _, clauseAddr := range a.selectClauses(proc, e.CP) {
 		mark := a.h.Mark()
 		argAddrs := a.materialize(e.CP)
@@ -163,12 +166,14 @@ func (a *Analyzer) exploreFin(e *Entry) {
 		}
 		if ok {
 			sp := a.abstractArgs(e.CP.Fn, argAddrs)
-			if e.Succ == nil || !domain.LeqPattern(a.tab, sp, e.Succ) {
+			spID := a.intern(sp)
+			if e.succID == domain.BottomID || !a.leqSumm(spID, e.succID) {
 				a.warnOnce("core: finalize: summary not converged for " + e.CP.String(a.tab))
 			}
-			acc = domain.WidenPattern(a.tab, domain.LubPattern(a.tab, acc, sp), a.cfg.Depth)
+			accID, _ = a.mergeSumm(accID, spID)
 		}
 		a.h.Undo(mark)
 	}
-	e.Succ = acc
+	e.Succ = a.in.Pattern(accID)
+	e.succID = accID
 }

@@ -83,6 +83,18 @@ type Metrics struct {
 	TableHits, TableMisses, TableInserts, TableUpdates int64
 	// Enqueues counts dependency-driven re-enqueues (worklist/parallel).
 	Enqueues int64
+	// Hash-consing traffic (intern.go): InternHits counts pattern
+	// interns resolved on the read path, InternMisses first-sight
+	// insertions. InternedPatterns/InternedTerms are the interner's
+	// end-of-run sizes — the distinct canonical patterns and term nodes
+	// the analysis ever touched (finalize-phase discoveries included in
+	// the sizes, though its hit/miss traffic is excluded like all its
+	// counters).
+	InternHits, InternMisses        int64
+	InternedPatterns, InternedTerms int
+	// Lub-cache traffic: summary merges served from the ID-keyed memo
+	// versus computed by a full graph lub + widen.
+	LubCacheHits, LubCacheMisses int64
 	// HeapHighWater is the largest abstract heap (in cells) any worker
 	// ever held.
 	HeapHighWater int
@@ -103,6 +115,9 @@ type metricsShard struct {
 	opcodes   [wam.NumOps]int64
 
 	hits, misses, inserts, updates, enqueues int64
+
+	internHits, internMisses int64
+	lubHits, lubMisses       int64
 
 	tableOps  int64
 	tableTime time.Duration
@@ -153,6 +168,10 @@ func (m *metricsShard) merge(other *metricsShard) {
 	m.inserts += other.inserts
 	m.updates += other.updates
 	m.enqueues += other.enqueues
+	m.internHits += other.internHits
+	m.internMisses += other.internMisses
+	m.lubHits += other.lubHits
+	m.lubMisses += other.lubMisses
 	m.tableOps += other.tableOps
 	m.tableTime += other.tableTime
 }
@@ -239,18 +258,23 @@ func (a *Analyzer) refundSteps() {
 // already merged with any worker shards, plus per-worker breakdowns.
 func (a *Analyzer) buildMetrics(workers []*Analyzer, execute, finalize time.Duration) *Metrics {
 	m := &Metrics{
-		PredSteps:    a.met.predSteps,
-		PredRuns:     a.met.predRuns,
-		Opcodes:      a.met.opcodes,
-		TableHits:    a.met.hits,
-		TableMisses:  a.met.misses,
-		TableInserts: a.met.inserts,
-		TableUpdates: a.met.updates,
-		Enqueues:     a.met.enqueues,
-		ExecuteTime:  execute,
-		TableTime:    a.met.tableTime,
-		FinalizeTime: finalize,
+		PredSteps:      a.met.predSteps,
+		PredRuns:       a.met.predRuns,
+		Opcodes:        a.met.opcodes,
+		TableHits:      a.met.hits,
+		TableMisses:    a.met.misses,
+		TableInserts:   a.met.inserts,
+		TableUpdates:   a.met.updates,
+		Enqueues:       a.met.enqueues,
+		InternHits:     a.met.internHits,
+		InternMisses:   a.met.internMisses,
+		LubCacheHits:   a.met.lubHits,
+		LubCacheMisses: a.met.lubMisses,
+		ExecuteTime:    execute,
+		TableTime:      a.met.tableTime,
+		FinalizeTime:   finalize,
 	}
+	m.InternedPatterns, m.InternedTerms = a.in.Size()
 	m.HeapHighWater = a.heapHW
 	for i, w := range workers {
 		if hw := w.h.HighWater(); hw > m.HeapHighWater {
@@ -274,6 +298,9 @@ func (m *Metrics) Render(tab *term.Tab) string {
 		m.FinalizeTime.Round(time.Microsecond))
 	fmt.Fprintf(&b, "table    hits=%d misses=%d inserts=%d updates=%d enqueues=%d\n",
 		m.TableHits, m.TableMisses, m.TableInserts, m.TableUpdates, m.Enqueues)
+	fmt.Fprintf(&b, "intern   hits=%d misses=%d patterns=%d terms=%d\n",
+		m.InternHits, m.InternMisses, m.InternedPatterns, m.InternedTerms)
+	fmt.Fprintf(&b, "lubcache hits=%d misses=%d\n", m.LubCacheHits, m.LubCacheMisses)
 	fmt.Fprintf(&b, "heap     high-water=%d cells\n", m.HeapHighWater)
 	for _, w := range m.Workers {
 		fmt.Fprintf(&b, "worker   #%d steps=%d explorations=%d queue-wait=%v\n",

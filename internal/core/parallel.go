@@ -153,10 +153,10 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 
 	seeds := make([]*domain.Pattern, len(entries))
 	for i, cp := range entries {
-		c := cp.Canonical()
-		c.Key() // precompute before publishing (lazy memo, read concurrently)
+		// The interner's canonical rep (Key precomputed, safe to publish).
+		c := a.in.Pattern(a.intern(cp.Canonical()))
 		seeds[i] = c
-		if e, created := ps.table.GetOrAdd(c); created {
+		if e, created := ps.table.GetOrAdd(a.intern(c), c); created {
 			ps.enqueue(e)
 		}
 	}
@@ -168,6 +168,9 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 			mod: a.mod, tab: a.tab, cfg: a.cfg, ctx: a.ctx,
 			par: ps, h: rt.NewHeap(), x: make([]rt.Cell, 16),
 			met: newMetricsShard(), tr: a.tr, budget: a.budget,
+			// The interner is shared (concurrent, leaf-level lock); the
+			// memo is per-worker and folded in after the barrier.
+			in: a.in, memo: domain.NewMemo(),
 		}
 		workers[i] = w
 		wg.Add(1)
@@ -189,6 +192,7 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 		a.Steps += w.Steps
 		explorations += w.Iterations
 		a.met.merge(w.met)
+		a.memo.Absorb(w.memo)
 		for _, msg := range w.Warnings {
 			if !warned[msg] {
 				warned[msg] = true
@@ -260,9 +264,9 @@ func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	cp.Key() // precompute before publishing
+	id := a.intern(cp)
 	t0, timed := a.met.sampleTable()
-	e, created := a.par.table.GetOrAdd(cp)
+	e, created := a.par.table.GetOrAdd(id, a.in.Pattern(id))
 	a.met.doneTable(t0, timed)
 	if created {
 		a.met.misses++
@@ -282,11 +286,11 @@ func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
 	e.Lookups++
 	if a.parCur != nil {
 		if e.deps == nil {
-			e.deps = make(map[string]*Entry)
+			e.deps = make(map[domain.PatternID]*Entry)
 		}
 		// Self-edges included: a recursive clause that read its own
 		// in-flight summary must rerun when the summary grows.
-		e.deps[a.parCur.Key] = a.parCur
+		e.deps[a.parCur.ID] = a.parCur
 	}
 	succ := e.Succ
 	e.mu.Unlock()
@@ -332,19 +336,22 @@ func (w *Analyzer) explorePar(e *Entry) {
 // the dependents under the entry lock and enqueues them after releasing
 // it (parState.mu is never taken while holding an entry mutex).
 func (w *Analyzer) mergeSucc(e *Entry, sp *domain.Pattern) {
+	// Intern outside the entry lock where possible; the nested interner
+	// acquisitions below are safe regardless (leaf-level lock).
+	spID := w.intern(sp)
 	var deps []*Entry
 	e.mu.Lock()
-	if e.Succ != nil && domain.LeqPattern(w.tab, sp, e.Succ) {
+	if e.succID != domain.BottomID && w.leqSumm(spID, e.succID) {
 		e.mu.Unlock()
 		return
 	}
-	next := domain.WidenPattern(w.tab, domain.LubPattern(w.tab, e.Succ, sp), w.cfg.Depth)
-	if next.Equal(e.Succ) {
+	nextID, next := w.mergeSumm(e.succID, spID)
+	if nextID == e.succID {
 		e.mu.Unlock()
 		return
 	}
-	next.Key() // precompute before publishing
-	e.Succ = next
+	e.Succ = next // interner rep: Key precomputed, safe to publish
+	e.succID = nextID
 	e.Updates++
 	if len(e.deps) > 0 {
 		deps = make([]*Entry, 0, len(e.deps))

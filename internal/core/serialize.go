@@ -68,7 +68,10 @@ func Unmarshal(tab *term.Tab, text string) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
 			}
-			current = &Entry{Key: cp.Key(), CP: cp}
+			// No interner in scope: loaded entries carry no ID (the engine
+			// never feeds them back into a fixpoint); Key() still works
+			// through CP for display and comparison.
+			current = &Entry{CP: cp}
 			res.Entries = append(res.Entries, current)
 		case strings.HasPrefix(line, "succ "):
 			if current == nil {

@@ -29,7 +29,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 			}
 			for i, e := range res.Entries {
 				be := back.Entries[i]
-				if e.Key != be.Key {
+				if e.Key() != be.Key() {
 					t.Fatalf("entry %d key differs:\n  %s\n  %s",
 						i, e.CP.String(tab), be.CP.String(tab))
 				}

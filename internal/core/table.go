@@ -39,9 +39,15 @@ func (ev TableEvent) String() string {
 // success pattern (nil until some clause succeeds — the paper's "call
 // made but no solution recorded").
 type Entry struct {
-	Key  string
+	// ID is the calling pattern's interned identity (domain.Interner);
+	// every engine map and table keys on it. Zero (domain.BottomID) on
+	// entries built outside an analysis (Unmarshal, baseline).
+	ID   domain.PatternID
 	CP   *domain.Pattern
 	Succ *domain.Pattern
+	// succID is Succ's interned identity, kept in lockstep by the merge
+	// paths so growth checks are word compares (BottomID while nil).
+	succID domain.PatternID
 	// exploredIter is the analysis iteration that last explored this
 	// calling pattern (repeated encounters within an iteration return
 	// the memoized success pattern instead of re-exploring).
@@ -51,23 +57,28 @@ type Entry struct {
 	Updates int
 
 	// Parallel-engine state (used only by StrategyParallel). The mutex
-	// guards Succ, Updates and deps; dependency edges live on the callee
-	// entry itself — the sharded-table replacement for
+	// guards Succ, succID, Updates and deps; dependency edges live on the
+	// callee entry itself — the sharded-table replacement for
 	// wlState.dependents — so a worker that grows a summary can snapshot
 	// and enqueue dependents without any global lock.
 	mu   sync.Mutex
-	deps map[string]*Entry
+	deps map[domain.PatternID]*Entry
 	// inQueue dedups work-queue insertions; guarded by the queue lock,
 	// not by mu.
 	inQueue bool
 }
 
-// Table is the extension table: a memo from calling-pattern keys to
-// entries.
+// Key returns the calling pattern's canonical serialization — the
+// human-readable boundary (display, serialized summaries, cross-engine
+// test comparison). The engine itself keys on ID.
+func (e *Entry) Key() string { return e.CP.Key() }
+
+// Table is the extension table: a memo from interned calling-pattern
+// IDs to entries.
 type Table interface {
-	// Get returns the entry for key, or nil.
-	Get(key string) *Entry
-	// Add inserts a fresh entry (key must not be present).
+	// Get returns the entry for id, or nil.
+	Get(id domain.PatternID) *Entry
+	// Add inserts a fresh entry (its ID must not be present).
 	Add(e *Entry)
 	// Entries returns all entries in insertion order.
 	Entries() []*Entry
@@ -77,7 +88,9 @@ type Table interface {
 
 // LinearTable is the paper's implementation: "a linear list of
 // (calling-pattern, success-pattern) pairs" searched sequentially. It is
-// the faithful default; HashTable is the ablation.
+// the faithful default; HashTable is the ablation. The scan compares
+// interned IDs, so each probe is a word compare, but the cost stays
+// linear in the table size as the paper measured.
 type LinearTable struct {
 	entries []*Entry
 }
@@ -85,10 +98,10 @@ type LinearTable struct {
 // NewLinearTable returns an empty linear table.
 func NewLinearTable() *LinearTable { return &LinearTable{} }
 
-// Get scans the list for key.
-func (t *LinearTable) Get(key string) *Entry {
+// Get scans the list for id.
+func (t *LinearTable) Get(id domain.PatternID) *Entry {
 	for _, e := range t.entries {
-		if e.Key == key {
+		if e.ID == id {
 			return e
 		}
 	}
@@ -104,24 +117,24 @@ func (t *LinearTable) Entries() []*Entry { return t.entries }
 // Len returns the entry count.
 func (t *LinearTable) Len() int { return len(t.entries) }
 
-// HashTable indexes entries by key; an ablation over the paper's linear
-// list (experiment E8).
+// HashTable indexes entries by interned ID; an ablation over the
+// paper's linear list (experiment E8).
 type HashTable struct {
-	index map[string]*Entry
+	index map[domain.PatternID]*Entry
 	order []*Entry
 }
 
 // NewHashTable returns an empty hash table.
 func NewHashTable() *HashTable {
-	return &HashTable{index: make(map[string]*Entry)}
+	return &HashTable{index: make(map[domain.PatternID]*Entry)}
 }
 
-// Get looks the key up in the index.
-func (t *HashTable) Get(key string) *Entry { return t.index[key] }
+// Get looks the id up in the index.
+func (t *HashTable) Get(id domain.PatternID) *Entry { return t.index[id] }
 
 // Add inserts an entry.
 func (t *HashTable) Add(e *Entry) {
-	t.index[e.Key] = e
+	t.index[e.ID] = e
 	t.order = append(t.order, e)
 }
 
@@ -138,12 +151,12 @@ const numShards = 64
 
 type tableShard struct {
 	mu    sync.Mutex
-	index map[string]*Entry
+	index map[domain.PatternID]*Entry
 }
 
 // ShardedTable is the lock-striped extension table behind
-// StrategyParallel. Keys hash to one of numShards stripes, each with its
-// own mutex, so concurrent workers rarely collide on table access. It
+// StrategyParallel. IDs stripe over numShards shards, each with its own
+// mutex, so concurrent workers rarely collide on table access. It
 // deliberately does not implement the sequential Table interface: a
 // global insertion order is meaningless under concurrency, and the
 // deterministic finalize pass rebuilds an ordered presentation table
@@ -156,44 +169,39 @@ type ShardedTable struct {
 func NewShardedTable() *ShardedTable {
 	t := &ShardedTable{}
 	for i := range t.shards {
-		t.shards[i].index = make(map[string]*Entry)
+		t.shards[i].index = make(map[domain.PatternID]*Entry)
 	}
 	return t
 }
 
-// shardOf picks the stripe for a key (FNV-1a, masked).
-func shardOf(key string) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return int(h & (numShards - 1))
+// shardOf picks the stripe for an interned ID. IDs are dense, so the
+// mask spreads them round-robin — an even stripe load by construction.
+func shardOf(id domain.PatternID) int {
+	return int(id) & (numShards - 1)
 }
 
-// Get returns the entry for key, or nil.
-func (t *ShardedTable) Get(key string) *Entry {
-	s := &t.shards[shardOf(key)]
+// Get returns the entry for id, or nil.
+func (t *ShardedTable) Get(id domain.PatternID) *Entry {
+	s := &t.shards[shardOf(id)]
 	s.mu.Lock()
-	e := s.index[key]
+	e := s.index[id]
 	s.mu.Unlock()
 	return e
 }
 
-// GetOrAdd returns the entry for cp, creating it when absent, and
-// reports whether it was created. cp must already be canonical with its
-// Key precomputed (patterns published here are read concurrently, and
-// Key memoizes lazily).
-func (t *ShardedTable) GetOrAdd(cp *domain.Pattern) (*Entry, bool) {
-	key := cp.Key()
-	s := &t.shards[shardOf(key)]
+// GetOrAdd returns the entry for the interned calling pattern, creating
+// it when absent, and reports whether it was created. cp must be the
+// interner's canonical representative for id (its Key is precomputed,
+// safe to publish across workers).
+func (t *ShardedTable) GetOrAdd(id domain.PatternID, cp *domain.Pattern) (*Entry, bool) {
+	s := &t.shards[shardOf(id)]
 	s.mu.Lock()
-	if e := s.index[key]; e != nil {
+	if e := s.index[id]; e != nil {
 		s.mu.Unlock()
 		return e, false
 	}
-	e := &Entry{Key: key, CP: cp}
-	s.index[key] = e
+	e := &Entry{ID: id, CP: cp}
+	s.index[id] = e
 	s.mu.Unlock()
 	return e, true
 }

@@ -36,16 +36,17 @@ const (
 	StrategyParallel
 )
 
-// wlState carries the worklist bookkeeping, keyed by table entry.
+// wlState carries the worklist bookkeeping, keyed by the entries'
+// interned calling-pattern IDs.
 type wlState struct {
-	// dependents[key] = set of entry keys whose exploration consulted
-	// key and must be revisited when its success pattern grows.
-	dependents map[string]map[string]bool
+	// dependents[id] = set of entry IDs whose exploration consulted id
+	// and must be revisited when its success pattern grows.
+	dependents map[domain.PatternID]map[domain.PatternID]bool
 	// exploring marks in-flight entries (recursive calls read their
 	// current success pattern instead of re-entering).
-	exploring map[string]bool
+	exploring map[domain.PatternID]bool
 	// queued marks entries already on the worklist.
-	queued map[string]bool
+	queued map[domain.PatternID]bool
 	queue  []*Entry
 	// current is the entry being explored (dependency recording).
 	current *Entry
@@ -55,16 +56,16 @@ type wlState struct {
 
 func newWLState() *wlState {
 	return &wlState{
-		dependents: make(map[string]map[string]bool),
-		exploring:  make(map[string]bool),
-		queued:     make(map[string]bool),
+		dependents: make(map[domain.PatternID]map[domain.PatternID]bool),
+		exploring:  make(map[domain.PatternID]bool),
+		queued:     make(map[domain.PatternID]bool),
 	}
 }
 
-func (w *wlState) addDep(on, dependent string) {
+func (w *wlState) addDep(on, dependent domain.PatternID) {
 	m := w.dependents[on]
 	if m == nil {
-		m = make(map[string]bool)
+		m = make(map[domain.PatternID]bool)
 		w.dependents[on] = m
 	}
 	m[dependent] = true
@@ -73,10 +74,10 @@ func (w *wlState) addDep(on, dependent string) {
 // enqueue schedules e, reporting whether it was newly added (false when
 // already queued — the observability layer counts real insertions only).
 func (w *wlState) enqueue(e *Entry) bool {
-	if w.queued[e.Key] {
+	if w.queued[e.ID] {
 		return false
 	}
-	w.queued[e.Key] = true
+	w.queued[e.ID] = true
 	w.queue = append(w.queue, e)
 	return true
 }
@@ -100,7 +101,7 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 	for len(a.wl.queue) > 0 {
 		e := a.wl.queue[0]
 		a.wl.queue = a.wl.queue[1:]
-		a.wl.queued[e.Key] = false
+		a.wl.queued[e.ID] = false
 		// Top level: nothing survives between explorations.
 		a.noteHeap()
 		a.h = rt.NewHeap()
@@ -143,12 +144,12 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	key := cp.Key()
+	id := a.intern(cp)
 	t0, timed := a.met.sampleTable()
-	e := a.table.Get(key)
+	e := a.table.Get(id)
 	a.met.doneTable(t0, timed)
 	if e == nil {
-		e = &Entry{Key: key, CP: cp}
+		e = &Entry{ID: id, CP: a.in.Pattern(id)}
 		a.table.Add(e)
 		a.met.misses++
 		a.met.inserts++
@@ -167,7 +168,7 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 	if a.wl.current != nil {
 		// Self-dependencies included: a recursive clause that read its
 		// own in-flight summary must rerun when the summary grows.
-		a.wl.addDep(key, a.wl.current.Key)
+		a.wl.addDep(id, a.wl.current.ID)
 	}
 	return e.Succ
 }
@@ -175,13 +176,13 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 // exploreWL runs the entry's clauses once, lubbing success patterns and
 // enqueueing dependents when the summary grows.
 func (a *Analyzer) exploreWL(e *Entry) {
-	if a.wl.exploring[e.Key] {
+	if a.wl.exploring[e.ID] {
 		// Recursive occurrence: the caller proceeds with the current
 		// success pattern; a self-dependency has been recorded, so the
 		// entry is revisited if it grows.
 		return
 	}
-	a.wl.exploring[e.Key] = true
+	a.wl.exploring[e.ID] = true
 	a.wl.explorations++
 	a.met.predRuns[e.CP.Fn]++
 	prev := a.wl.current
@@ -190,7 +191,7 @@ func (a *Analyzer) exploreWL(e *Entry) {
 	defer func() {
 		a.attrRestore(prevFn)
 		a.wl.current = prev
-		a.wl.exploring[e.Key] = false
+		a.wl.exploring[e.ID] = false
 	}()
 
 	proc := a.mod.Proc(e.CP.Fn)
@@ -210,16 +211,18 @@ func (a *Analyzer) exploreWL(e *Entry) {
 		}
 		if ok {
 			sp := a.abstractArgs(e.CP.Fn, argAddrs)
-			if e.Succ == nil || !domain.LeqPattern(a.tab, sp, e.Succ) {
-				next := domain.WidenPattern(a.tab, domain.LubPattern(a.tab, e.Succ, sp), a.cfg.Depth)
-				if !next.Equal(e.Succ) {
+			spID := a.intern(sp)
+			if e.succID == domain.BottomID || !a.leqSumm(spID, e.succID) {
+				nextID, next := a.mergeSumm(e.succID, spID)
+				if nextID != e.succID {
 					e.Succ = next
+					e.succID = nextID
 					e.Updates++
 					a.met.updates++
 					if a.tr != nil {
 						a.tr.Table(e.CP.Fn, TableUpdate)
 					}
-					for dep := range a.wl.dependents[e.Key] {
+					for dep := range a.wl.dependents[e.ID] {
 						if de := a.table.Get(dep); de != nil && a.wl.enqueue(de) {
 							a.met.enqueues++
 							if a.tr != nil {

@@ -1,0 +1,352 @@
+package domain
+
+import (
+	"sync"
+
+	"awam/internal/term"
+)
+
+// This file implements hash-consing for the abstract domain: a
+// concurrent Interner that maps every canonical Pattern (and,
+// recursively, every abstract Term occurring in one) to a dense integer
+// PatternID. Two patterns receive the same ID exactly when their Key()
+// serializations are equal (share groups renumbered in first-occurrence
+// order), so the engine can key its extension table, worklist dedup and
+// dependency edges on a word compare instead of building and hashing a
+// string per lookup.
+//
+// The interner never serializes: identity is structural. A term node's
+// identity is (kind, renumbered share, functor, child IDs); because the
+// children are already interned, a deep comparison of two subtrees is a
+// shallow comparison of small integers. The renumbering is per-pattern
+// (the same map Key() threads through its arguments), so a subtree's
+// TermID depends on where its share groups sit in the whole pattern —
+// exactly the equivalence Key() quotients by.
+//
+// Concurrency: the depth-k-widened domain is finite, so after a short
+// warm-up almost every Intern call finds its pattern already present.
+// The fast path therefore walks under a read lock; only a miss retries
+// the walk under the write lock (RWMutex cannot upgrade, and the insert
+// path re-checks every node, so the race window between the two walks
+// is harmless). The interner lock is leaf-level: no entry, shard or
+// queue lock is ever acquired while holding it, so callers may intern
+// while holding engine locks.
+//
+// Each interned pattern stores a canonical representative (*Pattern)
+// whose Key is precomputed under the write lock before the ID is
+// published — the engine shares these reps across goroutines, and the
+// lazy Key memo must never be written concurrently. Reps share interned
+// subtrees (a DAG, not a tree), which every consumer tolerates: the
+// domain operations are read-only and value-based.
+
+// PatternID is the dense hash-consed identity of a canonical Pattern.
+// IDs are only meaningful within the Interner that produced them.
+type PatternID int32
+
+// TermID identifies one interned abstract term node (pattern-context
+// renumbered, see above).
+type TermID int32
+
+// BottomID is the PatternID of the nil pattern (no success recorded).
+const BottomID PatternID = 0
+
+// tnode is one interned term: its shallow structure over child IDs plus
+// the canonical representative subtree.
+type tnode struct {
+	kind  Kind
+	share int32 // pattern-renumbered group id, 0 = unshared
+	fn    term.Functor
+	elem  TermID   // List
+	args  []TermID // Struct
+	rep   *Term
+}
+
+// pnode is one interned pattern.
+type pnode struct {
+	fn   term.Functor
+	args []TermID
+	rep  *Pattern
+}
+
+// Interner is the concurrent hash-conser. The zero value is not ready;
+// use NewInterner.
+type Interner struct {
+	mu    sync.RWMutex
+	terms []tnode
+	tbuck map[uint64][]TermID
+	pats  []pnode
+	pbuck map[uint64][]PatternID
+}
+
+// NewInterner returns an empty interner; ID 0 is reserved for Bottom.
+func NewInterner() *Interner {
+	return &Interner{
+		terms: make([]tnode, 1), // TermID 0 is never issued
+		tbuck: make(map[uint64][]TermID, 256),
+		pats:  make([]pnode, 1), // PatternID 0 = Bottom (nil pattern)
+		pbuck: make(map[uint64][]PatternID, 64),
+	}
+}
+
+// internScratch is the reusable per-walk state: the share renumbering
+// map and a child-ID stack, pooled so the hot path allocates nothing.
+type internScratch struct {
+	renum map[int]int
+	ids   []TermID
+}
+
+func (sc *internScratch) reset() {
+	clear(sc.renum)
+	sc.ids = sc.ids[:0]
+}
+
+var internScratchPool = sync.Pool{
+	New: func() any {
+		return &internScratch{renum: make(map[int]int, 8), ids: make([]TermID, 0, 16)}
+	},
+}
+
+// Intern returns the ID of p's canonical form, interning it on first
+// sight, and reports whether it was already present (the read-path hit;
+// a concurrent first-insert race may very rarely count as a miss on
+// both sides). nil interns to Bottom. Intern(p) == Intern(q) iff
+// p.Key() == q.Key().
+func (in *Interner) Intern(p *Pattern) (PatternID, bool) {
+	if p == nil {
+		return BottomID, true
+	}
+	sc := internScratchPool.Get().(*internScratch)
+	in.mu.RLock()
+	id, ok := in.walkPattern(p, sc, false)
+	in.mu.RUnlock()
+	if !ok {
+		sc.reset()
+		in.mu.Lock()
+		id, _ = in.walkPattern(p, sc, true)
+		in.mu.Unlock()
+	}
+	sc.reset()
+	internScratchPool.Put(sc)
+	return id, ok
+}
+
+// Pattern returns the canonical representative of id (nil for Bottom).
+// The rep is immutable with its Key precomputed, safe to share across
+// goroutines.
+func (in *Interner) Pattern(id PatternID) *Pattern {
+	if id == BottomID {
+		return nil
+	}
+	in.mu.RLock()
+	rep := in.pats[id].rep
+	in.mu.RUnlock()
+	return rep
+}
+
+// Size reports the number of distinct patterns and term nodes interned.
+func (in *Interner) Size() (patterns, terms int) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.pats) - 1, len(in.terms) - 1
+}
+
+// FNV-1a-style mixing over node fields and child IDs.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+// walkPattern resolves p to its ID, interning missing nodes when insert
+// is set. With insert unset it reports ok=false on the first node not
+// yet present (the caller retries under the write lock).
+func (in *Interner) walkPattern(p *Pattern, sc *internScratch, insert bool) (PatternID, bool) {
+	base := len(sc.ids)
+	for _, a := range p.Args {
+		id, ok := in.walkTerm(a, sc, insert)
+		if !ok {
+			return 0, false
+		}
+		sc.ids = append(sc.ids, id)
+	}
+	args := sc.ids[base:]
+	h := mix(mix(fnvOffset, uint64(uint32(p.Fn.Name))), uint64(uint32(p.Fn.Arity)))
+	for _, id := range args {
+		h = mix(h, uint64(id))
+	}
+	for _, pid := range in.pbuck[h] {
+		n := &in.pats[pid]
+		if n.fn == p.Fn && eqIDs(n.args, args) {
+			return pid, true
+		}
+	}
+	if !insert {
+		return 0, false
+	}
+	var reps []*Term
+	if len(args) > 0 {
+		reps = make([]*Term, len(args))
+		for i, id := range args {
+			reps[i] = in.terms[id].rep
+		}
+	}
+	rep := &Pattern{Fn: p.Fn, Args: reps}
+	rep.Key() // precompute under the write lock: reps are shared read-only
+	pid := PatternID(len(in.pats))
+	in.pats = append(in.pats, pnode{fn: p.Fn, args: append([]TermID(nil), args...), rep: rep})
+	in.pbuck[h] = append(in.pbuck[h], pid)
+	return pid, true
+}
+
+// walkTerm resolves t within the current pattern walk. Share groups are
+// renumbered through sc.renum in first-occurrence preorder — the same
+// numbering Key() emits — before the children are resolved, so the
+// stored share values are canonical.
+func (in *Interner) walkTerm(t *Term, sc *internScratch, insert bool) (TermID, bool) {
+	var share int32
+	if t.Share != 0 {
+		g, ok := sc.renum[t.Share]
+		if !ok {
+			g = len(sc.renum) + 1
+			sc.renum[t.Share] = g
+		}
+		share = int32(g)
+	}
+	var fn term.Functor
+	var elem TermID
+	base := len(sc.ids)
+	switch t.Kind {
+	case Struct:
+		fn = t.Fn
+		for _, a := range t.Args {
+			id, ok := in.walkTerm(a, sc, insert)
+			if !ok {
+				return 0, false
+			}
+			sc.ids = append(sc.ids, id)
+		}
+	case List:
+		id, ok := in.walkTerm(t.Elem, sc, insert)
+		if !ok {
+			return 0, false
+		}
+		elem = id
+	}
+	args := sc.ids[base:]
+	h := mix(mix(fnvOffset, uint64(t.Kind)<<32|uint64(uint32(share))), uint64(uint32(fn.Name))<<16|uint64(uint32(fn.Arity)))
+	h = mix(h, uint64(elem))
+	for _, id := range args {
+		h = mix(h, uint64(id))
+	}
+	for _, id := range in.tbuck[h] {
+		n := &in.terms[id]
+		if n.kind == t.Kind && n.share == share && n.fn == fn && n.elem == elem && eqIDs(n.args, args) {
+			sc.ids = sc.ids[:base]
+			return id, true
+		}
+	}
+	if !insert {
+		return 0, false
+	}
+	var rep *Term
+	switch t.Kind {
+	case Struct:
+		kids := make([]*Term, len(args))
+		for i, id := range args {
+			kids[i] = in.terms[id].rep
+		}
+		rep = &Term{Kind: Struct, Fn: fn, Args: kids, Share: int(share)}
+	case List:
+		rep = &Term{Kind: List, Elem: in.terms[elem].rep, Share: int(share)}
+	default:
+		rep = &Term{Kind: t.Kind, Share: int(share)}
+	}
+	id := TermID(len(in.terms))
+	in.terms = append(in.terms, tnode{
+		kind: t.Kind, share: share, fn: fn, elem: elem,
+		args: append([]TermID(nil), args...), rep: rep,
+	})
+	in.tbuck[h] = append(in.tbuck[h], id)
+	sc.ids = sc.ids[:base]
+	return id, true
+}
+
+func eqIDs(a []TermID, b []TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Memo caches the pattern-level lattice operations on interned IDs, so
+// repeated merges of the same summaries are map hits instead of graph
+// walks. A Memo belongs to one goroutine (each parallel worker gets its
+// own, folded into the driver's after the barrier, like the metrics
+// shards — no hot-path locks); all IDs must come from one Interner, and
+// the widen cache additionally assumes one fixed depth k per analysis.
+type Memo struct {
+	lub   map[[2]PatternID]PatternID
+	widen map[PatternID]PatternID
+	leq   map[[2]PatternID]bool
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{
+		lub:   make(map[[2]PatternID]PatternID),
+		widen: make(map[PatternID]PatternID),
+		leq:   make(map[[2]PatternID]bool),
+	}
+}
+
+// Lub looks up the cached LubPattern result for (a, b).
+func (m *Memo) Lub(a, b PatternID) (PatternID, bool) {
+	r, ok := m.lub[[2]PatternID{a, b}]
+	return r, ok
+}
+
+// SetLub records a LubPattern result.
+func (m *Memo) SetLub(a, b, r PatternID) { m.lub[[2]PatternID{a, b}] = r }
+
+// Widen looks up the cached WidenPattern result for id.
+func (m *Memo) Widen(id PatternID) (PatternID, bool) {
+	r, ok := m.widen[id]
+	return r, ok
+}
+
+// SetWiden records a WidenPattern result.
+func (m *Memo) SetWiden(id, r PatternID) { m.widen[id] = r }
+
+// Leq looks up the cached LeqPattern verdict for a ⊑ b.
+func (m *Memo) Leq(a, b PatternID) (v, ok bool) {
+	v, ok = m.leq[[2]PatternID{a, b}]
+	return v, ok
+}
+
+// SetLeq records a LeqPattern verdict.
+func (m *Memo) SetLeq(a, b PatternID, v bool) { m.leq[[2]PatternID{a, b}] = v }
+
+// Absorb folds other's entries into m (post-barrier aggregation; the
+// cached operations are pure functions of their IDs, so overlapping
+// entries always agree and last-writer-wins is safe).
+func (m *Memo) Absorb(other *Memo) {
+	for k, v := range other.lub {
+		m.lub[k] = v
+	}
+	for k, v := range other.widen {
+		m.widen[k] = v
+	}
+	for k, v := range other.leq {
+		m.leq[k] = v
+	}
+}

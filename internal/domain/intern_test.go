@@ -1,0 +1,187 @@
+package domain
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"awam/internal/term"
+)
+
+// genSharedAbs builds a random abstract term whose open nodes may carry
+// share groups drawn from a small alphabet — small enough that
+// independently generated patterns collide often, exercising both sides
+// of the iff-property below.
+func genSharedAbs(r *rand.Rand, tab *term.Tab, depth int) *Term {
+	t := genAbs(r, tab, depth)
+	var decorate func(t *Term) *Term
+	decorate = func(t *Term) *Term {
+		c := *t
+		if c.Kind.Open() && r.Intn(3) == 0 {
+			c.Share = 1 + r.Intn(3)
+		}
+		switch c.Kind {
+		case Struct:
+			args := make([]*Term, len(c.Args))
+			for i, a := range c.Args {
+				args[i] = decorate(a)
+			}
+			c.Args = args
+		case List:
+			c.Elem = decorate(c.Elem)
+		}
+		return &c
+	}
+	return decorate(t)
+}
+
+func genSharedPat(r *rand.Rand, tab *term.Tab) *Pattern {
+	fn := tab.Func("p", 2)
+	p := &Pattern{Fn: fn, Args: []*Term{genSharedAbs(r, tab, 2), genSharedAbs(r, tab, 2)}}
+	switch r.Intn(3) {
+	case 0:
+		return p
+	case 1:
+		// Depth-k widened, as the engine produces.
+		return WidenPattern(tab, p, 1+r.Intn(3))
+	default:
+		return p.Canonical()
+	}
+}
+
+// renameShares maps every share group through an injective renaming —
+// Key() and Intern must both be invariant under it.
+func renameShares(p *Pattern, shift int) *Pattern {
+	var rew func(t *Term) *Term
+	rew = func(t *Term) *Term {
+		c := *t
+		if c.Share != 0 {
+			c.Share = c.Share*7 + shift
+		}
+		switch c.Kind {
+		case Struct:
+			args := make([]*Term, len(c.Args))
+			for i, a := range c.Args {
+				args[i] = rew(a)
+			}
+			c.Args = args
+		case List:
+			c.Elem = rew(c.Elem)
+		}
+		return &c
+	}
+	args := make([]*Term, len(p.Args))
+	for i, a := range p.Args {
+		args[i] = rew(a)
+	}
+	return &Pattern{Fn: p.Fn, Args: args}
+}
+
+// TestInternIffKey: Intern(p) == Intern(q) exactly when the patterns'
+// canonical serializations agree, over randomized patterns including
+// share-group renamings and depth-k widenings.
+func TestInternIffKey(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(42))
+	in := NewInterner()
+	for trial := 0; trial < 5000; trial++ {
+		p := genSharedPat(r, tab)
+		var q *Pattern
+		switch trial % 3 {
+		case 0:
+			q = genSharedPat(r, tab)
+		case 1:
+			q = renameShares(p, 1+r.Intn(5)) // same key by construction
+		default:
+			q = WidenPattern(tab, p, 2)
+		}
+		pid, _ := in.Intern(p)
+		qid, _ := in.Intern(q)
+		if got, want := pid == qid, p.Key() == q.Key(); got != want {
+			t.Fatalf("trial %d: Intern equal=%v but Key equal=%v\np=%s key=%q id=%d\nq=%s key=%q id=%d",
+				trial, got, want, p.String(tab), p.Key(), pid, q.String(tab), q.Key(), qid)
+		}
+		// The canonical representative round-trips to the same identity.
+		rep := in.Pattern(pid)
+		if rep.Key() != p.Key() {
+			t.Fatalf("trial %d: rep key %q != %q", trial, rep.Key(), p.Key())
+		}
+		if rid, hit := in.Intern(rep); rid != pid || !hit {
+			t.Fatalf("trial %d: rep re-intern %d (hit=%v), want %d", trial, rid, hit, pid)
+		}
+	}
+	if pats, terms := in.Size(); pats == 0 || terms == 0 {
+		t.Fatalf("interner empty after property run: %d patterns, %d terms", pats, terms)
+	}
+}
+
+// TestInternBottom: nil is Bottom and stays out of the tables.
+func TestInternBottom(t *testing.T) {
+	in := NewInterner()
+	id, hit := in.Intern(nil)
+	if id != BottomID || !hit {
+		t.Fatalf("Intern(nil) = %d, %v; want BottomID, true", id, hit)
+	}
+	if in.Pattern(BottomID) != nil {
+		t.Fatal("Pattern(Bottom) not nil")
+	}
+	if pats, terms := in.Size(); pats != 0 || terms != 0 {
+		t.Fatalf("size after bottom: %d patterns, %d terms", pats, terms)
+	}
+}
+
+// TestInternConcurrent hammers one interner from N goroutines over a
+// shared pattern pool (run under -race in CI). Every goroutine must
+// observe the same key → ID mapping.
+func TestInternConcurrent(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(7))
+	pool := make([]*Pattern, 400)
+	for i := range pool {
+		pool[i] = genSharedPat(r, tab)
+	}
+	keys := make([]string, len(pool))
+	for i, p := range pool {
+		keys[i] = p.Key()
+	}
+
+	const workers = 8
+	in := NewInterner()
+	got := make([]map[string]PatternID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seen := make(map[string]PatternID)
+			wr := rand.New(rand.NewSource(int64(w)))
+			for round := 0; round < 20; round++ {
+				for _, i := range wr.Perm(len(pool)) {
+					id, _ := in.Intern(pool[i])
+					if prev, ok := seen[keys[i]]; ok && prev != id {
+						t.Errorf("worker %d: key %q interned to %d then %d", w, keys[i], prev, id)
+						return
+					}
+					seen[keys[i]] = id
+					// Touch the shared rep as the engine would.
+					if rep := in.Pattern(id); rep.Key() != keys[i] {
+						t.Errorf("worker %d: rep key mismatch for id %d", w, id)
+						return
+					}
+				}
+			}
+			got[w] = seen
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 1; w < workers; w++ {
+		for k, id := range got[0] {
+			if got[w][k] != id {
+				t.Fatalf("worker %d maps %q to %d, worker 0 to %d", w, k, got[w][k], id)
+			}
+		}
+	}
+}

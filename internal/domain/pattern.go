@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"awam/internal/parser"
 	"awam/internal/term"
@@ -42,9 +43,26 @@ func (p *Pattern) String(tab *term.Tab) string {
 	return tab.Name(p.Fn.Name) + "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Key returns a canonical serialization usable as an extension-table
-// lookup key. Share groups are renumbered in first-occurrence order, so
-// two patterns equal up to group naming produce equal keys.
+// keyScratch pools the serialization buffer and renumbering map: Key is
+// off the engine's hot path since the interner took over identity
+// (intern.go), but display, serialization and the tests still call it,
+// and the legacy path allocated a map and a growing buffer per pattern.
+type keyScratch struct {
+	buf   []byte
+	renum map[int]int
+}
+
+var keyScratchPool = sync.Pool{
+	New: func() any {
+		return &keyScratch{buf: make([]byte, 0, 128), renum: make(map[int]int, 8)}
+	},
+}
+
+// Key returns a canonical serialization usable as a lookup key. Share
+// groups are renumbered in first-occurrence order, so two patterns
+// equal up to group naming produce equal keys. The engine proper keys
+// on interned PatternIDs (intern.go), which quotient by exactly the
+// same equivalence; Key remains the human-readable/serialized boundary.
 func (p *Pattern) Key() string {
 	if p == nil {
 		return "\x00bottom"
@@ -52,15 +70,18 @@ func (p *Pattern) Key() string {
 	if p.key != "" {
 		return p.key
 	}
-	buf := make([]byte, 0, 64)
+	sc := keyScratchPool.Get().(*keyScratch)
+	buf := sc.buf[:0]
 	buf = strconv.AppendInt(buf, int64(p.Fn.Name), 10)
 	buf = append(buf, '/')
 	buf = strconv.AppendInt(buf, int64(p.Fn.Arity), 10)
-	renum := make(map[int]int)
 	for _, a := range p.Args {
-		buf = keyTerm(buf, a, renum)
+		buf = keyTerm(buf, a, sc.renum)
 	}
 	p.key = string(buf)
+	sc.buf = buf
+	clear(sc.renum)
+	keyScratchPool.Put(sc)
 	return p.key
 }
 

@@ -65,7 +65,7 @@ func TestDisasmAssembleRoundTrip(t *testing.T) {
 			}
 			for i, e1 := range r1.Entries {
 				e2 := r2.Entries[i]
-				if e1.Key != e2.Key || !e1.Succ.Equal(e2.Succ) {
+				if e1.Key() != e2.Key() || !e1.Succ.Equal(e2.Succ) {
 					t.Fatalf("entry %d differs: %s vs %s", i,
 						e1.CP.String(tab), e2.CP.String(tab))
 				}

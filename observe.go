@@ -123,6 +123,18 @@ type Metrics struct {
 	TableHits, TableMisses, TableInserts, TableUpdates int64
 	// Enqueues counts dependency-driven re-enqueues (Worklist/Parallel).
 	Enqueues int64
+	// Hash-consing traffic: InternHits counts pattern interns resolved
+	// by the interner's read path, InternMisses first-sight insertions.
+	// InternedPatterns and InternedTerms are the interner's end-of-run
+	// sizes — the distinct canonical patterns and abstract term nodes
+	// the analysis touched.
+	InternHits, InternMisses        int64
+	InternedPatterns, InternedTerms int
+	// Lub-cache traffic: summary merges answered from the ID-keyed memo
+	// cache versus computed by a full graph lub and widen. The hit rate
+	// LubCacheHits/(LubCacheHits+LubCacheMisses) is the share of merges
+	// that cost a map probe instead of a tree walk.
+	LubCacheHits, LubCacheMisses int64
 	// HeapHighWater is the largest abstract heap (in cells) the analysis
 	// ever held.
 	HeapHighWater int
@@ -142,15 +154,21 @@ func (a *Analysis) Metrics() Metrics {
 		return Metrics{}
 	}
 	m := Metrics{
-		TableHits:     cm.TableHits,
-		TableMisses:   cm.TableMisses,
-		TableInserts:  cm.TableInserts,
-		TableUpdates:  cm.TableUpdates,
-		Enqueues:      cm.Enqueues,
-		HeapHighWater: cm.HeapHighWater,
-		ExecuteTime:   cm.ExecuteTime,
-		TableTime:     cm.TableTime,
-		FinalizeTime:  cm.FinalizeTime,
+		TableHits:        cm.TableHits,
+		TableMisses:      cm.TableMisses,
+		TableInserts:     cm.TableInserts,
+		TableUpdates:     cm.TableUpdates,
+		Enqueues:         cm.Enqueues,
+		InternHits:       cm.InternHits,
+		InternMisses:     cm.InternMisses,
+		InternedPatterns: cm.InternedPatterns,
+		InternedTerms:    cm.InternedTerms,
+		LubCacheHits:     cm.LubCacheHits,
+		LubCacheMisses:   cm.LubCacheMisses,
+		HeapHighWater:    cm.HeapHighWater,
+		ExecuteTime:      cm.ExecuteTime,
+		TableTime:        cm.TableTime,
+		FinalizeTime:     cm.FinalizeTime,
 	}
 	for fn, steps := range cm.PredSteps {
 		m.Predicates = append(m.Predicates, PredMetrics{
