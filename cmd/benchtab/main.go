@@ -26,11 +26,12 @@ func main() {
 	quick := flag.Bool("quick", false, "use short timing samples")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this file and exit")
 	label := flag.String("label", "PR3", "revision label recorded in the -json report")
+	seed := flag.Int64("seed", 0, "randomize the wide scaling workloads with this seed (0 = fixed legacy programs)")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		fmt.Fprintln(os.Stderr, "measuring JSON benchmark report...")
-		rep, err := harness.MeasureBenchJSON(*label, *quick, os.Stderr)
+		fmt.Fprintf(os.Stderr, "measuring JSON benchmark report (seed=%d)...\n", *seed)
+		rep, err := harness.MeasureBenchJSON(*label, *quick, *seed, os.Stderr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)

@@ -22,6 +22,11 @@ type Program struct {
 	// WantBinding maps a query variable to its expected value, written in
 	// canonical form; used by the concrete-machine integration tests.
 	WantBinding map[string]string
+	// Seed is the randomization seed for generated programs
+	// (WideProgramSeeded); zero for the fixed Table 1 sources and for
+	// the legacy deterministic wide programs. Harnesses print it so a
+	// failure on a generated workload can be reproduced.
+	Seed int64
 }
 
 // derivBody is the Warren symbolic-differentiation program shared by the

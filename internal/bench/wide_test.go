@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWideProgramLegacyStable pins WideProgram's output against a
+// golden captured before the seed plumbing landed: the committed
+// BENCH_PR3.json records schedule-invariant counters for wide_256 and
+// wide_512, so the seed-0 sources must never drift.
+func TestWideProgramLegacyStable(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "wide_1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := WideProgram(1).Source
+	if got != string(want) {
+		t.Fatalf("WideProgram(1) drifted from the pre-seeding golden:\n%s", got)
+	}
+	if s := WideProgramSeeded(1, 0); s.Source != got || s.Name != "wide_1" || s.Seed != 0 {
+		t.Fatal("WideProgramSeeded(n, 0) must reproduce WideProgram(n) exactly")
+	}
+}
+
+// TestWideProgramSeededDeterministic checks the explicit-seed contract:
+// same (families, seed) is byte-identical across calls (no hidden
+// package-level generator state), different seeds actually differ, and
+// the seed is recorded in the Program for harnesses to print.
+func TestWideProgramSeededDeterministic(t *testing.T) {
+	a := WideProgramSeeded(4, 7)
+	b := WideProgramSeeded(4, 7)
+	if a.Source != b.Source {
+		t.Fatal("same seed produced different programs")
+	}
+	if a.Name != "wide_4_s7" || a.Seed != 7 {
+		t.Fatalf("seeded program must carry its seed: name=%q seed=%d", a.Name, a.Seed)
+	}
+	if c := WideProgramSeeded(4, 8); c.Source == a.Source {
+		t.Fatal("different seeds produced identical programs")
+	}
+	if z := WideProgramSeeded(4, 0); z.Source == a.Source {
+		t.Fatal("seeded program identical to the legacy one")
+	}
+}

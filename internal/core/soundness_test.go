@@ -11,33 +11,11 @@ import (
 	"awam/internal/term"
 )
 
-// absOfConcrete abstracts a concrete query argument the way the analyzer
-// abstracts heap terms: constants to atom/integer classes, [] to nil,
-// variables to var with per-variable sharing.
+// absOfConcrete abstracts a concrete query argument; it is the domain
+// package's alpha function (domain.AbstractConcrete), kept as a local
+// alias for the historical test names below.
 func absOfConcrete(tab *term.Tab, tm *term.Term, shares map[*term.VarRef]int) *domain.Term {
-	switch tm.Kind {
-	case term.KVar:
-		id, ok := shares[tm.Ref]
-		if !ok {
-			id = len(shares) + 1
-			shares[tm.Ref] = id
-		}
-		return &domain.Term{Kind: domain.Var, Share: id}
-	case term.KInt:
-		return domain.MkLeaf(domain.Intg)
-	case term.KAtom:
-		if tab.IsNil(tm) {
-			return domain.MkLeaf(domain.Nil)
-		}
-		return domain.MkLeaf(domain.Atom)
-	case term.KStruct:
-		args := make([]*domain.Term, len(tm.Args))
-		for i, a := range tm.Args {
-			args[i] = absOfConcrete(tab, a, shares)
-		}
-		return domain.MkStructT(tm.Fn, args...)
-	}
-	return domain.Top()
+	return domain.AbstractConcrete(tab, tm, shares)
 }
 
 // TestSoundnessOnBenchmarks is experiment E10: for every benchmark with

@@ -479,6 +479,40 @@ func Member(tab *term.Tab, tm *term.Term, t *Term) bool {
 	return false
 }
 
+// AbstractConcrete abstracts a concrete term the way the analyzer
+// abstracts heap terms: constants to the atom/integer classes, [] to
+// nil, structures pointwise, and unbound variables to var leaves with
+// one share group per distinct variable (shares accumulates the
+// variable-to-group assignment across calls, so repeated variables
+// alias). It is the alpha function of the soundness obligation: for
+// every concrete term tm, Member(tab, tm, AbstractConcrete(tab, tm, s))
+// holds.
+func AbstractConcrete(tab *term.Tab, tm *term.Term, shares map[*term.VarRef]int) *Term {
+	switch tm.Kind {
+	case term.KVar:
+		id, ok := shares[tm.Ref]
+		if !ok {
+			id = len(shares) + 1
+			shares[tm.Ref] = id
+		}
+		return &Term{Kind: Var, Share: id}
+	case term.KInt:
+		return MkLeaf(Intg)
+	case term.KAtom:
+		if tab.IsNil(tm) {
+			return MkLeaf(Nil)
+		}
+		return MkLeaf(Atom)
+	case term.KStruct:
+		args := make([]*Term, len(tm.Args))
+		for i, a := range tm.Args {
+			args[i] = AbstractConcrete(tab, a, shares)
+		}
+		return MkStructT(tm.Fn, args...)
+	}
+	return top
+}
+
 func concreteGround(tm *term.Term) bool {
 	switch tm.Kind {
 	case term.KVar:

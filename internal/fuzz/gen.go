@@ -1,0 +1,368 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// GenConfig tunes the random program generator. Every knob is bounded
+// so that generated queries terminate by construction: recursion is
+// structural on a ground (or finite) argument, and list/peano inputs
+// have bounded length.
+type GenConfig struct {
+	// MinTemplates/MaxTemplates bound how many predicate templates are
+	// instantiated per case (each contributes 1-5 clauses).
+	MinTemplates int
+	MaxTemplates int
+	// MaxListLen bounds generated ground list lengths (and peano
+	// numeral depth).
+	MaxListLen int
+	// MaxInt bounds integer literal magnitude.
+	MaxInt int
+	// MaxQueries bounds the query count per case.
+	MaxQueries int
+	// Glue, when set, lets the generator compose compatible template
+	// instances into a chained predicate (deeper call graphs).
+	Glue bool
+	// Cuts, when set, lets templates include `!` in clause bodies.
+	Cuts bool
+}
+
+// DefaultGenConfig is the configuration the property suite and the
+// native fuzz harnesses use.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MinTemplates: 2,
+		MaxTemplates: 5,
+		MaxListLen:   6,
+		MaxInt:       20,
+		MaxQueries:   4,
+		Glue:         true,
+		Cuts:         true,
+	}
+}
+
+// Generate builds a deterministic random case from seed. Equal seeds
+// and configs yield byte-identical cases.
+func Generate(seed int64, cfg GenConfig) Case {
+	if cfg.MinTemplates < 1 {
+		cfg.MinTemplates = 1
+	}
+	if cfg.MaxTemplates < cfg.MinTemplates {
+		cfg.MaxTemplates = cfg.MinTemplates
+	}
+	if cfg.MaxListLen < 1 {
+		cfg.MaxListLen = 1
+	}
+	if cfg.MaxInt < 1 {
+		cfg.MaxInt = 1
+	}
+	if cfg.MaxQueries < 1 {
+		cfg.MaxQueries = 1
+	}
+	g := &gen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+	n := cfg.MinTemplates + g.r.Intn(cfg.MaxTemplates-cfg.MinTemplates+1)
+	order := g.r.Perm(len(templates))
+	for i := 0; i < n; i++ {
+		templates[order[i%len(templates)]](g, fmt.Sprintf("p%d", i))
+	}
+	if cfg.Glue {
+		g.glue()
+	}
+	qs := g.queries
+	if len(qs) > cfg.MaxQueries {
+		idx := g.r.Perm(len(qs))[:cfg.MaxQueries]
+		sort.Ints(idx)
+		sel := make([]string, len(idx))
+		for i, j := range idx {
+			sel[i] = qs[j]
+		}
+		qs = sel
+	}
+	return Case{Seed: seed, Source: g.b.String(), Queries: qs}
+}
+
+// gen carries generator state: the PRNG, the accumulated source text
+// and query pool, and the registry of instantiated predicates that the
+// glue template can compose.
+type gen struct {
+	r       *rand.Rand
+	cfg     GenConfig
+	b       strings.Builder
+	queries []string
+	// il2il lists arity-2 predicates mapping an int list to an int
+	// list; il2i lists arity-3 fold predicates p(IntList, 0, Int).
+	il2il []string
+	il2i  []string
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *gen) query(format string, args ...any) {
+	g.queries = append(g.queries, fmt.Sprintf(format, args...))
+}
+
+func (g *gen) intLit() int {
+	return g.r.Intn(2*g.cfg.MaxInt+1) - g.cfg.MaxInt
+}
+
+// atomPool is disjoint from every generated predicate name (those all
+// start with "p" followed by a digit) so metamorphic renaming of
+// predicates can never capture a data constant.
+var atomPool = []string{"a", "b", "c", "d", "e", "foo", "bar"}
+
+func (g *gen) atomLit() string {
+	return atomPool[g.r.Intn(len(atomPool))]
+}
+
+func (g *gen) intList() string {
+	n := g.r.Intn(g.cfg.MaxListLen + 1)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprint(g.intLit())
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (g *gen) atomList() string {
+	n := g.r.Intn(g.cfg.MaxListLen + 1)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.atomLit()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// elemList returns a ground list of a coin-flipped element type.
+func (g *gen) elemList() string {
+	if g.r.Intn(2) == 0 {
+		return g.intList()
+	}
+	return g.atomList()
+}
+
+func (g *gen) peano(n int) string {
+	s := "0"
+	for i := 0; i < n; i++ {
+		s = "s(" + s + ")"
+	}
+	return s
+}
+
+// groundTerm returns a random ground term of bounded depth, for
+// templates exercising functor/3, arg/3 and the standard order.
+func (g *gen) groundTerm(depth int) string {
+	switch k := g.r.Intn(4); {
+	case k == 0:
+		return fmt.Sprint(g.intLit())
+	case k == 1 || depth <= 0:
+		return g.atomLit()
+	default:
+		fn := []string{"f", "g", "h"}[g.r.Intn(3)]
+		n := 1 + g.r.Intn(2)
+		args := make([]string, n)
+		for i := range args {
+			args[i] = g.groundTerm(depth - 1)
+		}
+		return fn + "(" + strings.Join(args, ", ") + ")"
+	}
+}
+
+// cut returns "!, " or "" depending on config and a coin flip.
+func (g *gen) cut() string {
+	if g.cfg.Cuts && g.r.Intn(2) == 0 {
+		return "!, "
+	}
+	return ""
+}
+
+// templates is the pool of predicate generators. Each receives a
+// unique prefix ("p0", "p1", ...) for its predicate names; data
+// functors come from a disjoint pool (f, g, h, s, t, leaf, ...).
+var templates = []func(*gen, string){
+	tFacts, tMapArith, tMapWrap, tFilter, tFoldSum, tAppend,
+	tReverse, tMember, tAlias, tPeano, tClassify, tFunctorArg,
+	tCompare, tTree,
+}
+
+// tFacts: a small extensional relation; queries enumerate it with
+// open and half-bound modes.
+func tFacts(g *gen, p string) {
+	n := 2 + g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		g.emit("%sfact(%s, %d).\n", p, g.atomLit(), g.intLit())
+	}
+	g.query("%sfact(A, B)", p)
+	g.query("%sfact(%s, N)", p, g.atomLit())
+}
+
+// tMapArith: structural map with arithmetic in the body.
+func tMapArith(g *gen, p string) {
+	a, b := 1+g.r.Intn(3), g.intLit()
+	g.emit("%sscale([], []).\n", p)
+	g.emit("%sscale([X|T], [Y|R]) :- Y is X * %d + %d, %sscale(T, R).\n", p, a, b, p)
+	g.il2il = append(g.il2il, p+"scale")
+	g.query("%sscale(%s, R)", p, g.intList())
+}
+
+// tMapWrap: map that builds structure around each element; sometimes
+// queried backwards (terminating: recursion consumes the second arg).
+func tMapWrap(g *gen, p string) {
+	fn := []string{"f", "g", "h"}[g.r.Intn(3)]
+	c := g.atomLit()
+	g.emit("%swrap([], []).\n", p)
+	g.emit("%swrap([X|T], [%s(X, %s)|R]) :- %swrap(T, R).\n", p, fn, c, p)
+	g.query("%swrap(%s, R)", p, g.intList())
+	if g.r.Intn(2) == 0 {
+		g.query("%swrap(L, [%s(%d, %s), %s(%d, %s)])",
+			p, fn, g.intLit(), c, fn, g.intLit(), c)
+	}
+}
+
+// tFilter: guarded list filter in one of four variants — with or
+// without cut, with or without the complementary guard clause.
+func tFilter(g *gen, p string) {
+	c := g.intLit()
+	g.emit("%skeep([], []).\n", p)
+	switch v := g.r.Intn(4); v {
+	case 0: // complementary guards, no cut
+		g.emit("%skeep([X|T], [X|R]) :- X > %d, %skeep(T, R).\n", p, c, p)
+		g.emit("%skeep([X|T], R) :- X =< %d, %skeep(T, R).\n", p, c, p)
+	case 1: // cut plus complementary guard (deterministic either way)
+		g.emit("%skeep([X|T], [X|R]) :- X > %d, !, %skeep(T, R).\n", p, c, p)
+		g.emit("%skeep([X|T], R) :- X =< %d, %skeep(T, R).\n", p, c, p)
+	case 2: // classic cut filter
+		g.emit("%skeep([X|T], [X|R]) :- X > %d, !, %skeep(T, R).\n", p, c, p)
+		g.emit("%skeep([Y|T], R) :- %skeep(T, R).\n", p, p)
+	default: // nondeterministic sublists
+		g.emit("%skeep([X|T], [X|R]) :- X > %d, %skeep(T, R).\n", p, c, p)
+		g.emit("%skeep([Y|T], R) :- %skeep(T, R).\n", p, p)
+	}
+	g.il2il = append(g.il2il, p+"keep")
+	g.query("%skeep(%s, R)", p, g.intList())
+}
+
+// tFoldSum: accumulator fold; the canonical int-list-to-int shape.
+func tFoldSum(g *gen, p string) {
+	g.emit("%ssum([], A, A).\n", p)
+	g.emit("%ssum([X|T], A, S) :- A1 is A + X, %ssum(T, A1, S).\n", p, p)
+	g.il2i = append(g.il2i, p+"sum")
+	g.query("%ssum(%s, 0, S)", p, g.intList())
+}
+
+// tAppend: queried forwards and backwards (the backward mode is the
+// classic nondeterministic split and terminates structurally).
+func tAppend(g *gen, p string) {
+	g.emit("%sapp([], L, L).\n", p)
+	g.emit("%sapp([X|T], L, [X|R]) :- %sapp(T, L, R).\n", p, p)
+	g.query("%sapp(%s, %s, R)", p, g.elemList(), g.elemList())
+	g.query("%sapp(A, B, %s)", p, g.elemList())
+}
+
+// tReverse: accumulator reverse.
+func tReverse(g *gen, p string) {
+	g.emit("%srev([], A, A).\n", p)
+	g.emit("%srev([X|T], A, R) :- %srev(T, [X|A], R).\n", p, p)
+	g.query("%srev(%s, [], R)", p, g.elemList())
+}
+
+// tMember: enumeration over a ground list.
+func tMember(g *gen, p string) {
+	g.emit("%smem(X, [X|T]).\n", p)
+	g.emit("%smem(X, [Y|T]) :- %smem(X, T).\n", p, p)
+	g.query("%smem(E, %s)", p, g.elemList())
+	g.query("%smem(%d, %s)", p, g.intLit(), g.intList())
+}
+
+// tAlias: non-recursive structure building with repeated variables —
+// the aliasing corner of the domain — plus a partial-list projection.
+func tAlias(g *gen, p string) {
+	g.emit("%spair(X, Y, f(X, X, Y)).\n", p)
+	g.emit("%sfront([X|T], X).\n", p)
+	g.query("%spair(U, V, P)", p)
+	g.query("%spair(%d, %s, P)", p, g.intLit(), g.atomLit())
+	g.query("%sfront([%d|T], F)", p, g.intLit())
+}
+
+// tPeano: successor arithmetic, queried forwards and backwards.
+func tPeano(g *gen, p string) {
+	g.emit("%sadd(0, Y, Y).\n", p)
+	g.emit("%sadd(s(X), Y, s(Z)) :- %sadd(X, Y, Z).\n", p, p)
+	k := 1 + g.r.Intn(g.cfg.MaxListLen)
+	g.query("%sadd(%s, %s, Z)", p, g.peano(k), g.peano(g.r.Intn(3)))
+	g.query("%sadd(A, B, %s)", p, g.peano(k))
+}
+
+// tClassify: type-test guards with optional cuts.
+func tClassify(g *gen, p string) {
+	cut := ""
+	if g.cfg.Cuts && g.r.Intn(2) == 0 {
+		cut = ", !"
+	}
+	g.emit("%scls(X, int) :- integer(X)%s.\n", p, cut)
+	g.emit("%scls(X, atm) :- atom(X)%s.\n", p, cut)
+	g.emit("%scls(X, oth) :- nonvar(X).\n", p)
+	g.query("%scls(%d, C)", p, g.intLit())
+	g.query("%scls(%s, C)", p, g.atomLit())
+	g.query("%scls(%s, C)", p, g.groundTerm(2))
+}
+
+// tFunctorArg: term inspection via functor/3 and arg/3.
+func tFunctorArg(g *gen, p string) {
+	g.emit("%sfa(T, F, A, X) :- functor(T, F, A), arg(1, T, X).\n", p)
+	fn := []string{"f", "g", "h"}[g.r.Intn(3)]
+	g.query("%sfa(%s(%d, %s), F, A, X)", p, fn, g.intLit(), g.atomLit())
+}
+
+// tCompare: standard-order minimum with complementary guards.
+func tCompare(g *gen, p string) {
+	g.emit("%smin(X, Y, X) :- X @< Y%s.\n", p, map[bool]string{true: ", !", false: ""}[g.cfg.Cuts && g.r.Intn(2) == 0])
+	g.emit("%smin(X, Y, Y) :- Y @=< X.\n", p)
+	g.query("%smin(%s, %s, M)", p, g.groundTerm(1), g.groundTerm(1))
+	g.query("%smin(%d, %s, M)", p, g.intLit(), g.atomLit())
+}
+
+// tTree: binary search tree insertion driven by a ground list — two
+// mutually recursive predicates with structure building and guards.
+func tTree(g *gen, p string) {
+	cut := ""
+	if g.cfg.Cuts && g.r.Intn(2) == 0 {
+		cut = "!, "
+	}
+	g.emit("%smk([], leaf).\n", p)
+	g.emit("%smk([X|T], R) :- %smk(T, R0), %sins(X, R0, R).\n", p, p, p)
+	g.emit("%sins(X, leaf, t(leaf, X, leaf)).\n", p)
+	g.emit("%sins(X, t(L, Y, R), t(L2, Y, R)) :- X =< Y, %s%sins(X, L, L2).\n", p, cut, p)
+	g.emit("%sins(X, t(L, Y, R), t(L, Y, R2)) :- X > Y, %sins(X, R, R2).\n", p, p)
+	g.query("%smk(%s, T)", p, g.intList())
+}
+
+// glue chains registered int-list transformers (and optionally a fold)
+// into one composite predicate, deepening the analyzed call graph.
+func (g *gen) glue() {
+	if len(g.il2il) < 2 {
+		return
+	}
+	chain := g.r.Perm(len(g.il2il))
+	if len(chain) > 3 {
+		chain = chain[:3]
+	}
+	var body []string
+	in := "L"
+	for i, ci := range chain {
+		out := fmt.Sprintf("M%d", i)
+		body = append(body, fmt.Sprintf("%s(%s, %s)", g.il2il[ci], in, out))
+		in = out
+	}
+	if len(g.il2i) > 0 && g.r.Intn(2) == 0 {
+		body = append(body, fmt.Sprintf("%s(%s, 0, Out)", g.il2i[g.r.Intn(len(g.il2i))], in))
+	} else {
+		body = append(body, fmt.Sprintf("Out = %s", in))
+	}
+	g.emit("pglue(L, Out) :- %s.\n", strings.Join(body, ", "))
+	g.query("pglue(%s, Out)", g.intList())
+}

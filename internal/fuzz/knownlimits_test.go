@@ -1,0 +1,109 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"awam/internal/compiler"
+	"awam/internal/core"
+	"awam/internal/domain"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+// nonConfluentSrc is a counterexample FuzzSoundnessSource discovered
+// (a mutated qsort whose partition lost its body and whose first
+// clause calls qsort on an unbound L1): the fixpoint reached depends
+// on iteration order. Different schedules of the parallel engine — and
+// the worklist engine — land on different, individually sound,
+// post-fixpoints, because lub/widen interleaving is not confluent for
+// this program. The byte-identity contract between worklist and
+// parallel-N therefore only holds for schedule-confluent programs;
+// making the domain operations confluent (so the least fixpoint is
+// schedule-independent) is tracked as an open roadmap item.
+const nonConfluentSrc = `qsort([X|L], R, R0) :- partition(L, X, b1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
+qsort([], R, R).
+partition([X|L], Y, L1, [X|L2]).
+partition([], _G0, [], []).
+`
+
+const nonConfluentQuery = "qsort([3,1,2], R, [])"
+
+// TestKnownNonConfluence pins what IS guaranteed on the counterexample:
+// every strategy, under every schedule, must still produce a sound
+// summary — the oracle in non-strict mode verifies exactly that. The
+// test also records (without failing) whether the byte-identity gap is
+// still present, so whoever fixes confluence notices and can promote
+// StrictCross to the source-fuzz harness.
+func TestKnownNonConfluence(t *testing.T) {
+	c := Case{Source: nonConfluentSrc, Queries: []string{nonConfluentQuery}}
+	opt := DefaultOptions()
+	opt.StrictCross = false
+	// The mutilated partition makes the concrete search explode; a few
+	// thousand steps observe plenty of answers.
+	opt.ConcreteSteps = 20_000
+	opt.MaxSolutions = 4
+	var diverged int
+	for i := 0; i < 20; i++ {
+		v, st, err := Check(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			t.Fatalf("non-confluent program must still be sound under every strategy: %+v", v)
+		}
+		diverged += st.Diverged
+	}
+	if diverged == 0 {
+		t.Log("no worklist/parallel divergence observed in 20 runs; if lub/widen became confluent, consider enabling StrictCross in FuzzSoundnessSource")
+	} else {
+		t.Logf("observed %d worklist/parallel divergences across 20 runs (known non-confluence)", diverged)
+	}
+}
+
+// TestWorklistSelfDeterminism pins the sequential engines' contract on
+// the same adversarial program: repeated worklist (and naive) runs
+// must be byte-identical — only across-schedule comparison is exempt.
+func TestWorklistSelfDeterminism(t *testing.T) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, nonConfluentSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals, err := parser.ParseGoal(tab, nonConfluentQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := goals[0]
+	fn, _ := term.Indicator(goal)
+	shares := make(map[*term.VarRef]int)
+	argAbs := make([]*domain.Term, len(goal.Args))
+	for i, a := range goal.Args {
+		argAbs[i] = domain.AbstractConcrete(tab, a, shares)
+	}
+	cp := domain.WidenPattern(tab, domain.NewPattern(fn, argAbs), 4)
+	for _, strat := range []core.Strategy{core.StrategyWorklist, core.StrategyNaive} {
+		var first string
+		for i := 0; i < 10; i++ {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = strat
+			res, err := core.NewWith(mod, cfg).Analyze(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Marshal()
+			if i == 0 {
+				first = m
+			} else if m != first {
+				t.Fatalf("strategy %v nondeterministic on run %d", strat, i)
+			}
+		}
+		if !strings.Contains(first, "qsort") {
+			t.Fatal("marshal output missing the entry predicate")
+		}
+	}
+}

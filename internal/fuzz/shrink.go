@@ -1,0 +1,114 @@
+package fuzz
+
+import (
+	"strings"
+
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+// ShrinkBudget bounds how many oracle invocations a single Shrink call
+// may spend (each invocation re-analyzes and re-runs the candidate).
+const ShrinkBudget = 400
+
+// Shrink minimizes a failing case: it first narrows the query set to a
+// single failing query, then greedily deletes whole clauses, then
+// individual body goals, re-running the oracle after each candidate
+// deletion and keeping any candidate that still fails. The returned
+// case is 1-minimal up to the budget: removing any one clause (or any
+// one body goal) makes the violation disappear. Returns the original
+// case and nil if the case does not actually fail.
+func Shrink(c Case, opt Options) (Case, *Violation) {
+	v, _, err := Check(c, opt)
+	if err != nil || v == nil {
+		return c, nil
+	}
+	budget := ShrinkBudget
+
+	// fails reruns the oracle on a candidate, treating infrastructure
+	// errors (the deletion broke the program) as "does not fail".
+	fails := func(cand Case) *Violation {
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		cv, _, err := Check(cand, opt)
+		if err != nil {
+			return nil
+		}
+		return cv
+	}
+
+	// Narrow to the single query named in the violation.
+	if v.Query != "" && len(c.Queries) > 1 {
+		cand := c
+		cand.Queries = []string{v.Query}
+		if cv := fails(cand); cv != nil {
+			c, v = cand, cv
+		}
+	}
+
+	for {
+		improved := false
+
+		// Pass 1: drop whole clauses.
+		tab := term.NewTab()
+		clauses, err := parser.ParseClauses(tab, c.Source)
+		if err != nil {
+			return c, v
+		}
+		for i := 0; i < len(clauses) && budget > 0; i++ {
+			cand := c
+			cand.Source = renderClauses(tab, clauses, i, -1)
+			if cv := fails(cand); cv != nil {
+				c, v = cand, cv
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+
+		// Pass 2: drop single body goals.
+	goalLoop:
+		for i := 0; i < len(clauses) && budget > 0; i++ {
+			for j := 0; j < len(clauses[i].Body) && budget > 0; j++ {
+				cand := c
+				cand.Source = renderClauses(tab, clauses, i, j)
+				if cv := fails(cand); cv != nil {
+					c, v = cand, cv
+					improved = true
+					break goalLoop
+				}
+			}
+		}
+		if !improved || budget <= 0 {
+			return c, v
+		}
+	}
+}
+
+// renderClauses re-renders the clause list, omitting clause dropClause
+// entirely when dropGoal < 0, or only body goal dropGoal of that
+// clause otherwise.
+func renderClauses(tab *term.Tab, clauses []term.Clause, dropClause, dropGoal int) string {
+	var b strings.Builder
+	for i, cl := range clauses {
+		if i == dropClause && dropGoal < 0 {
+			continue
+		}
+		if i == dropClause {
+			nc := term.Clause{Head: cl.Head}
+			for j, g := range cl.Body {
+				if j != dropGoal {
+					nc.Body = append(nc.Body, g)
+				}
+			}
+			cl = nc
+		}
+		b.WriteString(tab.WriteClause(cl))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,15 @@
+package fuzz
+
+import (
+	"testing"
+
+	"awam/internal/bench"
+)
+
+func TestBenchSourcesFitSourceFuzzCap(t *testing.T) {
+	for _, p := range bench.AllPrograms() {
+		if len(p.Source) > maxFuzzSource {
+			t.Errorf("%s source is %d bytes, over the %d source-fuzz cap", p.Name, len(p.Source), maxFuzzSource)
+		}
+	}
+}

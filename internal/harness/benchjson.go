@@ -44,6 +44,10 @@ type BenchEntry struct {
 	// schedule-invariant, so reruns must reproduce them exactly.
 	TableSize int   `json:"table_size"`
 	Steps     int64 `json:"steps"`
+	// Seed is the workload's generator seed (benchtab -seed); omitted
+	// for the deterministic legacy workloads so seed-0 reports stay
+	// byte-identical to earlier revisions.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // BenchReport is the top-level JSON document.
@@ -55,7 +59,10 @@ type BenchReport struct {
 	CPUs   int    `json:"cpus"`
 	// Quick is true when the report was produced with -quick (single
 	// iteration; numbers are indicative, not stable).
-	Quick   bool         `json:"quick"`
+	Quick bool `json:"quick"`
+	// Seed is the generator seed used for the wide scaling workloads;
+	// zero (omitted) means the fixed legacy programs.
+	Seed    int64        `json:"seed,omitempty"`
 	Entries []BenchEntry `json:"entries"`
 }
 
@@ -155,13 +162,18 @@ func compileBench(p bench.Program) (*wam.Module, error) {
 // scaling programs under the worklist and parallel-4 engines, plus the
 // paper's Table 1 suite under the default (naive, linear-table)
 // configuration. progress, when non-nil, receives one line per cell.
-func MeasureBenchJSON(label string, quick bool, progress io.Writer) (*BenchReport, error) {
+// seed perturbs the wide workloads via bench.WideProgramSeeded; 0 keeps
+// the fixed legacy programs (the committed BENCH_PR3.json baseline).
+// The seed is echoed in both the progress lines and the report so any
+// failure or anomaly on a randomized workload can be reproduced.
+func MeasureBenchJSON(label string, quick bool, seed int64, progress io.Writer) (*BenchReport, error) {
 	rep := &BenchReport{
 		Label:  label,
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
+		Seed:   seed,
 	}
 	say := func(format string, args ...any) {
 		if progress != nil {
@@ -169,17 +181,18 @@ func MeasureBenchJSON(label string, quick bool, progress io.Writer) (*BenchRepor
 		}
 	}
 	for _, fam := range []int{256, 512} {
-		p := bench.WideProgram(fam)
+		p := bench.WideProgramSeeded(fam, seed)
 		mod, err := compileBench(p)
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range benchConfigs() {
-			say("  %s/%s...\n", p.Name, c.label)
+			say("  %s/%s (seed=%d)...\n", p.Name, c.label, p.Seed)
 			e, err := measureJSON(p.Name, c.label, mod, c.cfg, quick)
 			if err != nil {
 				return nil, err
 			}
+			e.Seed = p.Seed
 			rep.Entries = append(rep.Entries, e)
 		}
 	}

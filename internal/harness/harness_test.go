@@ -124,3 +124,23 @@ func TestSummaryLine(t *testing.T) {
 		t.Fatal("summary line malformed")
 	}
 }
+
+// TestSeededWideProgramAnalyzes checks that a randomized wide workload
+// (benchtab -seed) still compiles and reaches a fixpoint, and that the
+// measurement cell carries the schedule-invariant counters the JSON
+// report records.
+func TestSeededWideProgramAnalyzes(t *testing.T) {
+	p := bench.WideProgramSeeded(8, 42)
+	mod, err := compileBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := benchConfigs()[0] // worklist
+	e, err := measureJSON(p.Name, cfg.label, mod, cfg.cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TableSize == 0 || e.Steps == 0 {
+		t.Fatalf("seeded wide program produced empty counters: %+v", e)
+	}
+}

@@ -101,6 +101,15 @@ func (in *Interp) builtin(id wam.BuiltinID, g *term.Term) (bool, error) {
 // order by creation sequence (the machine uses heap addresses, which
 // follow the same order).
 func (in *Interp) termCompare(a, b *term.Term) int {
+	// Charge the step budget: without an occurs check a cyclic term
+	// compared against itself would recurse forever. Once the budget
+	// trips no further solution can be yielded (solveSeq re-checks on
+	// every entry), so the bogus 0 result cannot surface as an answer.
+	in.Steps++
+	if in.Steps > in.MaxSteps {
+		in.err = ErrStepLimit
+		return 0
+	}
 	a, b = in.deref(a), in.deref(b)
 	ra, rb := refOrderRank(a), refOrderRank(b)
 	if ra != rb {
@@ -163,6 +172,11 @@ func (in *Interp) biLength(g *term.Term) (bool, error) {
 	t := in.deref(g.Args[0])
 	n := 0
 	for in.tab.IsCons(t) {
+		// Budget the walk: a cyclic list would otherwise never end.
+		in.Steps++
+		if in.Steps > in.MaxSteps {
+			return false, ErrStepLimit
+		}
 		n++
 		t = in.deref(t.Args[1])
 	}
@@ -178,6 +192,12 @@ func (in *Interp) biLength(g *term.Term) (bool, error) {
 		if want < n {
 			return false, nil
 		}
+		// Building the open tail allocates want-n fresh cells; charge
+		// them so length(L, 10000000) cannot blow past the budget.
+		if in.Steps+int64(want-n) > in.MaxSteps {
+			return false, ErrStepLimit
+		}
+		in.Steps += int64(want - n)
 		elems := make([]*term.Term, want-n)
 		for i := range elems {
 			elems[i] = term.NewVar("_")
@@ -189,6 +209,12 @@ func (in *Interp) biLength(g *term.Term) (bool, error) {
 }
 
 func (in *Interp) eval(t *term.Term) (int64, error) {
+	// Charge the step budget: cyclic arithmetic terms (buildable
+	// without an occurs check) would otherwise recurse forever.
+	in.Steps++
+	if in.Steps > in.MaxSteps {
+		return 0, ErrStepLimit
+	}
 	t = in.deref(t)
 	switch t.Kind {
 	case term.KInt:

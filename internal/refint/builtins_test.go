@@ -1,0 +1,250 @@
+package refint
+
+import (
+	"strings"
+	"testing"
+)
+
+// builtinSrc is a minimal program so the goal-only builtin tests have
+// something to compile; the tests never call it.
+const builtinSrc = "id(X, X).\n"
+
+// runBuiltin evaluates a single goal against builtinSrc on the
+// reference interpreter and returns the rendered solutions.
+func runBuiltin(t *testing.T, goal string, max int) ([]string, error) {
+	t.Helper()
+	return refintSolutions(t, builtinSrc, goal, max)
+}
+
+// TestTermCompareRanks drives the standard order of terms through the
+// @</@=</@>/@>= builtins: Var < Int < Atom < Struct, integers by value,
+// atoms alphabetically, structures by arity then name then arguments,
+// and variables by creation order.
+func TestTermCompareRanks(t *testing.T) {
+	cases := []struct {
+		goal string
+		want bool
+	}{
+		// Rank boundaries.
+		{"X @< 1", true},         // var < int
+		{"X @< a", true},         // var < atom
+		{"X @< f(a)", true},      // var < struct
+		{"1 @< a", true},         // int < atom
+		{"1 @< f(a)", true},      // int < struct
+		{"a @< f(a)", true},      // atom < struct
+		{"f(a) @< a", false},     // struct not below atom
+		{"a @< 1", false},        // atom not below int
+		{"1 @< X, X = 2", false}, // int not below var
+		// Within-rank: integers by value, atoms alphabetically.
+		{"1 @< 2", true},
+		{"2 @< 1", false},
+		{"-3 @< 0", true},
+		{"abc @< abd", true},
+		{"abd @< abc", false},
+		{"a @=< a", true},
+		{"7 @>= 7", true},
+		{"b @> a", true},
+		// Structures: arity first, then name, then args left to right.
+		{"f(a) @< g(a, b)", true},
+		{"h(a) @< g(a, b)", true}, // arity dominates name (h > g)
+		{"g(a, b) @< h(a)", false},
+		{"f(a) @< g(a)", true}, // same arity: name order
+		{"g(a) @< f(a)", false},
+		{"f(a, 1) @< f(a, 2)", true}, // same functor: args left to right
+		{"f(a, 2) @< f(a, 1)", false},
+		{"f(b, 1) @< f(a, 2)", false}, // first arg decides before second
+		// Variables order by creation (first-access) sequence: the first
+		// conjunct touches X then Y, so X's serial is lower.
+		{"X @< Y", true},
+		{"Y @< X", true}, // Y is touched (hence numbered) first here
+		{"X @< Y, Y @> X", true},
+	}
+	for _, c := range cases {
+		sols, err := runBuiltin(t, c.goal, 2)
+		if err != nil {
+			t.Fatalf("%q: unexpected error %v", c.goal, err)
+		}
+		if got := len(sols) > 0; got != c.want {
+			t.Errorf("%q = %v, want %v", c.goal, got, c.want)
+		}
+	}
+}
+
+// TestCompare3 pins compare/3's order-atom answers.
+func TestCompare3(t *testing.T) {
+	cases := []struct {
+		goal string
+		want string // rendered first solution
+	}{
+		{"compare(O, 1, 2)", "O=<"},
+		{"compare(O, 2, 1)", "O=>"},
+		{"compare(O, f(x), f(x))", "O=="}, // the order atom = renders after "O="
+		{"compare(O, X, 1)", "O=<,X=X"},   // X stays unbound and renders as itself
+		{"compare(O, f(1, 1), f(1, 2))", "O=<"},
+		{"compare(O, g(a), f(a, a))", "O=<"},
+	}
+	for _, c := range cases {
+		sols, err := runBuiltin(t, c.goal, 2)
+		if err != nil {
+			t.Fatalf("%q: unexpected error %v", c.goal, err)
+		}
+		if len(sols) != 1 || sols[0] != c.want {
+			t.Errorf("%q = %v, want [%s]", c.goal, sols, c.want)
+		}
+	}
+}
+
+// TestFunctor3 covers both directions of functor/3 and its typed error
+// paths.
+func TestFunctor3(t *testing.T) {
+	cases := []struct {
+		goal    string
+		want    []string // nil means failure without error
+		wantErr string   // substring of the expected error
+	}{
+		// Decomposition: structs, atoms, integers.
+		{goal: "functor(f(a, b), N, A)", want: []string{"A=2,N=f"}},
+		{goal: "functor(foo, N, A)", want: []string{"A=0,N=foo"}},
+		{goal: "functor(42, N, A)", want: []string{"A=0,N=42"}},
+		{goal: "functor([a], N, A)", want: []string{"A=2,N=."}},
+		// Construction.
+		{goal: "functor(T, f, 2), arg(1, T, a), arg(2, T, b)", want: []string{"T=f(a, b)"}},
+		{goal: "functor(T, foo, 0)", want: []string{"T=foo"}},
+		{goal: "functor(T, 42, 0)", want: []string{"T=42"}},
+		// Checking mode.
+		{goal: "functor(f(a), f, 1)", want: []string{""}},
+		{goal: "functor(f(a), g, 1)", want: nil},
+		{goal: "functor(f(a), f, 2)", want: nil},
+		// Errors.
+		{goal: "functor(T, f, bar)", wantErr: "functor/3 arity not an integer"},
+		{goal: "functor(T, f, A)", wantErr: "functor/3 arity not an integer"},
+		{goal: "functor(T, 3, 1)", wantErr: "functor/3 name not an atom"},
+		{goal: "functor(T, N, 2)", wantErr: "functor/3 name not an atom"},
+	}
+	for _, c := range cases {
+		sols, err := runBuiltin(t, c.goal, 2)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%q: error = %v, want substring %q", c.goal, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: unexpected error %v", c.goal, err)
+		}
+		if len(sols) != len(c.want) {
+			t.Errorf("%q = %v, want %v", c.goal, sols, c.want)
+			continue
+		}
+		for i := range sols {
+			if sols[i] != c.want[i] {
+				t.Errorf("%q solution %d = %q, want %q", c.goal, i, sols[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestArg3 covers arg/3's success, silent-failure, and error paths.
+func TestArg3(t *testing.T) {
+	cases := []struct {
+		goal    string
+		want    []string
+		wantErr string
+	}{
+		{goal: "arg(1, f(a, b), X)", want: []string{"X=a"}},
+		{goal: "arg(2, f(a, b), X)", want: []string{"X=b"}},
+		{goal: "arg(0, f(a, b), X)", want: nil},                     // out of range below
+		{goal: "arg(3, f(a, b), X)", want: nil},                     // out of range above
+		{goal: "arg(-1, f(a), X)", want: nil},                       // negative index
+		{goal: "arg(1, foo, X)", want: nil},                         // atoms have no args
+		{goal: "arg(1, 42, X)", want: nil},                          // nor integers
+		{goal: "arg(1, f(Y), X), X = c", want: []string{"X=c,Y=c"}}, // arg aliases
+		{goal: "arg(N, f(a), X)", wantErr: "arg/3 index not an integer"},
+		{goal: "arg(foo, f(a), X)", wantErr: "arg/3 index not an integer"},
+	}
+	for _, c := range cases {
+		sols, err := runBuiltin(t, c.goal, 2)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%q: error = %v, want substring %q", c.goal, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: unexpected error %v", c.goal, err)
+		}
+		if len(sols) != len(c.want) {
+			t.Errorf("%q = %v, want %v", c.goal, sols, c.want)
+			continue
+		}
+		for i := range sols {
+			if sols[i] != c.want[i] {
+				t.Errorf("%q solution %d = %q, want %q", c.goal, i, sols[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestArithmetic pins is/2 evaluation — including the mod/rem sign
+// conventions and shifts — and every typed error path of eval.
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		goal    string
+		want    string // rendered first solution; "" means check error
+		wantErr string
+	}{
+		{goal: "X is 2 + 3 * 4", want: "X=14"},
+		{goal: "X is abs(-5)", want: "X=5"},
+		{goal: "X is -(5)", want: "X=-5"},
+		{goal: "X is min(2, 3)", want: "X=2"},
+		{goal: "X is max(2, 3)", want: "X=3"},
+		{goal: "X is 7 // 2", want: "X=3"},
+		{goal: "X is -7 // 2", want: "X=-3"}, // Go truncating division
+		{goal: "X is -3 mod 5", want: "X=2"}, // mod follows the divisor's sign
+		{goal: "X is 3 mod -5", want: "X=-2"},
+		{goal: "X is -3 rem 5", want: "X=-3"}, // rem follows the dividend's sign
+		{goal: "X is 2 << 3", want: "X=16"},
+		{goal: "X is 17 >> 2", want: "X=4"},
+		// Errors: unbound, non-arithmetic atoms, unknown functors, zero
+		// divisors. Errors inside nested subterms surface too.
+		{goal: "X is Y", wantErr: "arithmetic on unbound variable"},
+		{goal: "X is 1 + Y", wantErr: "arithmetic on unbound variable"},
+		{goal: "X is foo", wantErr: "atom foo is not arithmetic"},
+		{goal: "X is foo(1)", wantErr: "unknown arithmetic functor foo/1"},
+		{goal: "X is foo(1, 2)", wantErr: "unknown arithmetic functor foo/2"},
+		{goal: "X is 1 / 0", wantErr: "division by zero"},
+		{goal: "X is 1 // 0", wantErr: "division by zero"},
+		{goal: "X is 1 mod 0", wantErr: "mod by zero"},
+		{goal: "X is 1 rem 0", wantErr: "rem by zero"},
+		{goal: "X is 2 + 3 / (1 - 1)", wantErr: "division by zero"},
+		// Comparison builtins share eval and its errors.
+		{goal: "1 < foo", wantErr: "atom foo is not arithmetic"},
+		{goal: "Y =:= 1", wantErr: "arithmetic on unbound variable"},
+	}
+	for _, c := range cases {
+		sols, err := runBuiltin(t, c.goal, 2)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%q: error = %v, want substring %q", c.goal, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: unexpected error %v", c.goal, err)
+		}
+		if len(sols) != 1 || sols[0] != c.want {
+			t.Errorf("%q = %v, want [%s]", c.goal, sols, c.want)
+		}
+	}
+}
+
+// TestLength2Errors pins length/2's partial-list error path (the happy
+// paths are covered by the machine-differential tests).
+func TestLength2Errors(t *testing.T) {
+	for _, goal := range []string{"length([a|T], N)", "length(L, N)"} {
+		_, err := runBuiltin(t, goal, 2)
+		if err == nil || !strings.Contains(err.Error(), "length/2 with partial list needs a bound length") {
+			t.Errorf("%q: error = %v, want partial-list error", goal, err)
+		}
+	}
+}

@@ -98,8 +98,15 @@ func (in *Interp) undo(m int) {
 }
 
 // unify is the textbook algorithm (no occurs check, as in the machine).
+// The step budget is checked here as well as in solveSeq: without an
+// occurs check, unifying a rational (cyclic) term against itself would
+// otherwise recurse forever.
 func (in *Interp) unify(a, b *term.Term) bool {
 	in.Steps++
+	if in.Steps > in.MaxSteps {
+		in.err = ErrStepLimit
+		return false
+	}
 	a, b = in.deref(a), in.deref(b)
 	if a.Kind == term.KVar && b.Kind == term.KVar && a.Ref == b.Ref {
 		return true

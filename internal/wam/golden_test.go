@@ -1,0 +1,90 @@
+package wam_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/compiler"
+	"awam/internal/parser"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// disasmOf compiles one benchmark and returns its disassembly.
+func disasmOf(t *testing.T, p bench.Program) string {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.Disasm()
+}
+
+// TestDisasmGolden pins the textual WAM code of every benchmark in both
+// suites against goldens under testdata/. The behavioral round-trip
+// test already proves Disasm/Assemble agree; the goldens additionally
+// make any compiler or disassembler output change visible in review as
+// a plain-text diff. Regenerate with WAM_WRITE_GOLDEN=1 after an
+// intentional code-generation change.
+func TestDisasmGolden(t *testing.T) {
+	write := os.Getenv("WAM_WRITE_GOLDEN") != ""
+	if write {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range bench.AllPrograms() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			text := disasmOf(t, p)
+			golden := filepath.Join("testdata", p.Name+".wam")
+			if write {
+				if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with WAM_WRITE_GOLDEN=1 to regenerate): %v", err)
+			}
+			if text != string(want) {
+				t.Fatalf("disassembly drifted from %s; regenerate with WAM_WRITE_GOLDEN=1 if intentional", golden)
+			}
+		})
+	}
+}
+
+// TestAssembleGoldenIdempotent assembles each golden back into a module
+// and disassembles again: the text must reproduce itself byte for byte,
+// so the golden files are themselves valid assembler input (the paper's
+// pipeline consumed textual WAM code) and the format loses nothing.
+func TestAssembleGoldenIdempotent(t *testing.T) {
+	if os.Getenv("WAM_WRITE_GOLDEN") != "" {
+		t.Skip("goldens are being regenerated")
+	}
+	for _, p := range bench.AllPrograms() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", p.Name+".wam"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := term.NewTab()
+			mod, err := wam.Assemble(tab, string(want))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if got := mod.Disasm(); got != string(want) {
+				t.Fatal("disasm(assemble(golden)) is not the golden text")
+			}
+		})
+	}
+}

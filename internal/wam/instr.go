@@ -11,6 +11,7 @@ package wam
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"awam/internal/term"
@@ -359,6 +360,29 @@ func (m *Module) Disasm() string {
 	return b.String()
 }
 
+// switchEntry is one rendered switch-table branch.
+type switchEntry struct {
+	key  string
+	addr int
+}
+
+// joinSwitchEntries renders switch-table branches sorted by target
+// address (clause order), tie-broken by key, so disassembly output is
+// deterministic despite the tables being Go maps.
+func joinSwitchEntries(ents []switchEntry) string {
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].addr != ents[j].addr {
+			return ents[i].addr < ents[j].addr
+		}
+		return ents[i].key < ents[j].key
+	})
+	parts := make([]string, len(ents))
+	for i, e := range ents {
+		parts[i] = fmt.Sprintf("%s->%d", e.key, e.addr)
+	}
+	return strings.Join(parts, ", ")
+}
+
 // DisasmInstr renders one instruction.
 func (m *Module) DisasmInstr(ins Instr) string {
 	t := m.Tab
@@ -452,21 +476,23 @@ func (m *Module) DisasmInstr(ins Instr) string {
 	case OpSwitchOnTerm:
 		return fmt.Sprintf("switch_on_term var:%d const:%d list:%d struct:%d", ins.LV, ins.LC, ins.LL, ins.LS)
 	case OpSwitchOnConst:
-		parts := make([]string, 0, len(ins.TblC))
+		// Render in clause (target-address) order, not map order: the
+		// disassembly is compared byte for byte by the golden tests.
+		ents := make([]switchEntry, 0, len(ins.TblC))
 		for k, v := range ins.TblC {
 			if k.IsInt {
-				parts = append(parts, fmt.Sprintf("%d->%d", k.I, v))
+				ents = append(ents, switchEntry{fmt.Sprintf("%d", k.I), v})
 			} else {
-				parts = append(parts, fmt.Sprintf("%s->%d", t.Name(k.A), v))
+				ents = append(ents, switchEntry{t.Name(k.A), v})
 			}
 		}
-		return "switch_on_constant {" + strings.Join(parts, ", ") + "}"
+		return "switch_on_constant {" + joinSwitchEntries(ents) + "}"
 	case OpSwitchOnStruct:
-		parts := make([]string, 0, len(ins.TblS))
+		ents := make([]switchEntry, 0, len(ins.TblS))
 		for k, v := range ins.TblS {
-			parts = append(parts, fmt.Sprintf("%s->%d", t.FuncString(k), v))
+			ents = append(ents, switchEntry{t.FuncString(k), v})
 		}
-		return "switch_on_structure {" + strings.Join(parts, ", ") + "}"
+		return "switch_on_structure {" + joinSwitchEntries(ents) + "}"
 	case OpGetConstCmp:
 		return fmt.Sprintf("get_constant* %s, A%d", t.Name(ins.Fn.Name), ins.A1)
 	case OpGetIntCmp:

@@ -19,7 +19,7 @@ import (
 // and that the textual WAM format carries the full program (the paper's
 // input format was textual WAM code from the PLM compiler).
 func TestDisasmAssembleRoundTrip(t *testing.T) {
-	for _, p := range bench.Programs {
+	for _, p := range bench.AllPrograms() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			tab := term.NewTab()
