@@ -32,6 +32,7 @@ import (
 	"awam/internal/compiler"
 	"awam/internal/core"
 	"awam/internal/domain"
+	"awam/internal/inc"
 	"awam/internal/machine"
 	"awam/internal/optimize"
 	"awam/internal/parser"
@@ -174,6 +175,12 @@ type analyzeCfg struct {
 	// tracer is the user's Tracer (observe.go); AnalyzeContext adapts it
 	// onto the internal interface, which needs the symbol table.
 	tracer Tracer
+	// cache is the incremental summary cache (cache.go); strategySet
+	// distinguishes an explicit WithStrategy choice from the default, so
+	// the cache can upgrade the default to Worklist but reject a
+	// deliberate conflicting pick.
+	cache       *SummaryCache
+	strategySet bool
 	// err records the first invalid option; Analyze surfaces it instead
 	// of running with a silently clamped configuration.
 	err error
@@ -251,7 +258,9 @@ func WithStrategy(s Strategy) AnalyzeOption {
 			c.cfg.Strategy = core.StrategyParallel
 		default:
 			c.fail(fmt.Errorf("%w: unknown strategy %d", ErrBadOption, s))
+			return
 		}
+		c.strategySet = true
 	}
 }
 
@@ -288,6 +297,7 @@ func WithParallelism(n int) AnalyzeOption {
 		}
 		c.cfg.Strategy = core.StrategyParallel
 		c.cfg.Parallelism = n
+		c.strategySet = true
 	}
 }
 
@@ -317,6 +327,9 @@ type Analysis struct {
 	sys *System
 	res *core.Result
 	an  *core.Analyzer
+	// inc is set when the analysis ran through a SummaryCache
+	// (see Incremental in cache.go).
+	inc *inc.Result
 }
 
 // AnalysisStats are run statistics (the paper's Table 1 columns).
@@ -356,6 +369,16 @@ func (s *System) AnalyzeContext(ctx context.Context, opts ...AnalyzeOption) (*An
 	}
 	if c.tracer != nil {
 		c.cfg.Tracer = coreTracer{tab: s.tab, t: c.tracer}
+	}
+	if c.cache != nil {
+		if err := c.validateCacheOptions(); err != nil {
+			return nil, err
+		}
+		ir, err := c.cache.eng.AnalyzeAll(ctx, s.mod, c.cfg)
+		if err != nil {
+			return nil, wrapAnalysisErr(err)
+		}
+		return &Analysis{sys: s, res: ir.Result, an: core.New(s.mod), inc: ir}, nil
 	}
 	a := core.NewWith(s.mod, c.cfg)
 	var res *core.Result
@@ -424,6 +447,17 @@ func (a *Analysis) Stats() AnalysisStats {
 		Iterations: a.res.Iterations,
 		TableSize:  a.res.TableSize,
 	}
+}
+
+// Predicates lists the predicates recorded in the analysis as
+// "name/arity" strings, in extension-table order.
+func (a *Analysis) Predicates() []string {
+	fns := a.res.Predicates()
+	out := make([]string, len(fns))
+	for i, fn := range fns {
+		out[i] = a.sys.tab.FuncString(fn)
+	}
+	return out
 }
 
 // findPred resolves a "name/arity" string.

@@ -1,0 +1,111 @@
+package awam
+
+import (
+	"fmt"
+
+	"awam/internal/cache"
+	"awam/internal/core"
+	"awam/internal/inc"
+)
+
+// SummaryCache is a content-addressed store of per-component analysis
+// summaries shared across analyses (and, with a directory, across
+// processes). Install it with WithSummaryCache: the analysis then
+// condenses the program's call graph, fingerprints every strongly
+// connected component by its compiled code and transitive callees, and
+// reuses cached summaries for components whose fingerprint matches —
+// after an edit, only the dirty cone is re-analyzed. Results are
+// byte-identical to an uncached worklist analysis.
+//
+// A SummaryCache is safe for concurrent use; the daemon shares one
+// across all requests.
+type SummaryCache struct {
+	store *cache.Store
+	eng   *inc.Engine
+}
+
+// NewSummaryCache returns a cache holding up to budgetBytes of records
+// in memory (<= 0 selects the default, 64 MiB). A non-empty dir enables
+// persistence: records are written there as fingerprint-named files and
+// survive process restarts; evicted records are re-served from disk.
+func NewSummaryCache(budgetBytes int64, dir string) (*SummaryCache, error) {
+	store, err := cache.NewStore(budgetBytes, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &SummaryCache{store: store, eng: inc.NewEngine(store)}, nil
+}
+
+// CacheStats is a point-in-time snapshot of SummaryCache traffic.
+type CacheStats struct {
+	// Hits and Misses count record probes (one probe per program
+	// component per analysis). Evictions counts records dropped from
+	// memory by the byte budget; persisted copies survive and reload.
+	Hits, Misses, Evictions int64
+	// DiskLoads counts records faulted in from the cache directory;
+	// DiskErrors counts persistence failures (the cache degrades to
+	// memory-only rather than failing analyses).
+	DiskLoads, DiskErrors int64
+	// Entries and Bytes describe current in-memory occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// Stats returns the cache's cumulative counters and occupancy.
+func (sc *SummaryCache) Stats() CacheStats {
+	st := sc.store.Stats()
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		DiskLoads: st.DiskLoads, DiskErrors: st.DiskErrors,
+		Entries: st.Entries, Bytes: st.Bytes,
+	}
+}
+
+// WithSummaryCache runs the analysis through the incremental engine
+// backed by sc. The incremental engine is defined over the worklist
+// fixpoint: combining this option with WithStrategy(Parallel) or an
+// explicit WithStrategy(Naive) fails with ErrBadOption, as does
+// WithEntry (the cache keys whole-program analyses). A nil sc is a
+// no-op.
+func WithSummaryCache(sc *SummaryCache) AnalyzeOption {
+	return func(c *analyzeCfg) { c.cache = sc }
+}
+
+// Incremental describes the cache's share of one analysis run.
+type Incremental struct {
+	// SCCs is the number of call-graph components in the analyzed
+	// program; WarmSCCs of them were served entirely from the cache.
+	SCCs, WarmSCCs int
+	// WarmPatterns is the number of calling patterns seeded from cached
+	// summaries instead of being explored; ColdPatterns were probed but
+	// not cached.
+	WarmPatterns, ColdPatterns int64
+}
+
+// Incremental returns the cache accounting of this analysis, and ok =
+// false when the analysis ran without WithSummaryCache.
+func (a *Analysis) Incremental() (Incremental, bool) {
+	if a.inc == nil {
+		return Incremental{}, false
+	}
+	return Incremental{
+		SCCs:         len(a.inc.Plan.SCCs),
+		WarmSCCs:     a.inc.WarmSCCs,
+		WarmPatterns: a.inc.Metrics.WarmHits,
+		ColdPatterns: a.inc.Metrics.WarmMisses,
+	}, true
+}
+
+// validateCacheOptions rejects option combinations the incremental
+// engine cannot honor; called by AnalyzeContext when a cache is
+// installed. An unconfigured strategy is silently upgraded to the
+// worklist; only an explicit conflicting choice is an error.
+func (c *analyzeCfg) validateCacheOptions() error {
+	if c.strategySet && c.cfg.Strategy != core.StrategyWorklist {
+		return fmt.Errorf("%w: summary cache requires the worklist strategy", ErrBadOption)
+	}
+	if c.entry != "" {
+		return fmt.Errorf("%w: summary cache cannot be combined with WithEntry", ErrBadOption)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package awam
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const cacheProg = `
+main :- qsort([2,1,3], S), use(S).
+qsort([], []).
+qsort([X|Xs], S) :- part(Xs, X, L, G), qsort(L, SL), qsort(G, SG), app(SL, [X|SG], S).
+part([], _, [], []).
+part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).
+part([Y|Ys], X, L, [Y|G]) :- Y > X, part(Ys, X, L, G).
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+use(_).
+`
+
+// TestSummaryCacheWarmRun: the facade route matches a plain worklist
+// analysis byte for byte, and a second analysis of the same source is
+// served entirely from the cache.
+func TestSummaryCacheWarmRun(t *testing.T) {
+	sys, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.Analyze(WithStrategy(Worklist))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := NewSummaryCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sys.Analyze(WithSummaryCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Marshal() != ref.Marshal() {
+		t.Fatal("cached cold analysis differs from plain worklist analysis")
+	}
+	if inc, ok := cold.Incremental(); !ok || inc.WarmSCCs != 0 {
+		t.Fatalf("cold run incremental accounting = %+v, ok=%t", inc, ok)
+	}
+
+	// Fresh System: the daemon re-loads source per request.
+	sys2, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sys2.Analyze(WithSummaryCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Marshal() != ref.Marshal() {
+		t.Fatal("cached warm analysis differs from plain worklist analysis")
+	}
+	inc, ok := warm.Incremental()
+	if !ok {
+		t.Fatal("warm run lost its incremental accounting")
+	}
+	if inc.SCCs == 0 || inc.WarmSCCs != inc.SCCs {
+		t.Fatalf("warm run served %d/%d components", inc.WarmSCCs, inc.SCCs)
+	}
+	if inc.WarmPatterns == 0 {
+		t.Fatal("warm run seeded no calling patterns")
+	}
+	m := warm.Metrics()
+	if m.WarmHits == 0 || m.CacheHits == 0 {
+		t.Fatalf("public metrics missing cache traffic: warm=%d cache=%d", m.WarmHits, m.CacheHits)
+	}
+	if st := sc.Stats(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats empty after two runs: %+v", st)
+	}
+
+	// The cached Analysis supports the full accessor surface.
+	if s, ok := warm.Summary("qsort/2"); !ok || len(s.Args) != 2 {
+		t.Fatalf("Summary on cached analysis = %+v, ok=%t", s, ok)
+	}
+	if !strings.Contains(warm.Determinacy(), "qsort(") {
+		t.Fatal("Determinacy on cached analysis lost qsort")
+	}
+}
+
+// TestSummaryCacheOptionConflicts: explicit conflicting options fail
+// with ErrBadOption; compatible ones pass.
+func TestSummaryCacheOptionConflicts(t *testing.T) {
+	sys, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSummaryCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]AnalyzeOption{
+		{WithSummaryCache(sc), WithStrategy(Parallel)},
+		{WithSummaryCache(sc), WithParallelism(4)},
+		{WithStrategy(Naive), WithSummaryCache(sc)},
+		{WithSummaryCache(sc), WithEntry("qsort(list(g), var)")},
+	}
+	for i, opts := range bad {
+		if _, err := sys.Analyze(opts...); !errors.Is(err, ErrBadOption) {
+			t.Errorf("conflict case %d: err = %v, want ErrBadOption", i, err)
+		}
+	}
+	// Explicit Worklist and a nil cache are both fine.
+	if _, err := sys.Analyze(WithSummaryCache(sc), WithStrategy(Worklist)); err != nil {
+		t.Errorf("explicit worklist with cache: %v", err)
+	}
+	if a, err := sys.Analyze(WithSummaryCache(nil)); err != nil {
+		t.Errorf("nil cache: %v", err)
+	} else if _, ok := a.Incremental(); ok {
+		t.Error("nil cache produced incremental accounting")
+	}
+}
+
+// TestSummaryCacheIncrementalEdit: after an edit, the facade reuses the
+// clean components and still matches a from-scratch analysis.
+func TestSummaryCacheIncrementalEdit(t *testing.T) {
+	sc, err := NewSummaryCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Analyze(WithSummaryCache(sc)); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := cacheProg + "\nuse(extra).\n"
+	sysE, err := Load(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sysE.Analyze(WithStrategy(Worklist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysE2, err := Load(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sysE2.Analyze(WithSummaryCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Marshal() != ref.Marshal() {
+		t.Fatal("incremental analysis of edited program differs from scratch")
+	}
+	inc, ok := warm.Incremental()
+	if !ok || inc.WarmSCCs == 0 || inc.WarmSCCs >= inc.SCCs {
+		t.Fatalf("edit should leave some components warm, some dirty: %+v", inc)
+	}
+}
+
+// TestSummaryCacheDiskDir: a directory-backed cache survives a new
+// SummaryCache over the same directory.
+func TestSummaryCacheDiskDir(t *testing.T) {
+	dir := t.TempDir()
+	sc1, err := NewSummaryCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Analyze(WithSummaryCache(sc1)); err != nil {
+		t.Fatal(err)
+	}
+
+	sc2, err := NewSummaryCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sys2.Analyze(WithSummaryCache(sc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, ok := warm.Incremental()
+	if !ok || inc.WarmSCCs != inc.SCCs {
+		t.Fatalf("restarted cache served %d/%d components", inc.WarmSCCs, inc.SCCs)
+	}
+	if st := sc2.Stats(); st.DiskLoads == 0 {
+		t.Fatalf("no disk loads after restart: %+v", st)
+	}
+}
+
+// TestSummaryJSONEnums: Mode and Type marshal as their conventional
+// symbols, so daemon responses are readable without the Go enum.
+func TestSummaryJSONEnums(t *testing.T) {
+	sys, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := a.Summary("qsort/2")
+	if !ok {
+		t.Fatal("no qsort summary")
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := string(data)
+	for _, want := range []string{`"Mode":"+g"`, `"CallType":"list"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("summary JSON missing %s:\n%s", want, js)
+		}
+	}
+	if strings.Contains(js, `"Mode":1`) {
+		t.Errorf("summary JSON leaked enum ordinals:\n%s", js)
+	}
+}

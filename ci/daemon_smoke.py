@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for awamd: POST the qsort benchmark to a running
+daemon and assert its per-predicate summaries equal a batch
+`awam analyze -worklist` run on the same source.
+
+Usage: daemon_smoke.py http://127.0.0.1:8347
+Run from the repository root (invokes `go run ./cmd/awam`).
+"""
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+QSORT = """
+qsort([X|L], R, R0) :-
+\tpartition(L, X, L1, L2),
+\tqsort(L2, R1, R0),
+\tqsort(L1, R, [X|R1]).
+qsort([], R, R).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+main :- qsort([3,1,2], _, []).
+"""
+
+
+def daemon_modes(base):
+    body = json.dumps({"source": QSORT, "timeout_ms": 5000}).encode()
+    req = urllib.request.Request(
+        base + "/analyze", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        out = json.load(resp)
+    preds = out.get("predicates")
+    if not preds:
+        sys.exit(f"daemon returned no predicates: {out}")
+    modes = {}
+    for pred, s in preds.items():
+        if not s.get("Succeeds"):
+            continue
+        name = pred.split("/")[0]
+        args = ", ".join(a["Mode"] for a in s.get("Args") or [])
+        modes[pred] = f"{name}({args})" if args else name
+    return modes
+
+
+def batch_modes():
+    with tempfile.NamedTemporaryFile("w", suffix=".pl", delete=False) as f:
+        f.write(QSORT)
+        path = f.name
+    text = subprocess.run(
+        ["go", "run", "./cmd/awam", "analyze", "-worklist", path],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    # "mode p(+g, -g)" lines; modes are flat, so commas count arguments.
+    out = {}
+    for line in text.splitlines():
+        m = re.match(r"^mode\s+([a-z][A-Za-z0-9_]*)(\((.*)\))?$", line.strip())
+        if not m:
+            continue
+        name, args = m.group(1), m.group(3)
+        arity = len(args.split(",")) if args else 0
+        pred = f"{name}/{arity}"
+        rendered = f"{name}({args})" if args else name
+        if out.setdefault(pred, rendered) != rendered:
+            sys.exit(f"batch analyze reports conflicting modes for {pred}")
+    if not out:
+        sys.exit(f"could not parse batch analyze output:\n{text}")
+    return out
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    got = daemon_modes(sys.argv[1])
+    want = batch_modes()
+    missing = {"qsort/3", "partition/4"} - set(want)
+    if missing:
+        sys.exit(f"batch analyze output missing expected predicates: {missing}")
+    for pred, mode in want.items():
+        if pred not in got:
+            sys.exit(f"daemon response missing {pred}; has {sorted(got)}")
+        if got[pred] != mode:
+            sys.exit(f"{pred}: daemon mode {got[pred]!r} != batch {mode!r}")
+    if "main/0" not in got:
+        sys.exit(f"daemon response missing main/0; has {sorted(got)}")
+    print(f"daemon modes match batch analyze for {len(want)} predicates: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+// Command awamd is the analysis daemon: a long-lived HTTP service over
+// the incremental dataflow analyzer. It holds one summary cache for its
+// whole lifetime (optionally persisted to disk), so repeated analyses
+// of evolving programs pay only for their edits.
+//
+// Usage:
+//
+//	awamd [-addr :8347] [-cache-dir DIR] [-cache-bytes N]
+//	      [-workers N] [-timeout D] [-max-timeout D]
+//	      [-max-body N] [-max-steps N] [-drain D]
+//
+// Endpoints: POST /analyze, GET /healthz, GET /metrics. SIGINT/SIGTERM
+// drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"awam"
+	"awam/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "persist summary records to this directory (empty: memory only)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory cache budget in bytes (0: default 64 MiB)")
+		workers    = flag.Int("workers", 4, "max concurrent analyses")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request analysis deadline")
+		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "clamp on request-supplied deadlines")
+		maxBody    = flag.Int64("max-body", 1<<20, "max request body bytes")
+		maxSteps   = flag.Int64("max-steps", 0, "clamp on per-request abstract step budgets (0: uncapped)")
+		drain      = flag.Duration("drain", 15*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	cache, err := awam.NewSummaryCache(*cacheBytes, *cacheDir)
+	if err != nil {
+		log.Fatalf("awamd: cache: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Cache:          cache,
+		MaxBodyBytes:   *maxBody,
+		MaxConcurrent:  *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSteps:       *maxSteps,
+	})
+	if err != nil {
+		log.Fatalf("awamd: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("awamd: listening on %s (cache dir %q)", *addr, *cacheDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("awamd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("awamd: shutting down, draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "awamd: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("awamd: %v", err)
+	}
+	log.Printf("awamd: bye")
+}

@@ -1,0 +1,257 @@
+// Package cache implements the content-addressed summary store behind
+// the incremental analysis engine (internal/inc): a byte-budgeted
+// in-memory LRU of serialized per-SCC summary records, optionally
+// persisted to a directory of fingerprint-named files.
+//
+// Records are addressed by their producer's content fingerprint — a
+// hash covering an SCC's compiled WAM code and the fingerprints of its
+// transitive callees — so a record can never be served for changed
+// code: any edit in the cone changes the address. That makes the store
+// itself trivial: no invalidation protocol, no versioned keys, just
+// get/put by fingerprint. Values are opaque bytes (the inc package owns
+// the record format); the store only moves, budgets and persists them.
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Fingerprint is the content address of one record: the hex form of the
+// producer's SCC hash. The store treats it as an opaque file-name-safe
+// token; Validate rejects anything else so hostile fingerprints cannot
+// escape the cache directory.
+type Fingerprint string
+
+// valid reports whether fp is a plausible content address: non-empty
+// lowercase hex, bounded length. Everything the inc package produces
+// passes; path separators, "..", and other hostile names do not.
+func (fp Fingerprint) valid() bool {
+	if len(fp) == 0 || len(fp) > 128 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of store traffic and occupancy.
+type Stats struct {
+	// Hits and Misses count Get probes (a disk-served Get is a hit that
+	// also increments DiskLoads). Evictions counts records dropped from
+	// memory by the byte budget; persisted copies survive eviction.
+	Hits, Misses, Evictions int64
+	// DiskLoads counts records faulted in from the cache directory;
+	// DiskErrors counts persistence failures (the store degrades to
+	// memory-only rather than failing the analysis).
+	DiskLoads, DiskErrors int64
+	// Entries and Bytes describe current in-memory occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// rec is one resident record in the LRU's intrusive list.
+type rec struct {
+	fp         Fingerprint
+	data       []byte
+	prev, next *rec
+}
+
+// Store is the summary store. Safe for concurrent use; Get and Put take
+// one short mutex hold (disk I/O happens outside it).
+type Store struct {
+	mu    sync.Mutex
+	index map[Fingerprint]*rec
+	// head is most recently used, tail least; a ring would save the nil
+	// checks but the two-pointer list keeps eviction obvious.
+	head, tail *rec
+	bytes      int64
+	budget     int64
+	dir        string
+	stats      Stats
+}
+
+// DefaultBudget is the in-memory byte budget used when NewStore is
+// given a non-positive one: large enough for thousands of SCC records,
+// small enough to be irrelevant next to the analyzer's own working set.
+const DefaultBudget = 64 << 20
+
+// NewStore returns a store with the given in-memory byte budget
+// (non-positive selects DefaultBudget). dir, when non-empty, enables
+// persistence: records are written as <fingerprint>.scc files and Get
+// faults missing records in from disk. The directory is created if
+// needed.
+func NewStore(budget int64, dir string) (*Store, error) {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: create dir: %w", err)
+		}
+	}
+	return &Store{index: make(map[Fingerprint]*rec), budget: budget, dir: dir}, nil
+}
+
+// unlink removes r from the recency list.
+func (s *Store) unlink(r *rec) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		s.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		s.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// pushFront makes r the most recently used record.
+func (s *Store) pushFront(r *rec) {
+	r.next = s.head
+	if s.head != nil {
+		s.head.prev = r
+	}
+	s.head = r
+	if s.tail == nil {
+		s.tail = r
+	}
+}
+
+// evict drops least-recently-used records until the budget holds. A
+// single record larger than the whole budget is kept resident anyway —
+// dropping the value just fetched would turn the store into a miss
+// machine — so the budget is a high-water target, exact once at least
+// two records exist.
+func (s *Store) evict() {
+	for s.bytes > s.budget && s.tail != nil && s.tail != s.head {
+		r := s.tail
+		s.unlink(r)
+		delete(s.index, r.fp)
+		s.bytes -= int64(len(r.data))
+		s.stats.Evictions++
+	}
+}
+
+// Get returns the record stored under fp, or ok=false. The returned
+// bytes are shared — callers must not mutate them. When a cache
+// directory is configured, a memory miss falls through to disk and
+// faults the record back into memory.
+func (s *Store) Get(fp Fingerprint) ([]byte, bool) {
+	if !fp.valid() {
+		return nil, false
+	}
+	s.mu.Lock()
+	if r := s.index[fp]; r != nil {
+		s.unlink(r)
+		s.pushFront(r)
+		s.stats.Hits++
+		data := r.data
+		s.mu.Unlock()
+		return data, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir != "" {
+		data, err := os.ReadFile(s.path(fp))
+		if err == nil {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.stats.DiskLoads++
+			s.insertLocked(fp, data)
+			s.mu.Unlock()
+			return data, true
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// insertLocked adds (or refreshes) a record under s.mu.
+func (s *Store) insertLocked(fp Fingerprint, data []byte) {
+	if r := s.index[fp]; r != nil {
+		s.bytes += int64(len(data)) - int64(len(r.data))
+		r.data = data
+		s.unlink(r)
+		s.pushFront(r)
+	} else {
+		r := &rec{fp: fp, data: data}
+		s.index[fp] = r
+		s.pushFront(r)
+		s.bytes += int64(len(data))
+	}
+	s.evict()
+}
+
+// Put stores data under fp, replacing any previous record, and persists
+// it when a cache directory is configured. Persistence failures are
+// counted (Stats.DiskErrors) but not returned: a broken disk degrades
+// the store to memory-only instead of failing analyses.
+func (s *Store) Put(fp Fingerprint, data []byte) {
+	if !fp.valid() {
+		return
+	}
+	s.mu.Lock()
+	s.insertLocked(fp, data)
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir == "" {
+		return
+	}
+	if err := s.persist(fp, data); err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+	}
+}
+
+// path is the on-disk location of fp's record.
+func (s *Store) path(fp Fingerprint) string {
+	return filepath.Join(s.dir, string(fp)+".scc")
+}
+
+// persist writes the record atomically (temp file + rename), so a
+// concurrent reader or a crash never observes a torn record.
+func (s *Store) persist(fp Fingerprint, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+string(fp)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, s.path(fp)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.index)
+	st.Bytes = s.bytes
+	return st
+}

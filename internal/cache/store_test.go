@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func fpN(n int) Fingerprint {
+	return Fingerprint(fmt.Sprintf("%016x", n))
+}
+
+func TestGetPutAndStats(t *testing.T) {
+	s, err := NewStore(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fpN(1)); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(fpN(1), []byte("hello"))
+	got, ok := s.Get(fpN(1))
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	s, err := NewStore(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 40)
+	for i := 0; i < 4; i++ {
+		s.Put(fpN(i), val)
+	}
+	st := s.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("bytes %d over budget", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	// LRU order: the most recent records survive.
+	if _, ok := s.Get(fpN(3)); !ok {
+		t.Fatal("most recent record evicted")
+	}
+	if _, ok := s.Get(fpN(0)); ok {
+		t.Fatal("oldest record survived a full budget")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s, _ := NewStore(100, "")
+	val := make([]byte, 40)
+	s.Put(fpN(0), val)
+	s.Put(fpN(1), val)
+	s.Get(fpN(0)) // refresh 0; 1 becomes LRU
+	s.Put(fpN(2), val)
+	if _, ok := s.Get(fpN(0)); !ok {
+		t.Fatal("refreshed record evicted")
+	}
+	if _, ok := s.Get(fpN(1)); ok {
+		t.Fatal("stale record survived")
+	}
+}
+
+// TestOversizedRecordStaysResident: one record above the whole budget is
+// kept (evicting the value just stored would guarantee misses forever).
+func TestOversizedRecordStaysResident(t *testing.T) {
+	s, _ := NewStore(10, "")
+	s.Put(fpN(1), make([]byte, 100))
+	if _, ok := s.Get(fpN(1)); !ok {
+		t.Fatal("oversized record evicted")
+	}
+}
+
+func TestDiskPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(fpN(7), []byte("persisted"))
+	if _, err := os.Stat(filepath.Join(dir, string(fpN(7))+".scc")); err != nil {
+		t.Fatalf("record file missing: %v", err)
+	}
+
+	// A fresh store over the same directory faults the record in.
+	s2, err := NewStore(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(fpN(7))
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("disk Get = %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskLoads != 1 || st.Hits != 1 {
+		t.Fatalf("stats after disk load = %+v", st)
+	}
+	// Now resident: a second Get does not touch disk.
+	if _, ok := s2.Get(fpN(7)); !ok {
+		t.Fatal("resident record lost")
+	}
+	if st := s2.Stats(); st.DiskLoads != 1 {
+		t.Fatalf("unexpected second disk load: %+v", st)
+	}
+}
+
+// TestEvictionKeepsDiskCopy: a budget eviction only drops the in-memory
+// copy; the persisted record is still served afterwards.
+func TestEvictionKeepsDiskCopy(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(100, dir)
+	val := make([]byte, 60)
+	s.Put(fpN(0), val)
+	s.Put(fpN(1), val) // evicts 0 from memory
+	got, ok := s.Get(fpN(0))
+	if !ok || len(got) != 60 {
+		t.Fatal("evicted record not re-served from disk")
+	}
+	if st := s.Stats(); st.DiskLoads != 1 {
+		t.Fatalf("expected a disk load: %+v", st)
+	}
+}
+
+// TestHostileFingerprints: non-hex names never touch the filesystem.
+func TestHostileFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(1<<20, dir)
+	for _, fp := range []Fingerprint{"", "../evil", "a/b", "ABCDEF", Fingerprint(make([]byte, 200))} {
+		s.Put(fp, []byte("x"))
+		if _, ok := s.Get(fp); ok {
+			t.Fatalf("hostile fingerprint %q accepted", fp)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("hostile fingerprints created files: %v", ents)
+	}
+}
+
+// TestConcurrentAccess hammers the store from many goroutines; run
+// under -race in CI.
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := NewStore(10_000, "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fp := fpN(i % 37)
+				if i%3 == 0 {
+					s.Put(fp, []byte("some record payload"))
+				} else {
+					s.Get(fp)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Bytes > 10_000 {
+		t.Fatalf("budget exceeded after concurrent load: %+v", st)
+	}
+}

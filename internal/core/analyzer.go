@@ -48,6 +48,36 @@ type Config struct {
 	// StrategyParallel the tracer is shared by all workers and must be
 	// safe for concurrent use.
 	Tracer Tracer
+	// Warm, when non-nil, supplies converged summaries from a previous
+	// analysis of an unchanged program region (the incremental engine,
+	// internal/inc). Supported by StrategyWorklist only; Validate rejects
+	// other strategies. The caller is responsible for only seeding
+	// summaries whose entire callee cone is unchanged — the engine trusts
+	// them as post-fixpoint values.
+	Warm WarmStart
+}
+
+// WarmStart answers warm-start probes for the worklist fixpoint: cached
+// converged summaries for calling patterns whose predicate (and its
+// entire transitive callee cone) is unchanged since the caching run.
+// Seeded entries are inserted into the extension table as already
+// converged — never explored, never enqueued — so an analysis touches
+// only the dirty cone of an edit. Implementations must be safe for
+// concurrent use when shared across analyses (the engine itself calls
+// sequentially under StrategyWorklist).
+type WarmStart interface {
+	// Seed returns the converged success pattern for the calling pattern
+	// of fn with the given canonical key (domain.Pattern.Key). ok=false
+	// means the pattern is not cached and must be explored normally; a
+	// nil succ with ok=true seeds a converged bottom (the call can never
+	// succeed).
+	Seed(fn term.Functor, key string) (succ *domain.Pattern, ok bool)
+	// Trace returns the finalize-phase consultation list recorded for
+	// the cached calling pattern: the callee calling patterns first
+	// consulted by the entry's clauses, in discovery order. The finalize
+	// pass replays it so the presentation table is rebuilt byte-identically
+	// without re-executing the entry's clauses.
+	Trace(fn term.Functor, key string) []*domain.Pattern
 }
 
 // DefaultConfig matches the paper's prototype: k = 4, linear extension
@@ -78,6 +108,9 @@ func (c Config) Validate() error {
 	case StrategyNaive, StrategyWorklist, StrategyParallel:
 	default:
 		return fmt.Errorf("core: invalid config: unknown strategy %d", c.Strategy)
+	}
+	if c.Warm != nil && c.Strategy != StrategyWorklist {
+		return fmt.Errorf("core: invalid config: warm start requires the worklist strategy")
 	}
 	return nil
 }

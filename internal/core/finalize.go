@@ -68,6 +68,26 @@ type finState struct {
 	oracle summaryOracle
 	index  map[domain.PatternID]*Entry
 	order  []*Entry
+	// cur is the entry whose clauses (or cached trace) are being
+	// replayed; consultations are recorded on it, deduplicated through
+	// the entry's finSeen scratch (first occurrences only — repeats are
+	// no-ops for discovery, so replaying first sights reproduces the
+	// order).
+	cur *Entry
+}
+
+// consult records that the current entry's replay consulted id.
+func (f *finState) consult(id domain.PatternID, cp *domain.Pattern) {
+	if f.cur == nil {
+		return
+	}
+	for _, s := range f.cur.finSeen {
+		if s == id {
+			return
+		}
+	}
+	f.cur.finSeen = append(f.cur.finSeen, id)
+	f.cur.Consults = append(f.cur.Consults, cp)
 }
 
 // finalize rebuilds the presentation table from the converged oracle.
@@ -91,7 +111,10 @@ func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]
 	a.allow = 0
 	a.attrFn = term.Functor{}
 	a.attrStart = 0
-	a.fin = &finState{oracle: oracle, index: make(map[domain.PatternID]*Entry)}
+	a.fin = &finState{
+		oracle: oracle,
+		index:  make(map[domain.PatternID]*Entry),
+	}
 	defer func() {
 		a.fin = nil
 		a.Steps = savedSteps
@@ -106,6 +129,9 @@ func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]
 		if a.err != nil {
 			return nil, a.err
 		}
+	}
+	for _, e := range a.fin.order {
+		e.finSeen = nil // scratch only; don't retain it in the result
 	}
 	return a.fin.order, nil
 }
@@ -124,9 +150,36 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 	id := a.intern(cp)
 	if e := a.fin.index[id]; e != nil {
 		e.Lookups++
+		a.fin.consult(id, e.CP)
 		return e.Succ
 	}
 	e := &Entry{ID: id, CP: a.in.Pattern(id)}
+	a.fin.consult(id, e.CP)
+	// Warm start: a cached entry's presentation is replayed from its
+	// recorded trace — same summary, same discovery order — without
+	// executing its clauses. The probe comes before the oracle lookup:
+	// trace-replayed callee patterns were never consulted during the
+	// warm fixpoint phase, so the converged table has no record of them.
+	if a.cfg.Warm != nil {
+		if sp, ok := a.cfg.Warm.Seed(cp.Fn, e.CP.Key()); ok {
+			spID := a.intern(sp)
+			e.Succ = a.in.Pattern(spID)
+			e.succID = spID
+			e.warm = true
+			a.fin.index[id] = e
+			a.fin.order = append(a.fin.order, e)
+			prev := a.fin.cur
+			a.fin.cur = e
+			for _, dep := range a.cfg.Warm.Trace(cp.Fn, e.CP.Key()) {
+				a.solveFin(dep)
+				if a.err != nil {
+					break
+				}
+			}
+			a.fin.cur = prev
+			return e.Succ
+		}
+	}
 	if oe := a.fin.oracle.Get(id); oe != nil {
 		e.Succ = oe.Succ
 		e.succID = oe.succID
@@ -137,7 +190,10 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 	}
 	a.fin.index[id] = e
 	a.fin.order = append(a.fin.order, e)
+	prev := a.fin.cur
+	a.fin.cur = e
 	a.exploreFin(e)
+	a.fin.cur = prev
 	return e.Succ
 }
 

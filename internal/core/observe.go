@@ -95,6 +95,18 @@ type Metrics struct {
 	// Lub-cache traffic: summary merges served from the ID-keyed memo
 	// versus computed by a full graph lub + widen.
 	LubCacheHits, LubCacheMisses int64
+	// Warm-start traffic (Config.Warm, incremental engine): WarmHits
+	// counts fixpoint-phase table inserts answered by a seeded cached
+	// summary (the entry was never explored); WarmMisses counts inserts
+	// probed but not cached (explored normally). Both zero when no warm
+	// source is installed.
+	WarmHits, WarmMisses int64
+	// Summary-store traffic (internal/cache), filled by the incremental
+	// engine after the run: record-level hits/misses/evictions and the
+	// store's resident byte size. Zero when the analysis ran without a
+	// store.
+	CacheHits, CacheMisses, CacheEvictions int64
+	CacheBytes                             int64
 	// HeapHighWater is the largest abstract heap (in cells) any worker
 	// ever held.
 	HeapHighWater int
@@ -118,6 +130,7 @@ type metricsShard struct {
 
 	internHits, internMisses int64
 	lubHits, lubMisses       int64
+	warmHits, warmMisses     int64
 
 	tableOps  int64
 	tableTime time.Duration
@@ -172,6 +185,8 @@ func (m *metricsShard) merge(other *metricsShard) {
 	m.internMisses += other.internMisses
 	m.lubHits += other.lubHits
 	m.lubMisses += other.lubMisses
+	m.warmHits += other.warmHits
+	m.warmMisses += other.warmMisses
 	m.tableOps += other.tableOps
 	m.tableTime += other.tableTime
 }
@@ -270,6 +285,8 @@ func (a *Analyzer) buildMetrics(workers []*Analyzer, execute, finalize time.Dura
 		InternMisses:   a.met.internMisses,
 		LubCacheHits:   a.met.lubHits,
 		LubCacheMisses: a.met.lubMisses,
+		WarmHits:       a.met.warmHits,
+		WarmMisses:     a.met.warmMisses,
 		ExecuteTime:    execute,
 		TableTime:      a.met.tableTime,
 		FinalizeTime:   finalize,
@@ -301,6 +318,11 @@ func (m *Metrics) Render(tab *term.Tab) string {
 	fmt.Fprintf(&b, "intern   hits=%d misses=%d patterns=%d terms=%d\n",
 		m.InternHits, m.InternMisses, m.InternedPatterns, m.InternedTerms)
 	fmt.Fprintf(&b, "lubcache hits=%d misses=%d\n", m.LubCacheHits, m.LubCacheMisses)
+	if m.WarmHits > 0 || m.WarmMisses > 0 || m.CacheHits > 0 || m.CacheMisses > 0 {
+		fmt.Fprintf(&b, "warm     hits=%d misses=%d\n", m.WarmHits, m.WarmMisses)
+		fmt.Fprintf(&b, "store    hits=%d misses=%d evictions=%d bytes=%d\n",
+			m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheBytes)
+	}
 	fmt.Fprintf(&b, "heap     high-water=%d cells\n", m.HeapHighWater)
 	for _, w := range m.Workers {
 		fmt.Fprintf(&b, "worker   #%d steps=%d explorations=%d queue-wait=%v\n",

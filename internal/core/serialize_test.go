@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -67,17 +68,54 @@ func TestMarshalIntoFreshTab(t *testing.T) {
 }
 
 func TestUnmarshalErrors(t *testing.T) {
-	tab := term.NewTab()
-	cases := []string{
-		"not a summary",
-		"awam-analysis 1\nsucc p(any)\n",
-		"awam-analysis 1\nwhatever\n",
-		"awam-analysis 1\ncall 3\n",
+	cases := []struct {
+		name string
+		src  string
+		frag string // required substring of the diagnosis
+	}{
+		{"not a summary", "not a summary", "not an awam-analysis v1 summary"},
+		{"empty input", "", "not an awam-analysis v1 summary"},
+		{"truncated header", "awam-analy", "not an awam-analysis v1 summary"},
+		{"wrong version", "awam-analysis 2\n", "not an awam-analysis v1 summary"},
+		{"succ before call", "awam-analysis 1\nsucc p(any)\n", "succ before call"},
+		{"unrecognized line", "awam-analysis 1\nwhatever\n", "unrecognized line"},
+		{"bad call pattern", "awam-analysis 1\ncall 3\n", ""},
+		{"bad succ pattern", "awam-analysis 1\ncall p(g)\nsucc ((\n", ""},
+		{"call without succ", "awam-analysis 1\ncall p(g)\ncall q(g)\n", "call without preceding succ"},
+		{"truncated trailing call", "awam-analysis 1\ncall p(g)\nsucc p(g)\ncall q(g)\n", "has no succ line"},
+		{"duplicate call", "awam-analysis 1\ncall p(g)\nsucc bottom\ncall p(g)\nsucc bottom\n", "duplicate call"},
+		{"duplicate call modulo sharing",
+			"awam-analysis 1\ncall p(sh(1, var), sh(1, var))\nsucc bottom\ncall p(sh(7, var), sh(7, var))\nsucc bottom\n",
+			"duplicate call"},
+		{"bad stats", "awam-analysis 1\nstats nonsense\n", "bad stats"},
+		{"oversized line", "awam-analysis 1\ncall p(" + strings.Repeat("f(", 600_000) + "\n", ""},
 	}
-	for _, src := range cases {
-		if _, err := Unmarshal(tab, src); err == nil {
-			t.Errorf("Unmarshal(%q): expected error", src)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Unmarshal(term.NewTab(), tc.src)
+			if err == nil {
+				t.Fatalf("Unmarshal(%.60q): expected error", tc.src)
+			}
+			if !errors.Is(err, ErrBadSummary) {
+				t.Fatalf("error does not wrap ErrBadSummary: %v", err)
+			}
+			if tc.frag != "" && !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("diagnosis %q missing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestUnmarshalAcceptsLegacyStats: the pre-hardening stats line still
+// parses and fills the run statistics.
+func TestUnmarshalAcceptsLegacyStats(t *testing.T) {
+	res, err := Unmarshal(term.NewTab(),
+		"awam-analysis 1\nstats steps=42 iterations=3\ncall p(g)\nsucc p(g)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 42 || res.Iterations != 3 {
+		t.Fatalf("stats = %d/%d, want 42/3", res.Steps, res.Iterations)
 	}
 }
 

@@ -55,6 +55,23 @@ type Entry struct {
 	// Lookups counts memoized hits; Updates counts success-pattern lubs.
 	Lookups int
 	Updates int
+	// warm marks an entry seeded from a WarmStart cache: its summary is
+	// already converged, so the worklist never explores it and a summary
+	// growth can never reach it.
+	warm bool
+	// Consults lists the callee calling patterns this entry's clauses
+	// consulted during the finalize replay — first occurrences, in
+	// discovery order. The incremental engine caches it as the entry's
+	// trace, so a later warm finalize can replay discovery (and keep the
+	// presentation byte-identical) without executing the entry's clauses.
+	// Populated by the worklist and parallel strategies only (naive has
+	// no finalize pass).
+	Consults []*domain.Pattern
+	// finSeen dedups Consults during the finalize replay (first
+	// occurrences only); cleared when the pass finishes. A small slice
+	// with linear scans beats a per-entry set: consult lists are short,
+	// and the replay visits every presented entry on every warm run.
+	finSeen []domain.PatternID
 
 	// Parallel-engine state (used only by StrategyParallel). The mutex
 	// guards Succ, succID, Updates and deps; dependency edges live on the
@@ -72,6 +89,10 @@ type Entry struct {
 // human-readable boundary (display, serialized summaries, cross-engine
 // test comparison). The engine itself keys on ID.
 func (e *Entry) Key() string { return e.CP.Key() }
+
+// Warm reports whether the entry was seeded from a WarmStart cache
+// instead of being explored (incremental warm starts).
+func (e *Entry) Warm() bool { return e.warm }
 
 // Table is the extension table: a memo from interned calling-pattern
 // IDs to entries.

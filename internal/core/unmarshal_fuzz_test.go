@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"awam/internal/term"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the summary parser. The
+// parser now reads disk-cache records and daemon request products, so
+// the contract under hostile input is strict: return an error wrapping
+// ErrBadSummary — never panic, never hang — and treat every accepted
+// input as canonical: re-marshaling an accepted summary and parsing it
+// again must reproduce the same entries.
+//
+// Run continuously with:
+//
+//	go test ./internal/core/ -run=FuzzUnmarshal -fuzz=FuzzUnmarshal
+func FuzzUnmarshal(f *testing.F) {
+	f.Add("awam-analysis 1\ncall p(g)\nsucc p(g)\n")
+	f.Add("awam-analysis 1\ncall p(atom, list(g))\nsucc p(atom, [g|list(g)])\n")
+	f.Add("awam-analysis 1\ncall p(sh(1, var), sh(1, var))\nsucc bottom\n")
+	f.Add("awam-analysis 1\nstats steps=3 iterations=1\ncall q(any)\nsucc bottom\n")
+	f.Add("awam-analysis 1\ncall p(g)\nsucc bottom\ncall p(g)\nsucc bottom\n")
+	f.Add("awam-analysis 1\nsucc q(g)\n")
+	f.Add("awam-analysis 1\ncall p(g)\n")
+	f.Add("awam-analysis 2\n")
+	f.Add("")
+	f.Add("call p(g)\nsucc p(g)\n")
+	f.Add("awam-analysis 1\ncall '[]'(g)\nsucc bottom\n")
+	f.Add("awam-analysis 1\r\ncall p(g)\r\nsucc p(g)\r\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		tab := term.NewTab()
+		res, err := Unmarshal(tab, text)
+		if err != nil {
+			if !errors.Is(err, ErrBadSummary) {
+				t.Fatalf("error does not wrap ErrBadSummary: %v", err)
+			}
+			return
+		}
+		// Accepted inputs must be stable under a marshal/unmarshal cycle.
+		out := res.Marshal()
+		res2, err := Unmarshal(tab, out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled output failed: %v\ninput:  %q\noutput: %q", err, text, out)
+		}
+		if res2.Marshal() != out {
+			t.Fatalf("marshal not a fixed point:\nfirst:  %q\nsecond: %q", out, res2.Marshal())
+		}
+		if len(res2.Entries) != len(res.Entries) {
+			t.Fatalf("entry count changed across round-trip: %d -> %d",
+				len(res.Entries), len(res2.Entries))
+		}
+		for i := range res.Entries {
+			if res.Entries[i].CP.Key() != res2.Entries[i].CP.Key() {
+				t.Fatalf("entry %d calling pattern changed across round-trip", i)
+			}
+		}
+	})
+}

@@ -157,7 +157,24 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 			a.tr.Table(cp.Fn, TableMiss)
 			a.tr.Table(cp.Fn, TableInsert)
 		}
-		a.exploreWL(e)
+		// Warm start: a cached converged summary for this calling pattern
+		// (unchanged predicate cone) is seeded as-is instead of explored.
+		// It can never grow — its value depends only on its cone — so no
+		// dependent ever needs re-enqueueing on its account.
+		if a.cfg.Warm != nil {
+			if sp, ok := a.cfg.Warm.Seed(cp.Fn, e.CP.Key()); ok {
+				spID := a.intern(sp)
+				e.Succ = a.in.Pattern(spID)
+				e.succID = spID
+				e.warm = true
+				a.met.warmHits++
+			} else {
+				a.met.warmMisses++
+			}
+		}
+		if !e.warm {
+			a.exploreWL(e)
+		}
 	} else {
 		e.Lookups++
 		a.met.hits++
@@ -176,6 +193,10 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 // exploreWL runs the entry's clauses once, lubbing success patterns and
 // enqueueing dependents when the summary grows.
 func (a *Analyzer) exploreWL(e *Entry) {
+	if e.warm {
+		// Seeded entries are converged by construction; nothing to run.
+		return
+	}
 	if a.wl.exploring[e.ID] {
 		// Recursive occurrence: the caller proceeds with the current
 		// success pattern; a self-dependency has been recorded, so the

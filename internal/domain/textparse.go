@@ -1,0 +1,285 @@
+package domain
+
+import (
+	"awam/internal/term"
+)
+
+// ParseAbsFast parses the exact notation PatternText emits — the form
+// every cache record and serialized summary is written in — with a
+// hand-rolled scanner instead of the full Prolog term parser. Decoding
+// cached summaries is the warm path of the incremental engine, and
+// ParseAbs (tokenizer, operator parser, term conversion) dominated it.
+//
+// Returns ok=false on anything outside that notation; callers fall back
+// to ParseAbs, so this parser's accept set only has to be *correct*
+// (agree with ParseAbs), never complete. In particular it rejects
+// Prolog variables, bare integers outside sh groups, and pathological
+// nesting, all of which the fallback still handles.
+func ParseAbsFast(tab *term.Tab, src string) (*Pattern, bool) {
+	p := absParser{tab: tab, s: src}
+	p.ws()
+	name, ok := p.name()
+	if !ok {
+		return nil, false
+	}
+	var args []*Term
+	if p.i < len(p.s) && p.s[p.i] == '(' {
+		args, ok = p.args(0)
+		if !ok {
+			return nil, false
+		}
+	}
+	p.ws()
+	if p.i != len(p.s) {
+		return nil, false
+	}
+	return (&Pattern{Fn: p.tab.Func(name, len(args)), Args: args}).Canonical(), true
+}
+
+// ParseAbsQuick parses src with the fast scanner, falling back to the
+// full ParseAbs for anything outside its accept set. Deserialization
+// call sites (summary Unmarshal, cache record decode) use this so the
+// notation they accept is unchanged.
+func ParseAbsQuick(tab *term.Tab, src string) (*Pattern, error) {
+	if p, ok := ParseAbsFast(tab, src); ok {
+		return p, nil
+	}
+	return ParseAbs(tab, src)
+}
+
+// absParser scans one pattern. Nesting depth is bounded: beyond it the
+// parser gives up and lets ParseAbs decide, so deeply nested hostile
+// input (FuzzUnmarshal territory) behaves exactly as it did before this
+// fast path existed.
+type absParser struct {
+	tab *term.Tab
+	s   string
+	i   int
+}
+
+const absMaxDepth = 4096
+
+func (p *absParser) ws() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *absParser) eat(c byte) bool {
+	p.ws()
+	if p.i < len(p.s) && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// name scans a plain lowercase atom or a quoted one ('it”s' style is
+// not emitted by quoteName; only \' escapes are).
+func (p *absParser) name() (string, bool) {
+	if p.i >= len(p.s) {
+		return "", false
+	}
+	if c := p.s[p.i]; c >= 'a' && c <= 'z' {
+		start := p.i
+		for p.i < len(p.s) && isPlain(p.s[p.i]) {
+			p.i++
+		}
+		return p.s[start:p.i], true
+	}
+	if p.s[p.i] != '\'' {
+		return "", false
+	}
+	p.i++
+	start := p.i
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case '\'':
+			s := p.s[start:p.i]
+			p.i++
+			return s, true
+		case '\\':
+			// Escapes force the slow scan that builds the name.
+			return p.quotedTail(p.s[start:p.i])
+		default:
+			p.i++
+		}
+	}
+	return "", false
+}
+
+// quotedTail finishes scanning a quoted atom that contains escapes,
+// starting from the already-clean prefix. quoteName escapes only the
+// quote itself, so \' reads back as ' and any other backslash is
+// literal.
+func (p *absParser) quotedTail(prefix string) (string, bool) {
+	buf := append([]byte(nil), prefix...)
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		switch {
+		case c == '\'':
+			p.i++
+			return string(buf), true
+		case c == '\\' && p.i+1 < len(p.s) && p.s[p.i+1] == '\'':
+			buf = append(buf, '\'')
+			p.i += 2
+		default:
+			buf = append(buf, c)
+			p.i++
+		}
+	}
+	return "", false
+}
+
+func isPlain(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// args parses "(" t ("," t)* ")" — the opening byte is at p.i.
+func (p *absParser) args(depth int) ([]*Term, bool) {
+	p.i++ // '('
+	var out []*Term
+	for {
+		t, ok := p.term(depth + 1)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, t)
+		if p.eat(')') {
+			return out, true
+		}
+		if !p.eat(',') {
+			return nil, false
+		}
+	}
+}
+
+func (p *absParser) term(depth int) (*Term, bool) {
+	if depth > absMaxDepth {
+		return nil, false
+	}
+	p.ws()
+	if p.i >= len(p.s) {
+		return nil, false
+	}
+	if p.s[p.i] == '[' {
+		p.i++
+		if p.eat(']') {
+			return leafNil, true
+		}
+		head, ok := p.term(depth + 1)
+		if !ok || !p.eat('|') {
+			return nil, false
+		}
+		tail, ok := p.term(depth + 1)
+		if !ok || !p.eat(']') {
+			return nil, false
+		}
+		return MkStructT(p.tab.ConsFunctor(), head, tail), true
+	}
+	name, ok := p.name()
+	if !ok {
+		return nil, false
+	}
+	if p.i < len(p.s) && p.s[p.i] == '(' {
+		switch name {
+		case "sh":
+			// sh(N, T): try the share form; arity or type mismatches
+			// fall back so ParseAbs can produce its usual diagnostics.
+			save := p.i
+			if t, ok := p.share(depth); ok {
+				return t, true
+			}
+			p.i = save
+			return nil, false
+		case "list":
+			save := p.i
+			p.i++
+			if e, ok := p.term(depth + 1); ok && p.eat(')') {
+				return MkListT(e), true
+			}
+			p.i = save
+			return nil, false
+		}
+		args, ok := p.args(depth)
+		if !ok {
+			return nil, false
+		}
+		return MkStructT(p.tab.Func(name, len(args)), args...), true
+	}
+	return p.leaf(name)
+}
+
+// share parses the "(N, T)" tail of an sh wrapper; the share group is
+// copied onto the inner term exactly as ParseAbs does.
+func (p *absParser) share(depth int) (*Term, bool) {
+	p.i++ // '('
+	p.ws()
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] >= '0' && p.s[p.i] <= '9' {
+		p.i++
+	}
+	if p.i == start {
+		return nil, false
+	}
+	n := 0
+	for _, c := range []byte(p.s[start:p.i]) {
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return nil, false
+		}
+	}
+	if !p.eat(',') {
+		return nil, false
+	}
+	inner, ok := p.term(depth + 1)
+	if !ok || !p.eat(')') {
+		return nil, false
+	}
+	out := *inner
+	out.Share = n
+	return &out, true
+}
+
+// Shared leaf nodes: the decoded volume is leaf-dominated, and Term
+// trees are immutable once built (every rewrite in the domain copies
+// the node first), so one node per kind can serve every occurrence.
+// Wrappers that attach a share group (sh parsing, abstraction) copy
+// before writing, so the singletons never gain a Share.
+var (
+	leafAny   = &Term{Kind: Any}
+	leafNV    = &Term{Kind: NV}
+	leafG     = &Term{Kind: Ground}
+	leafConst = &Term{Kind: Const}
+	leafAtom  = &Term{Kind: Atom}
+	leafInt   = &Term{Kind: Intg}
+	leafVar   = &Term{Kind: Var}
+	leafEmpty = &Term{Kind: Empty}
+	leafNil   = &Term{Kind: Nil}
+)
+
+// leaf maps a bare atom to its abstract kind — the same table as
+// ParseAbs, including the aliases and the unknown-atom default.
+func (p *absParser) leaf(name string) (*Term, bool) {
+	switch name {
+	case "any":
+		return leafAny, true
+	case "nv":
+		return leafNV, true
+	case "g", "ground":
+		return leafG, true
+	case "const":
+		return leafConst, true
+	case "atom":
+		return leafAtom, true
+	case "int", "integer":
+		return leafInt, true
+	case "var":
+		return leafVar, true
+	case "empty":
+		return leafEmpty, true
+	case "[]":
+		return leafNil, true
+	}
+	return leafAtom, true
+}

@@ -1,0 +1,114 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+
+	"awam/internal/term"
+)
+
+// TestParseAbsFastAgreesWithParseAbs: on every string PatternText can
+// emit, the fast scanner and the full parser must produce equal
+// patterns — the fast path serves the same cache records the slow path
+// wrote. Inputs are random patterns (shared, nested, quoted functors)
+// round-tripped through PatternText.
+func TestParseAbsFastAgreesWithParseAbs(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		args := make([]*Term, 1+r.Intn(3))
+		for j := range args {
+			args[j] = genAbs(r, tab, 3)
+		}
+		p := (&Pattern{Fn: tab.Func("p", len(args)), Args: args}).Canonical()
+		text := PatternText(tab, p)
+		fast, ok := ParseAbsFast(tab, text)
+		if !ok {
+			t.Fatalf("ParseAbsFast rejected PatternText output %q", text)
+		}
+		slow, err := ParseAbs(tab, text)
+		if err != nil {
+			t.Fatalf("ParseAbs(%q): %v", text, err)
+		}
+		if !fast.Equal(slow) {
+			t.Fatalf("ParseAbsFast(%q) = %s, ParseAbs = %s",
+				text, fast.String(tab), slow.String(tab))
+		}
+		if !fast.Equal(p) {
+			t.Fatalf("round-trip changed pattern: %q became %s", text, fast.String(tab))
+		}
+	}
+}
+
+// TestParseAbsFastFixedCases covers the notation's corners directly,
+// including quoted functors with escapes and the explicit share form.
+func TestParseAbsFastFixedCases(t *testing.T) {
+	tab := term.NewTab()
+	for _, src := range []string{
+		"p",
+		"p(any, nv, g, const, atom, int, var, empty, [])",
+		"p(list(g), [g|list(g)], f(atom, var))",
+		"p(sh(1, var), sh(1, var), sh(2, list(any)))",
+		"p(sh(3, list(sh(4, var))))",
+		"'Odd name'(g)",
+		`p('it\'s'(g), '')`,
+		"p(weird_atom)", // unknown bare atom defaults to the atom leaf
+		"p([g|[g|[]]])",
+	} {
+		fast, ok := ParseAbsFast(tab, src)
+		if !ok {
+			t.Fatalf("ParseAbsFast(%q): rejected", src)
+		}
+		slow, err := ParseAbs(tab, src)
+		if err != nil {
+			t.Fatalf("ParseAbs(%q): %v", src, err)
+		}
+		if !fast.Equal(slow) {
+			t.Errorf("ParseAbsFast(%q) = %s, ParseAbs = %s",
+				src, fast.String(tab), slow.String(tab))
+		}
+	}
+}
+
+// TestParseAbsFastRejects: inputs outside the PatternText notation must
+// be declined (ok=false) so ParseAbsQuick defers to ParseAbs — which
+// either accepts them (Prolog variables, sh arity mismatches becoming
+// plain structs) or produces its usual errors.
+func TestParseAbsFastRejects(t *testing.T) {
+	tab := term.NewTab()
+	for _, src := range []string{
+		"",
+		"3",
+		"X",
+		"p(X)",          // Prolog variable: ParseAbs-only
+		"p(3)",          // bare integer: ParseAbs-only
+		"p(sh(x, any))", // malformed share group
+		"p(sh(1, g, g))",
+		"p(list(g, g))",
+		"p(",
+		"p(g))",
+		"p('unterminated",
+		"p(g) trailing",
+	} {
+		if _, ok := ParseAbsFast(tab, src); ok {
+			t.Errorf("ParseAbsFast(%q): expected rejection", src)
+		}
+	}
+}
+
+// TestParseAbsQuickMatchesParseAbsOnRejects: the wrapper must behave
+// exactly like ParseAbs for inputs the fast scanner declines.
+func TestParseAbsQuickMatchesParseAbsOnRejects(t *testing.T) {
+	tab := term.NewTab()
+	for _, src := range []string{"p(X, X)", "p(sh(1, g, g))", "p(list(g, g))", "q(3)"} {
+		quick, qerr := ParseAbsQuick(tab, src)
+		slow, serr := ParseAbs(tab, src)
+		if (qerr == nil) != (serr == nil) {
+			t.Fatalf("ParseAbsQuick(%q) err=%v, ParseAbs err=%v", src, qerr, serr)
+		}
+		if qerr == nil && !quick.Equal(slow) {
+			t.Errorf("ParseAbsQuick(%q) = %s, ParseAbs = %s",
+				src, quick.String(tab), slow.String(tab))
+		}
+	}
+}

@@ -64,6 +64,9 @@ type BenchReport struct {
 	// zero (omitted) means the fixed legacy programs.
 	Seed    int64        `json:"seed,omitempty"`
 	Entries []BenchEntry `json:"entries"`
+	// Incremental holds the summary-cache cold-versus-warm measurements
+	// (absent in reports from revisions before the incremental engine).
+	Incremental []IncrementalEntry `json:"incremental,omitempty"`
 }
 
 // benchConfigs are the engine configurations the JSON report sweeps on
@@ -207,6 +210,15 @@ func MeasureBenchJSON(label string, quick bool, seed int64, progress io.Writer) 
 			return nil, err
 		}
 		rep.Entries = append(rep.Entries, e)
+	}
+	// Incremental cold-vs-warm is only meaningful on the deterministic
+	// workload: the committed report tracks its speedup across revisions.
+	if seed == 0 {
+		ie, err := MeasureIncremental(512, quick, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.Incremental = append(rep.Incremental, *ie)
 	}
 	return rep, nil
 }

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"awam/internal/bench"
+	"awam/internal/core"
+	"awam/internal/inc"
+	"awam/internal/wam"
+)
+
+// This file measures the incremental analysis engine: what a one-clause
+// edit costs when per-component summaries are cached, versus
+// re-analyzing from scratch. The workload is the wide scaling program —
+// hundreds of independent predicate families — because that is the
+// regime an analysis service lives in: a large program where any single
+// edit touches a tiny cone.
+
+// IncrementalEntry is the cold-versus-warm measurement for one
+// workload, recorded in the JSON benchmark report.
+type IncrementalEntry struct {
+	// Name is the workload, e.g. "wide_512".
+	Name string `json:"name"`
+	// ColdNsPerOp is a from-scratch engine run (empty store);
+	// WarmNsPerOp is a re-analysis after a one-clause edit against a
+	// store primed with the unedited program. Both time the engine only
+	// (parsing and compilation excluded, identically on both sides).
+	ColdNsPerOp int64 `json:"cold_ns_per_op"`
+	WarmNsPerOp int64 `json:"warm_ns_per_op"`
+	// Speedup is ColdNsPerOp / WarmNsPerOp.
+	Speedup float64 `json:"speedup"`
+	// SCCs is the workload's component count; WarmSCCs of them were
+	// served from the cache during the measured warm runs (per run).
+	SCCs     int `json:"sccs"`
+	WarmSCCs int `json:"warm_sccs"`
+	// ColdIters and WarmIters are the run counts behind the averages.
+	ColdIters int `json:"cold_iters"`
+	WarmIters int `json:"warm_iters"`
+}
+
+// MeasureIncremental produces the cold-versus-warm entry for the
+// wide program with the given family count. Warm runs are measured over
+// distinct edits — run i appends one clause to family i's leaf — so
+// every measured run pays the true incremental cost (probe every
+// component, re-analyze one dirty cone, refresh its records); no run is
+// measured against a store that has already seen its own edit.
+func MeasureIncremental(families int, quick bool, progress io.Writer) (*IncrementalEntry, error) {
+	base := bench.WideProgramSeeded(families, 0)
+	e := &IncrementalEntry{Name: base.Name}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format, args...)
+		}
+	}
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+
+	baseMod, err := compileBench(base)
+	if err != nil {
+		return nil, err
+	}
+
+	coldIters, warmIters := 3, 8
+	if quick {
+		coldIters, warmIters = 1, 2
+	}
+	if warmIters > families {
+		warmIters = families
+	}
+
+	// Compile every module up front so both timed sections run against
+	// the same live heap, and collect before each so neither section
+	// pays for the other's (or an earlier benchmark's) garbage.
+	editMods := make([]*wam.Module, warmIters)
+	for i := 0; i < warmIters; i++ {
+		edited := base
+		edited.Source += fmt.Sprintf("\np%d_use(mutant_edit).\n", i)
+		mod, err := compileBench(edited)
+		if err != nil {
+			return nil, err
+		}
+		editMods[i] = mod
+	}
+
+	// Cold: a fresh engine (empty store) per run.
+	say("  %s/incremental: %d cold runs...\n", base.Name, coldIters)
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < coldIters; i++ {
+		if _, err := inc.NewEngine(nil).AnalyzeAll(ctx, baseMod, cfg); err != nil {
+			return nil, err
+		}
+	}
+	e.ColdNsPerOp = time.Since(start).Nanoseconds() / int64(coldIters)
+	e.ColdIters = coldIters
+
+	// Prime one engine with the unedited program, then measure edits.
+	eng := inc.NewEngine(nil)
+	if _, err := eng.AnalyzeAll(ctx, baseMod, cfg); err != nil {
+		return nil, err
+	}
+
+	say("  %s/incremental: %d warm (one-edit) runs...\n", base.Name, warmIters)
+	runtime.GC()
+	start = time.Now()
+	var last *inc.Result
+	for i := 0; i < warmIters; i++ {
+		res, err := eng.AnalyzeAll(ctx, editMods[i], cfg)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	e.WarmNsPerOp = time.Since(start).Nanoseconds() / int64(warmIters)
+	e.WarmIters = warmIters
+	e.SCCs = len(last.Plan.SCCs)
+	e.WarmSCCs = last.WarmSCCs
+	if e.WarmNsPerOp > 0 {
+		e.Speedup = float64(e.ColdNsPerOp) / float64(e.WarmNsPerOp)
+	}
+	return e, nil
+}

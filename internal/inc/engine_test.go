@@ -1,0 +1,276 @@
+package inc
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/cache"
+	"awam/internal/core"
+	"awam/internal/fuzz"
+	"awam/internal/parser"
+	"awam/internal/term"
+)
+
+func newDirStore(dir string) (*cache.Store, error) {
+	return cache.NewStore(0, dir)
+}
+
+// scratchMarshal analyzes src from scratch with the plain worklist
+// strategy — the reference the incremental engine must match byte for
+// byte.
+func scratchMarshal(t *testing.T, src string) string {
+	t.Helper()
+	_, res := analyzeWorklist(t, src)
+	return res.Marshal()
+}
+
+// runEngine analyzes src through the engine (fresh tab/module each
+// call, as the daemon would).
+func runEngine(t *testing.T, e *Engine, src string) *Result {
+	t.Helper()
+	_, mod := mustCompile(t, src)
+	res, err := e.AnalyzeAll(context.Background(), mod, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("engine analyze: %v", err)
+	}
+	return res
+}
+
+// TestWarmRunByteIdentical: on every benchmark program, a cold engine
+// run equals the scratch worklist result, and a fully warm re-run of
+// the unchanged program is byte-identical again — with zero predicate
+// explorations (everything seeded) and full component reuse.
+func TestWarmRunByteIdentical(t *testing.T) {
+	for _, prog := range bench.AllPrograms() {
+		t.Run(prog.Name, func(t *testing.T) {
+			want := scratchMarshal(t, prog.Source)
+			e := NewEngine(nil)
+
+			cold := runEngine(t, e, prog.Source)
+			if cold.Marshal() != want {
+				t.Fatal("cold engine run differs from scratch worklist")
+			}
+			if cold.WarmSCCs != 0 {
+				t.Fatalf("cold run reports %d warm SCCs", cold.WarmSCCs)
+			}
+
+			warm := runEngine(t, e, prog.Source)
+			if warm.Marshal() != want {
+				t.Fatal("warm engine run differs from scratch worklist")
+			}
+			if warm.WarmSCCs != len(warm.Plan.SCCs) {
+				t.Fatalf("warm run served %d/%d SCCs from cache",
+					warm.WarmSCCs, len(warm.Plan.SCCs))
+			}
+			if warm.Metrics.WarmHits == 0 {
+				t.Fatal("warm run seeded nothing")
+			}
+			var runs int64
+			for _, n := range warm.Metrics.PredRuns {
+				runs += n
+			}
+			if runs != 0 {
+				t.Fatalf("warm run of unchanged program explored predicates: %v",
+					warm.Metrics.PredRuns)
+			}
+		})
+	}
+}
+
+// TestIncrementalEditDirtyConeOnly edits one predicate between runs and
+// checks (a) byte-identity with a from-scratch analysis of the edited
+// program and (b) that predicates outside the dirty cone were not
+// re-explored — the Metrics.PredRuns proof the issue asks for.
+func TestIncrementalEditDirtyConeOnly(t *testing.T) {
+	base := `
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+rev([], []).
+rev([X|Xs], Ys) :- rev(Xs, Zs), app(Zs, [X], Ys).
+len([], zero).
+len([_|Xs], s(N)) :- len(Xs, N).
+flat(X, Y) :- rev(X, Y).
+`
+	edited := base + "\nlen(weird, weird).\n"
+
+	e := NewEngine(nil)
+	runEngine(t, e, base)
+	warm := runEngine(t, e, edited)
+	if got, want := warm.Marshal(), scratchMarshal(t, edited); got != want {
+		t.Fatalf("incremental result differs from scratch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	tab := warm.Result.Tab
+	for fn, n := range warm.Metrics.PredRuns {
+		if n > 0 {
+			switch name := tab.FuncString(fn); name {
+			case "len/2":
+				// The edited predicate: must re-run.
+			default:
+				t.Errorf("clean predicate %s re-explored %d times", name, n)
+			}
+		}
+	}
+	if warm.Metrics.PredRuns[tabFunc(tab, "len", 2)] == 0 {
+		t.Error("edited predicate was not re-explored")
+	}
+	// app, rev, flat are outside len's cone: all served warm.
+	if warm.Metrics.WarmHits == 0 {
+		t.Error("no warm hits on the clean cone")
+	}
+}
+
+func tabFunc(tab *term.Tab, name string, arity int) term.Functor {
+	return tab.Func(name, arity)
+}
+
+// TestIncrementalEditCallerCone: editing a leaf dirties its callers
+// too (their fingerprints cover the cone), so they re-run; unrelated
+// predicates stay warm.
+func TestIncrementalEditCallerCone(t *testing.T) {
+	base := `
+leafa(a).
+leafb(b).
+mid(X) :- leafa(X).
+top(X) :- mid(X).
+other(X) :- leafb(X).
+`
+	edited := `
+leafa(a).
+leafa(c).
+leafb(b).
+mid(X) :- leafa(X).
+top(X) :- mid(X).
+other(X) :- leafb(X).
+`
+	e := NewEngine(nil)
+	runEngine(t, e, base)
+	warm := runEngine(t, e, edited)
+	if got, want := warm.Marshal(), scratchMarshal(t, edited); got != want {
+		t.Fatal("incremental result differs from scratch after leaf edit")
+	}
+	tab := warm.Result.Tab
+	dirty := map[string]bool{"leafa/1": true, "mid/1": true, "top/1": true}
+	for fn, n := range warm.Metrics.PredRuns {
+		if n > 0 && !dirty[tab.FuncString(fn)] {
+			t.Errorf("predicate %s outside the dirty cone re-explored", tab.FuncString(fn))
+		}
+	}
+	for name := range dirty {
+		found := false
+		for fn, n := range warm.Metrics.PredRuns {
+			if n > 0 && tab.FuncString(fn) == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dirty predicate %s was not re-explored", name)
+		}
+	}
+}
+
+// TestIncrementalFuzzCorpus is the property test over the generator
+// corpus: analyze, append one clause to the first predicate, re-analyze
+// warm, and require byte-identity with a from-scratch run of the
+// mutated program.
+func TestIncrementalFuzzCorpus(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		c := fuzz.Generate(seed, fuzz.DefaultGenConfig())
+		mutated, ok := mutateFirstPredicate(c.Source)
+		if !ok {
+			t.Logf("seed %d: no mutable predicate, skipped", seed)
+			continue
+		}
+		e := NewEngine(nil)
+		runEngine(t, e, c.Source)
+		warm := runEngine(t, e, mutated)
+		if got, want := warm.Marshal(), scratchMarshal(t, mutated); got != want {
+			t.Fatalf("seed %d: incremental != scratch after mutation\nsource:\n%s", seed, mutated)
+		}
+		if warm.Metrics.WarmHits+warm.Metrics.WarmMisses == 0 {
+			t.Fatalf("seed %d: warm run never probed the seed table", seed)
+		}
+	}
+}
+
+// mutateFirstPredicate appends a fresh fact for the program's first
+// defined predicate — a minimal dirtying edit valid for any program.
+func mutateFirstPredicate(src string) (string, bool) {
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil || len(prog.Clauses) == 0 {
+		return "", false
+	}
+	fn, ok := term.Indicator(prog.Clauses[0].Head)
+	if !ok {
+		return "", false
+	}
+	name := tab.Name(fn.Name)
+	if fn.Arity == 0 {
+		return src + "\n" + name + ".\n", true
+	}
+	args := ""
+	for i := 0; i < fn.Arity; i++ {
+		if i > 0 {
+			args += ", "
+		}
+		args += "mutant"
+	}
+	return fmt.Sprintf("%s\n%s(%s).\n", src, name, args), true
+}
+
+// TestEngineDiskPersistence: a brand-new engine over the same cache
+// directory serves the whole program warm — the cross-process restart
+// story.
+func TestEngineDiskPersistence(t *testing.T) {
+	prog, _ := bench.ByName("qsort")
+	dir := t.TempDir()
+
+	s1, err := newDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEngine(t, NewEngine(s1), prog.Source)
+
+	s2, err := newDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := runEngine(t, NewEngine(s2), prog.Source)
+	if warm.WarmSCCs != len(warm.Plan.SCCs) {
+		t.Fatalf("after restart: %d/%d SCCs warm", warm.WarmSCCs, len(warm.Plan.SCCs))
+	}
+	if warm.Marshal() != scratchMarshal(t, prog.Source) {
+		t.Fatal("disk-served warm run differs from scratch")
+	}
+	if warm.Store.DiskLoads == 0 {
+		t.Fatal("no disk loads recorded after restart")
+	}
+}
+
+// TestEngineConfigIsolation: records produced under one depth bound
+// must not warm an analysis under another.
+func TestEngineConfigIsolation(t *testing.T) {
+	prog, _ := bench.ByName("qsort")
+	e := NewEngine(nil)
+	_, mod := mustCompile(t, prog.Source)
+	if _, err := e.AnalyzeAll(context.Background(), mod, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	_, mod2 := mustCompile(t, prog.Source)
+	cfg := core.DefaultConfig()
+	cfg.Depth = 2
+	res, err := e.AnalyzeAll(context.Background(), mod2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmSCCs != 0 {
+		t.Fatalf("depth-2 run reused %d depth-4 components", res.WarmSCCs)
+	}
+}

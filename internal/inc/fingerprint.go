@@ -1,0 +1,243 @@
+package inc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// fpFormat names the fingerprint schema. Bump it whenever the hashed
+// form changes meaning (instruction encoding, record format, analysis
+// semantics): old cache records then simply stop matching, which is the
+// only invalidation this design needs. v2 replaced the disassembly-text
+// hash input with the binary encoding below (same coverage, far cheaper
+// to compute — fingerprinting is on the warm path of every request).
+const fpFormat = "awam-scc-fp 2"
+
+// fingerprint computes every component's content address, bottom-up.
+// A fingerprint covers:
+//
+//   - the schema version and the analysis configuration (context),
+//   - each member's compiled code, encoded position-independently
+//     (addresses relative to the procedure entry, callee identity by
+//     name — see relInstr),
+//   - the fingerprints of all callee components, i.e. transitively the
+//     entire cone below.
+//
+// Two components hash equal exactly when analyzing them under the same
+// configuration is guaranteed to produce the same summaries, so cached
+// records can be reused without any soundness check at load time.
+// Undefined pseudo-components hash their name/arity: defining the
+// predicate later replaces the pseudo-fingerprint with a code hash and
+// thereby dirties every caller.
+func (p *Plan) fingerprint(context string) {
+	var bw binWriter
+	for _, scc := range p.SCCs {
+		bw.buf = bw.buf[:0]
+		bw.str(fpFormat)
+		bw.str(context)
+		for _, fn := range scc.Members {
+			if scc.Undefined {
+				bw.str("undefined")
+				bw.str(p.Mod.Tab.Name(fn.Name))
+				bw.uint(uint64(fn.Arity))
+				continue
+			}
+			sp := p.spans[fn]
+			writeProcBin(&bw, p.Mod, fn, sp[0], sp[1])
+		}
+		// Callee fingerprints sorted lexically: the set matters, not the
+		// call order (summaries are order-free), and sorting keeps the
+		// hash stable under clause reordering that preserves the set.
+		fps := make([]string, len(scc.Callees))
+		for i, j := range scc.Callees {
+			fps[i] = p.SCCs[j].Fingerprint
+		}
+		sort.Strings(fps)
+		for _, fp := range fps {
+			bw.str(fp)
+		}
+		sum := sha256.Sum256(bw.buf)
+		scc.Fingerprint = hex.EncodeToString(sum[:])
+	}
+}
+
+// binWriter builds the fingerprint's hash input: a flat byte string of
+// varints and length-prefixed names. Every atom and functor is encoded
+// by spelling, never by interned number, so the encoding is stable
+// across processes and symbol tables.
+type binWriter struct{ buf []byte }
+
+func (b *binWriter) uint(v uint64) { b.buf = binary.AppendUvarint(b.buf, v) }
+func (b *binWriter) int(v int64)   { b.buf = binary.AppendVarint(b.buf, v) }
+func (b *binWriter) str(s string) {
+	b.uint(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// writeProcBin encodes one procedure's code position-independently:
+// entry and clause addresses relative to the span start, every
+// instruction with absolute addresses stripped by relInstr. Switch
+// dispatch tables are emitted in sorted key order (map iteration order
+// must not leak into the hash).
+func writeProcBin(bw *binWriter, mod *wam.Module, fn term.Functor, start, end int) {
+	tab := mod.Tab
+	proc := mod.Procs[fn]
+	bw.str(tab.Name(fn.Name))
+	bw.uint(uint64(fn.Arity))
+	bw.int(int64(proc.Entry - start))
+	bw.uint(uint64(len(proc.Clauses)))
+	for _, c := range proc.Clauses {
+		bw.int(int64(c - start))
+	}
+	bw.uint(uint64(end - start))
+	for addr := start; addr < end; addr++ {
+		ins := relInstr(mod.Code[addr], start)
+		bw.uint(uint64(ins.Op))
+		bw.int(int64(ins.A1))
+		bw.int(int64(ins.A2))
+		bw.int(ins.I)
+		bw.int(int64(ins.L))
+		bw.int(int64(ins.LV))
+		bw.int(int64(ins.LC))
+		bw.int(int64(ins.LL))
+		bw.int(int64(ins.LS))
+		if ins.Fn == (term.Functor{}) {
+			bw.uint(0)
+		} else {
+			bw.uint(1)
+			bw.str(tab.Name(ins.Fn.Name))
+			bw.uint(uint64(ins.Fn.Arity))
+		}
+		if len(ins.TblC) > 0 {
+			type centry struct {
+				k wam.ConstKey
+				v int
+			}
+			ents := make([]centry, 0, len(ins.TblC))
+			for k, v := range ins.TblC {
+				ents = append(ents, centry{k, v})
+			}
+			sort.Slice(ents, func(i, j int) bool {
+				a, b := ents[i].k, ents[j].k
+				if a.IsInt != b.IsInt {
+					return !a.IsInt
+				}
+				if a.IsInt {
+					return a.I < b.I
+				}
+				return tab.Name(a.A) < tab.Name(b.A)
+			})
+			bw.uint(uint64(len(ents)))
+			for _, e := range ents {
+				if e.k.IsInt {
+					bw.uint(1)
+					bw.int(e.k.I)
+				} else {
+					bw.uint(0)
+					bw.str(tab.Name(e.k.A))
+				}
+				bw.int(int64(e.v))
+			}
+		} else {
+			bw.uint(0)
+		}
+		if len(ins.TblS) > 0 {
+			type sentry struct {
+				k term.Functor
+				v int
+			}
+			ents := make([]sentry, 0, len(ins.TblS))
+			for k, v := range ins.TblS {
+				ents = append(ents, sentry{k, v})
+			}
+			sort.Slice(ents, func(i, j int) bool {
+				an, bn := tab.Name(ents[i].k.Name), tab.Name(ents[j].k.Name)
+				if an != bn {
+					return an < bn
+				}
+				return ents[i].k.Arity < ents[j].k.Arity
+			})
+			bw.uint(uint64(len(ents)))
+			for _, e := range ents {
+				bw.str(tab.Name(e.k.Name))
+				bw.uint(uint64(e.k.Arity))
+				bw.int(int64(e.v))
+			}
+		} else {
+			bw.uint(0)
+		}
+	}
+}
+
+// writeProcText renders the same position-independent view as
+// writeProcBin, but through the disassembler — the human-readable
+// companion behind ProcText for tests and the debug CLI.
+func writeProcText(w io.Writer, mod *wam.Module, fn term.Functor, start, end int) {
+	proc := mod.Procs[fn]
+	fmt.Fprintf(w, "member %s entry %d\n", mod.Tab.FuncString(fn), proc.Entry-start)
+	for _, c := range proc.Clauses {
+		fmt.Fprintf(w, " clause %d\n", c-start)
+	}
+	for addr := start; addr < end; addr++ {
+		fmt.Fprintf(w, " %d %s\n", addr-start, mod.DisasmInstr(relInstr(mod.Code[addr], start)))
+	}
+}
+
+// relInstr rewrites an instruction's address operands relative to the
+// procedure base so the encoded form is position-independent:
+// inserting a predicate above must not change the fingerprints of
+// unchanged code. Call/execute targets are dropped entirely — callee
+// identity is the functor name, and callee *content* is covered by the
+// callee component's fingerprint, not the caller's. FailAddr is kept
+// verbatim (it is a sentinel, not a position).
+func relInstr(ins wam.Instr, base int) wam.Instr {
+	rel := func(a int) int {
+		if a == wam.FailAddr {
+			return a
+		}
+		return a - base
+	}
+	switch ins.Op {
+	case wam.OpCall, wam.OpExecute:
+		ins.L = 0
+	case wam.OpTryMeElse, wam.OpRetryMeElse, wam.OpTry, wam.OpRetry, wam.OpTrust:
+		ins.L = rel(ins.L)
+	case wam.OpSwitchOnTerm:
+		ins.LV, ins.LC, ins.LL, ins.LS = rel(ins.LV), rel(ins.LC), rel(ins.LL), rel(ins.LS)
+	case wam.OpSwitchOnConst:
+		t := make(map[wam.ConstKey]int, len(ins.TblC))
+		for k, v := range ins.TblC {
+			t[k] = rel(v)
+		}
+		ins.TblC = t
+	case wam.OpSwitchOnStruct:
+		t := make(map[term.Functor]int, len(ins.TblS))
+		for k, v := range ins.TblS {
+			t[k] = rel(v)
+		}
+		ins.TblS = t
+	}
+	return ins
+}
+
+// ProcText returns a position-independent rendering of one defined
+// predicate's code — a readable view of what its fingerprint covers
+// (the hash input itself is the binary form of writeProcBin). Exposed
+// for tests and the debug CLI; returns "" for undefined predicates.
+func (p *Plan) ProcText(fn term.Functor) string {
+	sp, ok := p.spans[fn]
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	writeProcText(&b, p.Mod, fn, sp[0], sp[1])
+	return b.String()
+}

@@ -1,0 +1,392 @@
+// Package serve implements the awamd analysis service: an HTTP front
+// end over the incremental analysis engine. One process holds one
+// SummaryCache, so every request warms the next — the daemon turns the
+// per-component summary reuse of internal/inc into a long-lived
+// analysis server for editors and CI.
+//
+// Endpoints:
+//
+//	POST /analyze  {"source": "...", "timeout_ms"?, "max_steps"?, "depth"?}
+//	               -> per-predicate summaries + run stats + cache stats
+//	GET  /healthz  -> {"status":"ok"}
+//	GET  /metrics  -> Prometheus text exposition
+//
+// Robustness: request bodies are size-capped, each analysis runs under
+// a per-request deadline and optional abstract-step budget, a worker
+// semaphore bounds concurrent analyses, and identical concurrent
+// requests are coalesced into a single analysis (singleflight). Errors
+// are typed JSON: {"error":{"code":"...","message":"..."}}.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"awam"
+)
+
+// Config parameterizes a Server. The zero value is usable: defaults are
+// filled by New.
+type Config struct {
+	// Cache is the shared summary cache; nil gets a private in-memory
+	// cache with the default budget.
+	Cache *awam.SummaryCache
+	// MaxBodyBytes caps the /analyze request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxConcurrent bounds simultaneously running analyses (default 4);
+	// excess requests wait for a slot until their deadline.
+	MaxConcurrent int
+	// DefaultTimeout applies when a request names none (default 10s);
+	// MaxTimeout clamps request-supplied deadlines (default 60s).
+	DefaultTimeout, MaxTimeout time.Duration
+	// MaxSteps clamps the per-request abstract-step budget; 0 leaves
+	// request budgets uncapped.
+	MaxSteps int64
+	// Analyze overrides the analysis pipeline (tests inject failures and
+	// slowness here); nil selects the real Load + AnalyzeContext path.
+	Analyze func(ctx context.Context, source string, opts ...awam.AnalyzeOption) (*awam.Analysis, error)
+}
+
+// Server handles the analysis endpoints. Create with New, mount with
+// Handler.
+type Server struct {
+	cfg   Config
+	cache *awam.SummaryCache
+	sem   chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	// Counters for /metrics.
+	requestsOK, requestsErr  atomic.Int64
+	analysesRun, analysesDup atomic.Int64
+	inflight                 atomic.Int64
+}
+
+// flight is one in-progress analysis shared by coalesced requests.
+type flight struct {
+	done chan struct{}
+	resp *analyzeResponse
+	err  error
+}
+
+// New builds a server, filling config defaults.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		c, err := awam.NewSummaryCache(0, "")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache = c
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	return &Server{
+		cfg:     cfg,
+		cache:   cfg.Cache,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		flights: make(map[string]*flight),
+	}, nil
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// analyzeRequest is the POST /analyze body.
+type analyzeRequest struct {
+	// Source is the Prolog program text (required).
+	Source string `json:"source"`
+	// TimeoutMS bounds the analysis wall time; 0 selects the server
+	// default, larger values are clamped to the server maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps bounds the abstract instructions executed; 0 means
+	// unbounded (up to the server clamp).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Depth overrides the term-depth restriction; 0 keeps the default.
+	Depth int `json:"depth,omitempty"`
+}
+
+// analyzeResponse is the POST /analyze success body.
+type analyzeResponse struct {
+	// Predicates maps "name/arity" to its analysis summary.
+	Predicates map[string]awam.Summary `json:"predicates"`
+	// Stats are the run statistics of the analysis that produced this
+	// result (for coalesced requests: the shared analysis).
+	Stats struct {
+		Exec       int64 `json:"exec"`
+		Iterations int   `json:"iterations"`
+		TableSize  int   `json:"table_size"`
+	} `json:"stats"`
+	// Incremental is the cache's share of this analysis.
+	Incremental *incrementalJSON `json:"incremental,omitempty"`
+	// Cache is the shared summary cache's cumulative state.
+	Cache cacheJSON `json:"cache"`
+	// ElapsedMS is the analysis wall time; Coalesced marks responses
+	// served by joining an identical in-flight request.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	Coalesced bool  `json:"coalesced,omitempty"`
+}
+
+type incrementalJSON struct {
+	SCCs         int   `json:"sccs"`
+	WarmSCCs     int   `json:"warm_sccs"`
+	WarmPatterns int64 `json:"warm_patterns"`
+	ColdPatterns int64 `json:"cold_patterns"`
+}
+
+type cacheJSON struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	DiskLoads int64 `json:"disk_loads"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// errorBody is every non-2xx response: {"error":{"code","message"}}.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Source == "" {
+		s.fail(w, http.StatusBadRequest, "bad_request", `missing "source"`)
+		return
+	}
+	if req.MaxSteps < 0 || req.TimeoutMS < 0 || req.Depth < 0 {
+		s.fail(w, http.StatusBadRequest, "bad_request", "negative limits")
+		return
+	}
+	if s.cfg.MaxSteps > 0 && (req.MaxSteps == 0 || req.MaxSteps > s.cfg.MaxSteps) {
+		req.MaxSteps = s.cfg.MaxSteps
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp, err := s.analyze(ctx, &req)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	s.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flightKey addresses identical analyses: same source under the same
+// result-affecting options. The timeout is excluded — it bounds the
+// wait, not the answer.
+func flightKey(req *analyzeRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "steps=%d depth=%d\n", req.MaxSteps, req.Depth)
+	h.Write([]byte(req.Source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// analyze coalesces identical concurrent requests onto one analysis and
+// runs the winner under the worker semaphore.
+func (s *Server) analyze(ctx context.Context, req *analyzeRequest) (*analyzeResponse, error) {
+	key := flightKey(req)
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			s.analysesDup.Add(1)
+			dup := *f.resp
+			dup.Coalesced = true
+			return &dup, nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %w", awam.ErrCanceled, context.Cause(ctx))
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.resp, f.err = s.runAnalysis(ctx, req)
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.resp, f.err
+}
+
+func (s *Server) runAnalysis(ctx context.Context, req *analyzeRequest) (*analyzeResponse, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %w", awam.ErrCanceled, context.Cause(ctx))
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	opts := []awam.AnalyzeOption{awam.WithSummaryCache(s.cache)}
+	if req.MaxSteps > 0 {
+		opts = append(opts, awam.WithMaxSteps(req.MaxSteps))
+	}
+	if req.Depth > 0 {
+		opts = append(opts, awam.WithDepth(req.Depth))
+	}
+	start := time.Now()
+	a, err := s.doAnalyze(ctx, req.Source, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.analysesRun.Add(1)
+
+	resp := &analyzeResponse{Predicates: make(map[string]awam.Summary), ElapsedMS: time.Since(start).Milliseconds()}
+	for _, pred := range a.Predicates() {
+		if sum, ok := a.Summary(pred); ok {
+			resp.Predicates[pred] = sum
+		}
+	}
+	st := a.Stats()
+	resp.Stats.Exec = st.Exec
+	resp.Stats.Iterations = st.Iterations
+	resp.Stats.TableSize = st.TableSize
+	if inc, ok := a.Incremental(); ok {
+		resp.Incremental = &incrementalJSON{
+			SCCs: inc.SCCs, WarmSCCs: inc.WarmSCCs,
+			WarmPatterns: inc.WarmPatterns, ColdPatterns: inc.ColdPatterns,
+		}
+	}
+	cs := s.cache.Stats()
+	resp.Cache = cacheJSON{
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+		DiskLoads: cs.DiskLoads, Entries: cs.Entries, Bytes: cs.Bytes,
+	}
+	return resp, nil
+}
+
+func (s *Server) doAnalyze(ctx context.Context, source string, opts ...awam.AnalyzeOption) (*awam.Analysis, error) {
+	if s.cfg.Analyze != nil {
+		return s.cfg.Analyze(ctx, source, opts...)
+	}
+	sys, err := awam.Load(source)
+	if err != nil {
+		return nil, err
+	}
+	return sys.AnalyzeContext(ctx, opts...)
+}
+
+// failErr maps the facade's typed errors onto HTTP error responses.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, awam.ErrParse):
+		s.fail(w, http.StatusUnprocessableEntity, "parse_error", err.Error())
+	case errors.Is(err, awam.ErrCompile):
+		s.fail(w, http.StatusUnprocessableEntity, "compile_error", err.Error())
+	case errors.Is(err, awam.ErrAnalysisBudget):
+		s.fail(w, http.StatusUnprocessableEntity, "budget_exhausted", err.Error())
+	case errors.Is(err, awam.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, awam.ErrBadOption):
+		s.fail(w, http.StatusBadRequest, "bad_request", err.Error())
+	default:
+		s.fail(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	s.requestsErr.Add(1)
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// handleMetrics writes the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name, help, typ string
+		value           int64
+	}{
+		{"awamd_requests_total{result=\"ok\"}", "Completed /analyze requests.", "counter", s.requestsOK.Load()},
+		{"awamd_requests_total{result=\"error\"}", "", "", s.requestsErr.Load()},
+		{"awamd_analyses_total", "Analyses actually executed.", "counter", s.analysesRun.Load()},
+		{"awamd_analyses_coalesced_total", "Requests served by joining an identical in-flight analysis.", "counter", s.analysesDup.Load()},
+		{"awamd_inflight_analyses", "Analyses currently running.", "gauge", s.inflight.Load()},
+		{"awamd_cache_hits_total", "Summary-cache record hits.", "counter", cs.Hits},
+		{"awamd_cache_misses_total", "Summary-cache record misses.", "counter", cs.Misses},
+		{"awamd_cache_evictions_total", "Summary-cache evictions.", "counter", cs.Evictions},
+		{"awamd_cache_disk_loads_total", "Summary-cache records faulted in from disk.", "counter", cs.DiskLoads},
+		{"awamd_cache_entries", "Summary-cache resident records.", "gauge", int64(cs.Entries)},
+		{"awamd_cache_bytes", "Summary-cache resident bytes.", "gauge", cs.Bytes},
+	} {
+		if m.help != "" {
+			base := m.name
+			if j := strings.IndexByte(base, '{'); j >= 0 {
+				base = base[:j]
+			}
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, m.help, base, m.typ)
+		}
+		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
+	}
+}

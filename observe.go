@@ -138,6 +138,14 @@ type Metrics struct {
 	// HeapHighWater is the largest abstract heap (in cells) the analysis
 	// ever held.
 	HeapHighWater int
+	// Warm-start traffic (WithSummaryCache runs; zero otherwise):
+	// WarmHits counts calling patterns seeded from cached summaries
+	// instead of being explored, WarmMisses probes that found no seed.
+	WarmHits, WarmMisses int64
+	// Summary-store traffic of this run: record probes that hit and
+	// missed (one probe per program component), records evicted by the
+	// memory budget, and the store's in-memory footprint afterwards.
+	CacheHits, CacheMisses, CacheEvictions, CacheBytes int64
 	// ExecuteTime is the fixpoint-phase wall time; FinalizeTime the
 	// deterministic presentation pass's. TableTime estimates the share
 	// of ExecuteTime spent in extension-table operations (sampled).
@@ -166,6 +174,12 @@ func (a *Analysis) Metrics() Metrics {
 		LubCacheHits:     cm.LubCacheHits,
 		LubCacheMisses:   cm.LubCacheMisses,
 		HeapHighWater:    cm.HeapHighWater,
+		WarmHits:         cm.WarmHits,
+		WarmMisses:       cm.WarmMisses,
+		CacheHits:        cm.CacheHits,
+		CacheMisses:      cm.CacheMisses,
+		CacheEvictions:   cm.CacheEvictions,
+		CacheBytes:       cm.CacheBytes,
 		ExecuteTime:      cm.ExecuteTime,
 		TableTime:        cm.TableTime,
 		FinalizeTime:     cm.FinalizeTime,

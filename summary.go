@@ -1,6 +1,7 @@
 package awam
 
 import (
+	"strconv"
 	"strings"
 
 	"awam/internal/core"
@@ -41,6 +42,25 @@ func (m Mode) String() string {
 		return "-?"
 	}
 	return "?"
+}
+
+// MarshalJSON renders the mode as its conventional symbol ("+g", "-?"),
+// so JSON consumers (the awamd daemon's responses) see mode syntax, not
+// enum ordinals.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(m.String())), nil
+}
+
+// UnmarshalJSON reads the symbol form back ("?" and unknown symbols
+// decode as ModeUnknown), so client code can round-trip daemon
+// responses through this package's types.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	*m = modeOf(s)
+	return nil
 }
 
 // modeOf maps the classifier strings of core.ArgModes onto the enum.
@@ -115,6 +135,29 @@ func (t Type) String() string {
 		return "struct"
 	}
 	return "any"
+}
+
+// MarshalJSON renders the type by name ("ground", "list"), matching the
+// report output rather than enum ordinals.
+func (t Type) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(t.String())), nil
+}
+
+// UnmarshalJSON reads the name form back; unknown names decode as
+// TypeAny, the domain's top.
+func (t *Type) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	*t = TypeAny
+	for k := TypeAny; k <= TypeStruct; k++ {
+		if k.String() == s {
+			*t = k
+			break
+		}
+	}
+	return nil
 }
 
 // typeOf maps a domain kind onto the public Type enum.
