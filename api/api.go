@@ -1,0 +1,113 @@
+// Package api declares the request and response types of the awamd
+// analysis service, importable by clients. The daemon serves them under
+// the versioned prefix /v1 (the unversioned routes remain as aliases):
+//
+//	POST /v1/analyze   AnalyzeRequest  -> AnalyzeResponse
+//	POST /v1/optimize  OptimizeRequest -> OptimizeResponse
+//	GET  /v1/healthz   -> {"status":"ok"}
+//	GET  /v1/metrics   -> Prometheus text exposition
+//
+// Every non-2xx response carries an ErrorBody.
+package api
+
+import "awam"
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	// Source is the Prolog program text (required).
+	Source string `json:"source"`
+	// TimeoutMS bounds the analysis wall time; 0 selects the server
+	// default, larger values are clamped to the server maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps bounds the abstract instructions executed; 0 means
+	// unbounded (up to the server clamp).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Depth overrides the term-depth restriction; 0 keeps the default.
+	Depth int `json:"depth,omitempty"`
+}
+
+// AnalysisStats are the run statistics of one analysis.
+type AnalysisStats struct {
+	Exec       int64 `json:"exec"`
+	Iterations int   `json:"iterations"`
+	TableSize  int   `json:"table_size"`
+}
+
+// Incremental is the summary cache's share of one analysis.
+type Incremental struct {
+	SCCs         int   `json:"sccs"`
+	WarmSCCs     int   `json:"warm_sccs"`
+	WarmPatterns int64 `json:"warm_patterns"`
+	ColdPatterns int64 `json:"cold_patterns"`
+}
+
+// Cache is the shared summary cache's cumulative state.
+type Cache struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	DiskLoads int64 `json:"disk_loads"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// AnalyzeResponse is the POST /v1/analyze success body.
+type AnalyzeResponse struct {
+	// Predicates maps "name/arity" to its analysis summary.
+	Predicates map[string]awam.Summary `json:"predicates"`
+	// Stats are the run statistics of the analysis that produced this
+	// result (for coalesced requests: the shared analysis).
+	Stats AnalysisStats `json:"stats"`
+	// Incremental is the cache's share of this analysis.
+	Incremental *Incremental `json:"incremental,omitempty"`
+	// Cache is the shared summary cache's cumulative state.
+	Cache Cache `json:"cache"`
+	// ElapsedMS is the analysis wall time; Coalesced marks responses
+	// served by joining an identical in-flight request.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	Coalesced bool  `json:"coalesced,omitempty"`
+}
+
+// OptimizeRequest is the POST /v1/optimize body: analyze Source, then
+// run the differentially-gated optimizer pipeline over it.
+type OptimizeRequest struct {
+	// Source is the Prolog program text (required).
+	Source string `json:"source"`
+	// Passes selects and orders the optimizer passes; empty runs every
+	// registered pass in canonical order.
+	Passes []string `json:"passes,omitempty"`
+	// GateGoals adds goals to the differential gate (main/0 is gated
+	// automatically when the program defines it).
+	GateGoals []string `json:"gate_goals,omitempty"`
+	// TimeoutMS bounds the analysis wall time, as in AnalyzeRequest.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MeasureRuns is the number of timed runs per speedup measurement;
+	// 0 selects the server default.
+	MeasureRuns int `json:"measure_runs,omitempty"`
+	// Disasm requests the optimized module's code listing in the
+	// response.
+	Disasm bool `json:"disasm,omitempty"`
+}
+
+// OptimizeResponse is the POST /v1/optimize success body.
+type OptimizeResponse struct {
+	// Report is the optimizer's account of what changed: per-pass
+	// rewrite counts and instruction/clause deltas, the gate goals, and
+	// the measured machine-runtime speedup.
+	Report *awam.OptimizeReport `json:"report"`
+	// Disasm is the optimized module's code listing, when requested.
+	Disasm string `json:"disasm,omitempty"`
+	// ElapsedMS is the combined analyze+optimize wall time.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Error is the payload of an ErrorBody.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is every non-2xx response: {"error":{"code","message"}}.
+type ErrorBody struct {
+	Error Error `json:"error"`
+}

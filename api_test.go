@@ -56,7 +56,7 @@ func TestAnalyzeContextCancellation(t *testing.T) {
 	cancel()
 	for _, opts := range [][]AnalyzeOption{
 		nil,
-		{WithWorklist()},
+		{WithStrategy(Worklist)},
 		{WithParallelism(4)},
 	} {
 		_, err := sys.AnalyzeContext(ctx, opts...)
@@ -76,7 +76,7 @@ func TestParallelOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wl, err := sys.Analyze(WithWorklist())
+	wl, err := sys.Analyze(WithStrategy(Worklist))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -411,6 +411,9 @@ func wrapAnalysisErr(err error) error {
 	return err
 }
 
+// System returns the system the analysis was computed for.
+func (a *Analysis) System() *System { return a.sys }
+
 // Report renders the extension table with modes and aliasing.
 func (a *Analysis) Report() string { return a.res.Report() }
 
@@ -517,7 +520,7 @@ func (a *Analysis) AliasPairs(pred string) [][2]int {
 	return s.AliasPairs
 }
 
-// OptimizeStats reports what Optimize changed.
+// OptimizeStats reports what Specialize changed.
 type OptimizeStats struct {
 	// Specialized counts rewritten instructions by kind.
 	Specialized map[string]int
@@ -527,9 +530,13 @@ type OptimizeStats struct {
 	PredsTouched int
 }
 
-// Optimize returns a new System whose code is specialized using the
+// Specialize returns a new System whose code is specialized using the
 // analysis (read-only unification where arguments are proven nonvar).
-func (s *System) Optimize(a *Analysis) (*System, OptimizeStats) {
+// This is the ungated single-pass form kept for compatibility.
+//
+// Deprecated: use Optimize, which runs the full differentially-gated
+// pass pipeline and reports per-pass deltas and measured speedup.
+func (s *System) Specialize(a *Analysis) (*System, OptimizeStats) {
 	opt, stats := optimize.Specialize(s.mod, a.res)
 	return &System{tab: s.tab, prog: s.prog, mod: opt},
 		OptimizeStats{Specialized: stats.Specialized, Total: stats.Total, PredsTouched: stats.PredsTouched}
@@ -537,14 +544,18 @@ func (s *System) Optimize(a *Analysis) (*System, OptimizeStats) {
 
 // StripUnreachable returns a new System without the predicates the
 // analysis proved unreachable from its entry point, and their
-// name/arity strings.
-func (s *System) StripUnreachable(a *Analysis) (*System, []string) {
+// name/arity strings. An analysis from a different System fails with an
+// error wrapping ErrOptimize.
+func (s *System) StripUnreachable(a *Analysis) (*System, []string, error) {
+	if a == nil || a.sys == nil || a.sys.tab != s.tab {
+		return nil, nil, fmt.Errorf("%w: analysis does not belong to this system", ErrOptimize)
+	}
 	stripped, removed := optimize.StripUnreachable(s.mod, a.res)
 	names := make([]string, len(removed))
 	for i, fn := range removed {
 		names[i] = s.tab.FuncString(fn)
 	}
-	return &System{tab: s.tab, prog: s.prog, mod: stripped}, names
+	return &System{tab: s.tab, prog: s.prog, mod: stripped}, names, nil
 }
 
 // HostedResult is the outcome of the Prolog-hosted analysis.

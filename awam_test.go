@@ -92,7 +92,7 @@ func TestAnalyzeOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := sys.Analyze(WithDepth(2), WithHashTable(), WithoutIndexing())
+	a, err := sys.Analyze(WithDepth(2), WithTable(TableHash), WithoutIndexing())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,9 +118,16 @@ func TestOptimizeFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, stats := sys.Optimize(a)
-	if stats.Total == 0 {
-		t.Fatal("expected specializations on ground list code")
+	opt, report, err := sys.Optimize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range report.Passes {
+		total += p.Total
+	}
+	if total == 0 {
+		t.Fatal("expected rewrites on ground list code")
 	}
 	ok, err := opt.RunMain()
 	if err != nil || !ok {
@@ -244,7 +251,10 @@ func TestStripUnreachableFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stripped, removed := sys.StripUnreachable(a)
+	stripped, removed, err := sys.StripUnreachable(a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(removed) != 1 || removed[0] != "zombie/0" {
 		t.Fatalf("removed = %v", removed)
 	}
@@ -263,7 +273,7 @@ func TestWorklistOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wl, err := sys.Analyze(WithWorklist())
+	wl, err := sys.Analyze(WithStrategy(Worklist))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +312,7 @@ func TestDeterminacyAndSaveFacade(t *testing.T) {
 		t.Fatalf("reloaded analysis differs: %q vs %q", s1, s2)
 	}
 	// The reloaded analysis still drives the optimizer.
-	opt, stats := sys.Optimize(back)
+	opt, stats := sys.Specialize(back)
 	if stats.Total == 0 {
 		t.Fatal("reloaded analysis produced no specializations")
 	}

@@ -9,8 +9,10 @@
 //	      [-workers N] [-timeout D] [-max-timeout D]
 //	      [-max-body N] [-max-steps N] [-drain D]
 //
-// Endpoints: POST /analyze, GET /healthz, GET /metrics. SIGINT/SIGTERM
-// drain in-flight requests before exit.
+// Endpoints (see the awam/api package for the wire types): POST
+// /v1/analyze, POST /v1/optimize, GET /v1/healthz, GET /v1/metrics,
+// plus the unversioned legacy aliases /analyze, /healthz and /metrics.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (

@@ -7,6 +7,7 @@
 //	benchtab -table 2          # Table 2: speed ratios / config sweep
 //	benchtab -table ablation   # term-depth restriction sweep
 //	benchtab -table observe    # table traffic + working set per benchmark
+//	benchtab -table optimize   # machine-runtime speedups from the pass pipeline
 //	benchtab -table all        # everything
 //	benchtab -quick            # smaller timing samples
 //	benchtab -json out.json    # machine-readable report (BENCH_PR3.json)
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, all")
+	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, optimize, all")
 	quick := flag.Bool("quick", false, "use short timing samples")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this file and exit")
 	label := flag.String("label", "PR3", "revision label recorded in the -json report")
@@ -89,6 +90,13 @@ func main() {
 		harness.WriteAblation(os.Stdout, ab)
 	case "observe":
 		harness.WriteObservability(os.Stdout, rows)
+	case "optimize":
+		entries, err := harness.MeasureOptimizeJSON(*quick, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteOptimizeTable(os.Stdout, entries)
 	case "all":
 		harness.WriteTable1(os.Stdout, rows)
 		fmt.Println()

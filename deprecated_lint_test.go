@@ -1,0 +1,62 @@
+package awam
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoDeprecatedSymbolsInCallers is a lint: the deprecated facade
+// shims (WithWorklist, WithHashTable, System.Specialize) exist only for
+// source compatibility, so nothing in the repo besides their
+// definitions and their dedicated compatibility tests may use them.
+// Internal packages, commands, examples, and the docs must all be on
+// the replacement API (WithStrategy, WithTable, System.Optimize).
+func TestNoDeprecatedSymbolsInCallers(t *testing.T) {
+	deprecated := regexp.MustCompile(`\b(WithWorklist|WithHashTable)\s*\(|\.Specialize\(`)
+	roots := []string{"internal", "cmd", "examples", "api"}
+	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+	var hits []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				if deprecated.MatchString(line) {
+					hits = append(hits, fmt.Sprintf("%s:%d: %s", path, i+1, strings.TrimSpace(line)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			continue // doc not present in this checkout
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if deprecated.MatchString(line) {
+				hits = append(hits, fmt.Sprintf("%s:%d: %s", doc, i+1, strings.TrimSpace(line)))
+			}
+		}
+	}
+	if len(hits) > 0 {
+		t.Errorf("deprecated facade symbols used outside their shims:\n%s",
+			strings.Join(hits, "\n"))
+	}
+}

@@ -76,9 +76,16 @@ func ExampleSystem_Optimize() {
 		log.Fatal(err)
 	}
 	analysis, _ := sys.Analyze()
-	_, stats := sys.Optimize(analysis)
-	fmt.Println(stats.Total > 0)
-	// Output: true
+	_, report, err := sys.Optimize(analysis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, p := range report.Passes {
+		total += p.Total
+	}
+	fmt.Println(total > 0, report.CodeAfter >= report.CodeBefore)
+	// Output: true true
 }
 
 func ExampleSystem_Transform() {

@@ -44,10 +44,21 @@ func main() {
 	modes, _ = analysis.Modes("partition/4")
 	fmt.Println("inferred modes:   ", modes)
 
-	opt, stats := sys.Optimize(analysis)
-	fmt.Printf("\nspecialized %d instructions in %d predicates:\n", stats.Total, stats.PredsTouched)
-	for what, n := range stats.Specialized {
-		fmt.Printf("  %3dx  %s\n", n, what)
+	// The pipeline strips, drops dead clauses, indexes and specializes;
+	// every pass is differentially gated on main/0 — a pass that changed
+	// any answer would make Optimize fail instead of shipping it.
+	opt, report, err := sys.Optimize(analysis)
+	if err != nil {
+		log.Fatal("optimization rejected: ", err)
+	}
+	fmt.Println()
+	for _, p := range report.Passes {
+		fmt.Printf("pass %-18s rewrites=%-3d preds=%-2d instrs%+d clauses%+d\n",
+			p.Name, p.Total, p.PredsTouched, p.InstrDelta, p.ClauseDelta)
+	}
+	if report.Measured {
+		fmt.Printf("measured speedup on %s: %.2fx wall, %.2fx steps\n",
+			report.MeasureGoal, report.Speedup, report.StepRatio)
 	}
 
 	ok, err := opt.RunMain()

@@ -45,7 +45,7 @@ func main() {
 	}
 
 	// 1. Analyze with the worklist fixpoint (Section 6's future work).
-	analysis, err := sys.Analyze(awam.WithWorklist())
+	analysis, err := sys.Analyze(awam.WithStrategy(awam.Worklist))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,15 +66,20 @@ func main() {
 	fmt.Printf("\nsummary: %d bytes, survives reload: %v\n",
 		len(saved), reloaded.Stats().TableSize == analysis.Stats().TableSize)
 
-	// 4. Optimize with the reloaded analysis.
-	opt, stats := sys.Optimize(reloaded)
-	fmt.Printf("specialized %d instructions in %d predicates\n", stats.Total, stats.PredsTouched)
-	stripped, removed := opt.StripUnreachable(reloaded)
-	fmt.Println("stripped:", removed)
-	if ok, err := stripped.RunMain(); err != nil || !ok {
-		log.Fatal("optimized+stripped program failed: ", err)
+	// 4. Optimize with the reloaded analysis: the gated pass pipeline
+	// strips dead predicates, removes dead clauses, indexes and
+	// specializes, verifying main/0's answers after every pass.
+	opt, report, err := sys.Optimize(reloaded)
+	if err != nil {
+		log.Fatal("optimization rejected: ", err)
 	}
-	fmt.Println("optimized+stripped program runs: true")
+	for _, p := range report.Passes {
+		fmt.Printf("pass %-18s rewrites=%d\n", p.Name, p.Total)
+	}
+	if ok, err := opt.RunMain(); err != nil || !ok {
+		log.Fatal("optimized program failed: ", err)
+	}
+	fmt.Println("optimized program runs: true")
 
 	// 5. The annotated call graph (pipe into `dot -Tsvg`).
 	fmt.Println("\ncall graph:")

@@ -572,7 +572,15 @@ func (a *Analyzer) selectClauses(proc *wam.Proc, cp *domain.Pattern) []int {
 		} else if sw.LS != wam.FailAddr {
 			tblIns := a.mod.Code[sw.LS]
 			if tblIns.Op == wam.OpSwitchOnStruct {
-				addAll(a.chainTargets(tblIns.TblS[arg.Fn]))
+				if tgt, ok := tblIns.TblS[arg.Fn]; ok {
+					addAll(a.chainTargets(tgt))
+				}
+				if tblIns.LD != 0 {
+					// Optimizer tables default missing keys to the
+					// var-headed clause block; those clauses stay
+					// reachable for this functor.
+					addAll(a.chainTargets(tblIns.LD))
+				}
 			} else {
 				addAll(a.chainTargets(sw.LS))
 			}
@@ -604,6 +612,11 @@ func (a *Analyzer) constTargets(addr int, pred func(wam.ConstKey) bool) []int {
 		if pred(k) {
 			out = append(out, a.chainTargets(tgt)...)
 		}
+	}
+	if ins.LD != 0 {
+		// A defaulted table (optimizer output) can dispatch any key to
+		// the var-headed clause block as well.
+		out = append(out, a.chainTargets(ins.LD)...)
 	}
 	return out
 }

@@ -66,6 +66,48 @@ func (a *Analyzer) Determinacy(res *Result) []DetEntry {
 	return out
 }
 
+// ClauseMatches reports, per analyzed predicate, which clauses can
+// head-match at least one recorded calling pattern. The result maps a
+// functor to a bool per clause (indexed like Proc.Clauses); false means
+// the clause's head unification prefix fails abstractly against every
+// calling pattern in the table — such a clause can never match any call
+// the analysis reached, so the optimizer may drop it from dispatch.
+// Every clause of every predicate is tested (no indexing filter): the
+// answer over-approximates concrete matching, never under.
+func (a *Analyzer) ClauseMatches(res *Result) map[term.Functor][]bool {
+	if a.h == nil {
+		a.h = rt.NewHeap()
+	}
+	out := make(map[term.Functor][]bool)
+	for _, e := range res.Entries {
+		proc := a.mod.Proc(e.CP.Fn)
+		if proc == nil {
+			continue
+		}
+		marks := out[e.CP.Fn]
+		if marks == nil {
+			marks = make([]bool, len(proc.Clauses))
+			out[e.CP.Fn] = marks
+		}
+		for i, addr := range proc.Clauses {
+			if marks[i] {
+				continue
+			}
+			mark := a.h.Mark()
+			argAddrs := a.materialize(e.CP)
+			a.ensureX(e.CP.Fn.Arity)
+			for j, ad := range argAddrs {
+				a.x[j+1] = rt.MkRef(ad)
+			}
+			if a.runHeadPrefix(addr) {
+				marks[i] = true
+			}
+			a.h.Undo(mark)
+		}
+	}
+	return out
+}
+
 // runHeadPrefix executes only the head get/unify instructions of a
 // clause, reporting whether they can succeed.
 func (a *Analyzer) runHeadPrefix(addr int) bool {

@@ -67,6 +67,9 @@ type BenchReport struct {
 	// Incremental holds the summary-cache cold-versus-warm measurements
 	// (absent in reports from revisions before the incremental engine).
 	Incremental []IncrementalEntry `json:"incremental,omitempty"`
+	// Optimize holds the machine-runtime speedups from the gated
+	// optimizer pipeline (absent before the pass pipeline existed).
+	Optimize []OptimizeEntry `json:"optimize,omitempty"`
 }
 
 // benchConfigs are the engine configurations the JSON report sweeps on
@@ -219,6 +222,11 @@ func MeasureBenchJSON(label string, quick bool, seed int64, progress io.Writer) 
 			return nil, err
 		}
 		rep.Incremental = append(rep.Incremental, *ie)
+		oe, err := MeasureOptimizeJSON(quick, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.Optimize = oe
 	}
 	return rep, nil
 }

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"awam/internal/bench"
+	"awam/internal/core"
+	"awam/internal/optimize"
+)
+
+// This file backs the benchtab `optimize` section: machine-runtime
+// (not analysis-time) speedups from the gated optimizer pipeline, the
+// paper's actual payoff. Each benchmark's main/0 is timed on the
+// unoptimized and optimized machine; StepRatio is the deterministic
+// abstract-machine step quotient (schedule-invariant, so reruns must
+// reproduce it exactly), Speedup the fastest-of-N wall-clock quotient.
+
+// OptimizeEntry is one benchmark's optimizer measurement.
+type OptimizeEntry struct {
+	// Name is the benchmark (Table 1 suite and extensions).
+	Name string `json:"name"`
+	// Rewrites is the pipeline's total rewrite count; Rejected counts
+	// passes the differential gate refused (0 on the committed suite —
+	// enforced by TestGateOnBenchSuite).
+	Rewrites int `json:"rewrites"`
+	Rejected int `json:"rejected,omitempty"`
+	// CodeBefore/CodeAfter are module sizes in instructions (the
+	// pipeline appends dispatch blocks, so CodeAfter >= CodeBefore).
+	CodeBefore int `json:"code_before"`
+	CodeAfter  int `json:"code_after"`
+	// Runs is the measurement repeat count (fastest run kept).
+	Runs int `json:"runs"`
+	// BaselineNs/OptimizedNs are fastest-of-Runs wall times for main/0;
+	// BaselineSteps/OptimizedSteps the machine steps of those runs.
+	BaselineNs     int64 `json:"baseline_ns"`
+	OptimizedNs    int64 `json:"optimized_ns"`
+	BaselineSteps  int64 `json:"baseline_steps"`
+	OptimizedSteps int64 `json:"optimized_steps"`
+	// Speedup is BaselineNs/OptimizedNs; StepRatio the deterministic
+	// BaselineSteps/OptimizedSteps.
+	Speedup   float64 `json:"speedup"`
+	StepRatio float64 `json:"step_ratio"`
+}
+
+// MeasureOptimizeJSON runs the gated default pipeline over the full
+// benchmark suite and measures main/0 on both machines.
+func MeasureOptimizeJSON(quick bool, progress io.Writer) ([]OptimizeEntry, error) {
+	runs := 25
+	if quick {
+		runs = 3
+	}
+	var out []OptimizeEntry
+	for _, p := range bench.AllPrograms() {
+		if progress != nil {
+			fmt.Fprintf(progress, "  optimize %s...\n", p.Name)
+		}
+		mod, err := compileBench(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.New(mod).AnalyzeAll()
+		if err != nil {
+			return nil, fmt.Errorf("%s: analyze: %w", p.Name, err)
+		}
+		pl := optimize.Pipeline{Gate: &optimize.Gate{Goals: []string{"main"}}}
+		opt, outcomes, err := pl.Run(mod, res)
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimize: %w", p.Name, err)
+		}
+		e := OptimizeEntry{
+			Name:       p.Name,
+			CodeBefore: mod.Size(),
+			CodeAfter:  opt.Size(),
+			Runs:       runs,
+		}
+		for _, oc := range outcomes {
+			if oc.Rejected {
+				e.Rejected++
+				continue
+			}
+			e.Rewrites += oc.Stats.Total
+		}
+		baseNs, baseSteps, err := optimize.Measure(mod, "main", runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: measure baseline: %w", p.Name, err)
+		}
+		optNs, optSteps, err := optimize.Measure(opt, "main", runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: measure optimized: %w", p.Name, err)
+		}
+		e.BaselineNs = baseNs.Nanoseconds()
+		e.OptimizedNs = optNs.Nanoseconds()
+		e.BaselineSteps = baseSteps
+		e.OptimizedSteps = optSteps
+		if e.OptimizedNs > 0 {
+			e.Speedup = float64(e.BaselineNs) / float64(e.OptimizedNs)
+		}
+		if e.OptimizedSteps > 0 {
+			e.StepRatio = float64(e.BaselineSteps) / float64(e.OptimizedSteps)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// WriteOptimizeTable renders the optimizer measurements as a text table
+// (benchtab -table optimize).
+func WriteOptimizeTable(w io.Writer, entries []OptimizeEntry) {
+	fmt.Fprintln(w, "Optimizer: machine-runtime speedup of main/0 (gated pipeline)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\trewrites\tsteps before\tsteps after\tstep ratio\tns before\tns after\tspeedup")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%d\t%d\t%.2f\n",
+			e.Name, e.Rewrites, e.BaselineSteps, e.OptimizedSteps, e.StepRatio,
+			e.BaselineNs, e.OptimizedNs, e.Speedup)
+	}
+	tw.Flush()
+}

@@ -460,7 +460,15 @@ func (m *Machine) step(ins wam.Instr) bool {
 			return false
 		}
 		tgt, ok := ins.TblC[key]
-		if !ok || tgt == wam.FailAddr {
+		if !ok {
+			// Key absent: take the table's default (the optimizer's
+			// var-headed-clause block) when present, else fail.
+			if ins.LD == 0 {
+				return false
+			}
+			tgt = ins.LD
+		}
+		if tgt == wam.FailAddr {
 			return false
 		}
 		m.p = tgt
@@ -470,7 +478,13 @@ func (m *Machine) step(ins wam.Instr) bool {
 			return false
 		}
 		tgt, ok := ins.TblS[m.H.At(c.A).F]
-		if !ok || tgt == wam.FailAddr {
+		if !ok {
+			if ins.LD == 0 {
+				return false
+			}
+			tgt = ins.LD
+		}
+		if tgt == wam.FailAddr {
 			return false
 		}
 		m.p = tgt

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"awam/api"
+)
+
+// TestRouteCompatibility: every /v1 route works, and the legacy
+// unversioned routes answer identically to their /v1 counterparts.
+func TestRouteCompatibility(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	for _, pair := range [][2]string{{"/healthz", "/v1/healthz"}} {
+		legacyCode, legacyBody := get(pair[0])
+		v1Code, v1Body := get(pair[1])
+		if legacyCode != http.StatusOK || v1Code != http.StatusOK {
+			t.Fatalf("%v: status legacy=%d v1=%d", pair, legacyCode, v1Code)
+		}
+		if legacyBody != v1Body {
+			t.Fatalf("%v: bodies differ:\n%s\nvs\n%s", pair, legacyBody, v1Body)
+		}
+	}
+
+	// /metrics and /v1/metrics expose the same metric families (the
+	// counters move between calls, so compare names only).
+	names := func(body string) string {
+		var out []string
+		for _, line := range strings.Split(body, "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, strings.Fields(line)[0])
+		}
+		return strings.Join(out, "\n")
+	}
+	code, legacyMetrics := get("/metrics")
+	code2, v1Metrics := get("/v1/metrics")
+	if code != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("metrics status legacy=%d v1=%d", code, code2)
+	}
+	if names(legacyMetrics) != names(v1Metrics) {
+		t.Fatalf("metric families differ:\n%s\nvs\n%s", names(legacyMetrics), names(v1Metrics))
+	}
+	if !strings.Contains(v1Metrics, "awamd_optimizes_total") {
+		t.Fatal("missing awamd_optimizes_total metric")
+	}
+
+	// /analyze and /v1/analyze accept the same body and agree on the
+	// summaries (cache counters may differ between the two calls).
+	body := reqBody(t, testProg)
+	legacyCode, legacyBody := post("/analyze", body)
+	v1Code, v1Body := post("/v1/analyze", body)
+	if legacyCode != http.StatusOK || v1Code != http.StatusOK {
+		t.Fatalf("analyze status legacy=%d v1=%d", legacyCode, v1Code)
+	}
+	var legacyResp, v1Resp api.AnalyzeResponse
+	if err := json.Unmarshal([]byte(legacyBody), &legacyResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(v1Body), &v1Resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(legacyResp.Predicates) == 0 || len(legacyResp.Predicates) != len(v1Resp.Predicates) {
+		t.Fatalf("predicate summaries differ: %d vs %d", len(legacyResp.Predicates), len(v1Resp.Predicates))
+	}
+	for pred, sum := range legacyResp.Predicates {
+		if v1Resp.Predicates[pred].Success != sum.Success {
+			t.Fatalf("summary for %s differs across route versions", pred)
+		}
+	}
+}
+
+// TestOptimizeEndpoint: POST /v1/optimize runs the gated pipeline and
+// reports per-pass stats; requesting the disassembly returns it.
+func TestOptimizeEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	b, err := json.Marshal(api.OptimizeRequest{Source: testProg, Disasm: true, MeasureRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var or api.OptimizeResponse
+	if err := json.Unmarshal(data, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Report == nil || len(or.Report.Passes) == 0 {
+		t.Fatalf("no pass reports: %s", data)
+	}
+	total := 0
+	for _, p := range or.Report.Passes {
+		if p.Rejected {
+			t.Fatalf("pass %s rejected: %s", p.Name, p.RejectReason)
+		}
+		total += p.Total
+	}
+	if total == 0 {
+		t.Fatal("expected rewrites on the ground-list test program")
+	}
+	if or.Disasm == "" {
+		t.Fatal("requested disasm missing")
+	}
+	if len(or.Report.GateGoals) == 0 || or.Report.GateGoals[0] != "main" {
+		t.Fatalf("gate goals = %v, want main first", or.Report.GateGoals)
+	}
+}
+
+// TestOptimizeEndpointErrors: bad pass names and unparsable source map
+// onto the typed error codes.
+func TestOptimizeEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"bad pass", `{"source":"p(a).","passes":["no-such-pass"]}`, http.StatusBadRequest, "bad_request"},
+		{"parse error", `{"source":"p(a"}`, http.StatusUnprocessableEntity, "parse_error"},
+		{"missing source", `{}`, http.StatusBadRequest, "bad_request"},
+		{"negative runs", `{"source":"p(a).","measure_runs":-1}`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			continue
+		}
+		if got := errCode(t, data); got != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, got, tc.code)
+		}
+	}
+}

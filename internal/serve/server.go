@@ -4,18 +4,24 @@
 // per-component summary reuse of internal/inc into a long-lived
 // analysis server for editors and CI.
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the request and response types live
+// in the importable awam/api package):
 //
-//	POST /analyze  {"source": "...", "timeout_ms"?, "max_steps"?, "depth"?}
-//	               -> per-predicate summaries + run stats + cache stats
-//	GET  /healthz  -> {"status":"ok"}
-//	GET  /metrics  -> Prometheus text exposition
+//	POST /v1/analyze   {"source": "...", "timeout_ms"?, "max_steps"?, "depth"?}
+//	                   -> per-predicate summaries + run stats + cache stats
+//	POST /v1/optimize  {"source": "...", "passes"?, "gate_goals"?, ...}
+//	                   -> differentially-gated optimizer report (+ disasm)
+//	GET  /v1/healthz   -> {"status":"ok"}
+//	GET  /v1/metrics   -> Prometheus text exposition
+//
+// The original unversioned routes (/analyze, /healthz, /metrics) remain
+// as thin aliases of their /v1 counterparts.
 //
 // Robustness: request bodies are size-capped, each analysis runs under
 // a per-request deadline and optional abstract-step budget, a worker
 // semaphore bounds concurrent analyses, and identical concurrent
-// requests are coalesced into a single analysis (singleflight). Errors
-// are typed JSON: {"error":{"code":"...","message":"..."}}.
+// analyze requests are coalesced into a single analysis (singleflight).
+// Errors are typed JSON: {"error":{"code":"...","message":"..."}}.
 package serve
 
 import (
@@ -32,6 +38,17 @@ import (
 	"time"
 
 	"awam"
+	"awam/api"
+)
+
+// The wire types are declared in awam/api; the server uses them
+// directly so the daemon and its clients cannot drift apart.
+type (
+	analyzeRequest   = api.AnalyzeRequest
+	analyzeResponse  = api.AnalyzeResponse
+	optimizeRequest  = api.OptimizeRequest
+	optimizeResponse = api.OptimizeResponse
+	errorBody        = api.ErrorBody
 )
 
 // Config parameterizes a Server. The zero value is usable: defaults are
@@ -69,6 +86,7 @@ type Server struct {
 	// Counters for /metrics.
 	requestsOK, requestsErr  atomic.Int64
 	analysesRun, analysesDup atomic.Int64
+	optimizesRun             atomic.Int64
 	inflight                 atomic.Int64
 }
 
@@ -108,72 +126,19 @@ func New(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux: the versioned /v1 routes plus the
+// original unversioned aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	// Legacy aliases, kept for pre-/v1 clients.
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
-}
-
-// analyzeRequest is the POST /analyze body.
-type analyzeRequest struct {
-	// Source is the Prolog program text (required).
-	Source string `json:"source"`
-	// TimeoutMS bounds the analysis wall time; 0 selects the server
-	// default, larger values are clamped to the server maximum.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// MaxSteps bounds the abstract instructions executed; 0 means
-	// unbounded (up to the server clamp).
-	MaxSteps int64 `json:"max_steps,omitempty"`
-	// Depth overrides the term-depth restriction; 0 keeps the default.
-	Depth int `json:"depth,omitempty"`
-}
-
-// analyzeResponse is the POST /analyze success body.
-type analyzeResponse struct {
-	// Predicates maps "name/arity" to its analysis summary.
-	Predicates map[string]awam.Summary `json:"predicates"`
-	// Stats are the run statistics of the analysis that produced this
-	// result (for coalesced requests: the shared analysis).
-	Stats struct {
-		Exec       int64 `json:"exec"`
-		Iterations int   `json:"iterations"`
-		TableSize  int   `json:"table_size"`
-	} `json:"stats"`
-	// Incremental is the cache's share of this analysis.
-	Incremental *incrementalJSON `json:"incremental,omitempty"`
-	// Cache is the shared summary cache's cumulative state.
-	Cache cacheJSON `json:"cache"`
-	// ElapsedMS is the analysis wall time; Coalesced marks responses
-	// served by joining an identical in-flight request.
-	ElapsedMS int64 `json:"elapsed_ms"`
-	Coalesced bool  `json:"coalesced,omitempty"`
-}
-
-type incrementalJSON struct {
-	SCCs         int   `json:"sccs"`
-	WarmSCCs     int   `json:"warm_sccs"`
-	WarmPatterns int64 `json:"warm_patterns"`
-	ColdPatterns int64 `json:"cold_patterns"`
-}
-
-type cacheJSON struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	DiskLoads int64 `json:"disk_loads"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-}
-
-// errorBody is every non-2xx response: {"error":{"code","message"}}.
-type errorBody struct {
-	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
-	} `json:"error"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -296,21 +261,94 @@ func (s *Server) runAnalysis(ctx context.Context, req *analyzeRequest) (*analyze
 		}
 	}
 	st := a.Stats()
-	resp.Stats.Exec = st.Exec
-	resp.Stats.Iterations = st.Iterations
-	resp.Stats.TableSize = st.TableSize
+	resp.Stats = api.AnalysisStats{Exec: st.Exec, Iterations: st.Iterations, TableSize: st.TableSize}
 	if inc, ok := a.Incremental(); ok {
-		resp.Incremental = &incrementalJSON{
+		resp.Incremental = &api.Incremental{
 			SCCs: inc.SCCs, WarmSCCs: inc.WarmSCCs,
 			WarmPatterns: inc.WarmPatterns, ColdPatterns: inc.ColdPatterns,
 		}
 	}
 	cs := s.cache.Stats()
-	resp.Cache = cacheJSON{
+	resp.Cache = api.Cache{
 		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
 		DiskLoads: cs.DiskLoads, Entries: cs.Entries, Bytes: cs.Bytes,
 	}
 	return resp, nil
+}
+
+// handleOptimize analyzes the posted source and runs the gated
+// optimizer pipeline over it, returning the per-pass report (optimize
+// requests are not coalesced: the report carries timing measurements
+// that should reflect each request's own run).
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Source == "" {
+		s.fail(w, http.StatusBadRequest, "bad_request", `missing "source"`)
+		return
+	}
+	if req.TimeoutMS < 0 || req.MeasureRuns < 0 {
+		s.fail(w, http.StatusBadRequest, "bad_request", "negative limits")
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.failErr(w, fmt.Errorf("%w: %w", awam.ErrCanceled, context.Cause(ctx)))
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	start := time.Now()
+	a, err := s.doAnalyze(ctx, req.Source, awam.WithSummaryCache(s.cache))
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	var opts []awam.OptimizeOption
+	if len(req.Passes) > 0 {
+		opts = append(opts, awam.WithPasses(req.Passes...))
+	}
+	if len(req.GateGoals) > 0 {
+		opts = append(opts, awam.WithGateGoals(req.GateGoals...))
+	}
+	if req.MeasureRuns > 0 {
+		opts = append(opts, awam.WithMeasureRuns(req.MeasureRuns))
+	}
+	opt, report, err := a.System().Optimize(a, opts...)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	s.optimizesRun.Add(1)
+	resp := &optimizeResponse{Report: report, ElapsedMS: time.Since(start).Milliseconds()}
+	if req.Disasm {
+		resp.Disasm = opt.Disasm()
+	}
+	s.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) doAnalyze(ctx context.Context, source string, opts ...awam.AnalyzeOption) (*awam.Analysis, error) {
@@ -339,6 +377,8 @@ func (s *Server) failErr(w http.ResponseWriter, err error) {
 		s.fail(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
 	case errors.Is(err, awam.ErrBadOption):
 		s.fail(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, awam.ErrOptimize):
+		s.fail(w, http.StatusUnprocessableEntity, "optimize_rejected", err.Error())
 	default:
 		s.fail(w, http.StatusInternalServerError, "internal", err.Error())
 	}
@@ -372,6 +412,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"awamd_requests_total{result=\"error\"}", "", "", s.requestsErr.Load()},
 		{"awamd_analyses_total", "Analyses actually executed.", "counter", s.analysesRun.Load()},
 		{"awamd_analyses_coalesced_total", "Requests served by joining an identical in-flight analysis.", "counter", s.analysesDup.Load()},
+		{"awamd_optimizes_total", "Optimizer pipeline runs executed.", "counter", s.optimizesRun.Load()},
 		{"awamd_inflight_analyses", "Analyses currently running.", "gauge", s.inflight.Load()},
 		{"awamd_cache_hits_total", "Summary-cache record hits.", "counter", cs.Hits},
 		{"awamd_cache_misses_total", "Summary-cache record misses.", "counter", cs.Misses},

@@ -38,9 +38,16 @@ func Assemble(tab *term.Tab, src string) (*Module, error) {
 			text := strings.TrimSpace(strings.TrimPrefix(line, "%"))
 			text = strings.TrimSuffix(text, ":")
 			if fn, n, ok := parseClauseLabel(tab, text); ok {
+				// Optimized modules append the dispatch entry after the
+				// clause bodies, so a clause label may precede its
+				// procedure's entry label; create the procedure on first
+				// mention and let the entry label fill in the address.
 				p := m.Procs[fn]
 				if p == nil {
-					return nil, fmt.Errorf("wam asm line %d: clause label before entry for %s", lineNo+1, tab.FuncString(fn))
+					p = &Proc{Fn: fn, Entry: FailAddr}
+					m.Procs[fn] = p
+					m.Order = append(m.Order, fn)
+					current = p
 				}
 				for len(p.Clauses) < n {
 					p.Clauses = append(p.Clauses, len(m.Code))
@@ -48,9 +55,13 @@ func Assemble(tab *term.Tab, src string) (*Module, error) {
 				continue
 			}
 			if fn, ok := parseProcLabel(tab, text); ok {
-				p := &Proc{Fn: fn, Entry: len(m.Code)}
-				m.Procs[fn] = p
-				m.Order = append(m.Order, fn)
+				p := m.Procs[fn]
+				if p == nil {
+					p = &Proc{Fn: fn}
+					m.Procs[fn] = p
+					m.Order = append(m.Order, fn)
+				}
+				p.Entry = len(m.Code)
 				current = p
 				continue
 			}
@@ -76,9 +87,13 @@ func Assemble(tab *term.Tab, src string) (*Module, error) {
 		}
 	}
 	// Procedures with no explicit clause labels get a single clause at
-	// their entry.
+	// their entry; procedures whose entry label never appeared (clause
+	// labels only) enter at their first clause.
 	for _, fn := range m.Order {
 		p := m.Procs[fn]
+		if p.Entry == FailAddr && len(p.Clauses) > 0 {
+			p.Entry = p.Clauses[0]
+		}
 		if len(p.Clauses) == 0 {
 			p.Clauses = []int{p.Entry}
 		}
@@ -358,20 +373,49 @@ func parseInstr(tab *term.Tab, line string) (Instr, *term.Functor, error) {
 		}
 		return ins, nil, nil
 	case "switch_on_constant":
-		tbl, err := parseConstTable(tab, rest)
+		body, def, err := splitSwitchDefault(rest)
 		if err != nil {
 			return Instr{}, nil, err
 		}
-		return Instr{Op: OpSwitchOnConst, TblC: tbl}, nil, nil
+		tbl, err := parseConstTable(tab, body)
+		if err != nil {
+			return Instr{}, nil, err
+		}
+		return Instr{Op: OpSwitchOnConst, TblC: tbl, LD: def}, nil, nil
 	case "switch_on_structure":
-		tbl, err := parseStructTable(tab, rest)
+		body, def, err := splitSwitchDefault(rest)
 		if err != nil {
 			return Instr{}, nil, err
 		}
-		return Instr{Op: OpSwitchOnStruct, TblS: tbl}, nil, nil
+		tbl, err := parseStructTable(tab, body)
+		if err != nil {
+			return Instr{}, nil, err
+		}
+		return Instr{Op: OpSwitchOnStruct, TblS: tbl, LD: def}, nil, nil
 	default:
 		return Instr{}, nil, fmt.Errorf("unknown instruction %q", name)
 	}
+}
+
+// splitSwitchDefault splits a dispatch-table operand "{...} default N"
+// into the braced table text and the default address (0 when absent).
+func splitSwitchDefault(rest string) (string, int, error) {
+	end := strings.LastIndex(rest, "}")
+	if end < 0 {
+		return rest, 0, nil
+	}
+	tail := strings.TrimSpace(rest[end+1:])
+	if tail == "" {
+		return rest, 0, nil
+	}
+	if !strings.HasPrefix(tail, "default ") {
+		return "", 0, fmt.Errorf("bad switch suffix %q", tail)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(tail, "default ")))
+	if err != nil {
+		return "", 0, err
+	}
+	return rest[:end+1], n, nil
 }
 
 func parseRegReg(name string, args []string, line string) (Instr, *term.Functor, error) {

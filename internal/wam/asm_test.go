@@ -42,6 +42,41 @@ func TestAssembleSimple(t *testing.T) {
 	}
 }
 
+// TestAssembleClauseBeforeEntry: optimizer output appends a predicate's
+// dispatch entry after its clause bodies, so clause labels may precede
+// the entry label — and when the entry label is missing entirely, the
+// procedure enters at its first clause.
+func TestAssembleClauseBeforeEntry(t *testing.T) {
+	tab := term.NewTab()
+	src := `
+% p/1 clause 1:
+    0  get_constant a, A1
+    1  proceed
+% p/1 clause 2:
+    2  get_constant b, A1
+    3  proceed
+% p/1:
+    4  try 0
+    5  trust 2
+`
+	mod, err := Assemble(tab, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mod.Proc(tab.Func("p", 1))
+	if p == nil || p.Entry != 4 || len(p.Clauses) != 2 || p.Clauses[0] != 0 || p.Clauses[1] != 2 {
+		t.Fatalf("p/1 proc = %+v", p)
+	}
+
+	mod, err = Assemble(tab, "% p/0 clause 1:\nproceed\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := mod.Proc(tab.Func("p", 0)); p == nil || p.Entry != 0 {
+		t.Fatalf("entryless p/0 proc = %+v", p)
+	}
+}
+
 func TestAssembleUnknownInstruction(t *testing.T) {
 	tab := term.NewTab()
 	if _, err := Assemble(tab, "% p/0:\nfly_to_moon A1\n"); err == nil {
@@ -119,7 +154,6 @@ func TestDisasmLabelsBothEntryAndClause(t *testing.T) {
 func TestAssembleErrorPaths(t *testing.T) {
 	tab := term.NewTab()
 	cases := []string{
-		"% p/0 clause 1:\nproceed\n",     // clause label before entry
 		"% p/0:\nget_constant\n",         // missing operands
 		"% p/0:\nbuiltin frobnicate/9\n", // unknown builtin
 		"% p/0:\nswitch_on_term var:x\n", // non-numeric target

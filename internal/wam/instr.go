@@ -186,6 +186,15 @@ type Instr struct {
 	// Constant/functor dispatch tables.
 	TblC map[ConstKey]int
 	TblS map[term.Functor]int
+	// LD is the dispatch-table default: where OpSwitchOnConst and
+	// OpSwitchOnStruct jump when the key is absent from the table. The
+	// zero value means "no default — fail", which is what the compiler
+	// emits (its tables are complete for the clause set). The optimizer's
+	// analysis-directed indexing pass sets LD to the block of clauses
+	// with variable first head arguments, which match any key; such
+	// blocks are appended at the end of the code array, so a real
+	// default target is never address 0.
+	LD int
 }
 
 // Proc is one compiled predicate.
@@ -383,6 +392,16 @@ func joinSwitchEntries(ents []switchEntry) string {
 	return strings.Join(parts, ", ")
 }
 
+// switchDefault renders a dispatch table's default target; empty for
+// the compiler's complete tables (LD zero), so pre-optimizer listings
+// are byte-identical to earlier revisions.
+func switchDefault(ins Instr) string {
+	if ins.LD == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" default %d", ins.LD)
+}
+
 // DisasmInstr renders one instruction.
 func (m *Module) DisasmInstr(ins Instr) string {
 	t := m.Tab
@@ -486,13 +505,13 @@ func (m *Module) DisasmInstr(ins Instr) string {
 				ents = append(ents, switchEntry{t.Name(k.A), v})
 			}
 		}
-		return "switch_on_constant {" + joinSwitchEntries(ents) + "}"
+		return "switch_on_constant {" + joinSwitchEntries(ents) + "}" + switchDefault(ins)
 	case OpSwitchOnStruct:
 		ents := make([]switchEntry, 0, len(ins.TblS))
 		for k, v := range ins.TblS {
 			ents = append(ents, switchEntry{t.FuncString(k), v})
 		}
-		return "switch_on_structure {" + joinSwitchEntries(ents) + "}"
+		return "switch_on_structure {" + joinSwitchEntries(ents) + "}" + switchDefault(ins)
 	case OpGetConstCmp:
 		return fmt.Sprintf("get_constant* %s, A%d", t.Name(ins.Fn.Name), ins.A1)
 	case OpGetIntCmp:
