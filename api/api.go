@@ -2,10 +2,19 @@
 // analysis service, importable by clients. The daemon serves them under
 // the versioned prefix /v1 (the unversioned routes remain as aliases):
 //
-//	POST /v1/analyze   AnalyzeRequest  -> AnalyzeResponse
-//	POST /v1/optimize  OptimizeRequest -> OptimizeResponse
-//	GET  /v1/healthz   -> {"status":"ok"}
-//	GET  /v1/metrics   -> Prometheus text exposition
+//	POST /v1/analyze    AnalyzeRequest   -> AnalyzeResponse
+//	POST /v1/optimize   OptimizeRequest  -> OptimizeResponse
+//	POST /v1/store/has  StoreHasRequest  -> StoreHasResponse
+//	POST /v1/store/get  StoreGetRequest  -> StoreGetResponse
+//	POST /v1/store/put  StorePutRequest  -> StorePutResponse
+//	GET  /v1/healthz    -> {"status":"ok"}
+//	GET  /v1/metrics    -> Prometheus text exposition
+//
+// The /v1/store routes are the summary-fabric protocol: batched
+// content-addressed record exchange between daemons (a peer's store
+// configured with awam.WithRemote speaks it as a client). Batches are
+// capped at MaxStoreBatch entries; larger requests fail with a
+// batch_too_large ErrorBody.
 //
 // Every non-2xx response carries an ErrorBody.
 package api
@@ -41,14 +50,23 @@ type Incremental struct {
 	ColdPatterns int64 `json:"cold_patterns"`
 }
 
-// Cache is the shared summary cache's cumulative state.
+// Cache is the shared summary store's cumulative state. The remote_*
+// fields describe the daemon's own remote tier (zero unless it was
+// started as a fabric member pointing at a peer); degraded is true
+// while that tier's circuit breaker is open.
 type Cache struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	DiskLoads int64 `json:"disk_loads"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	Evictions        int64 `json:"evictions"`
+	DiskLoads        int64 `json:"disk_loads"`
+	RemoteLoads      int64 `json:"remote_loads,omitempty"`
+	RemoteMisses     int64 `json:"remote_misses,omitempty"`
+	RemotePuts       int64 `json:"remote_puts,omitempty"`
+	RemoteRoundTrips int64 `json:"remote_round_trips,omitempty"`
+	RemoteErrors     int64 `json:"remote_errors,omitempty"`
+	Degraded         bool  `json:"degraded,omitempty"`
+	Entries          int   `json:"entries"`
+	Bytes            int64 `json:"bytes"`
 }
 
 // AnalyzeResponse is the POST /v1/analyze success body.
@@ -99,6 +117,57 @@ type OptimizeResponse struct {
 	Disasm string `json:"disasm,omitempty"`
 	// ElapsedMS is the combined analyze+optimize wall time.
 	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// MaxStoreBatch is the most fingerprints (or records) one store
+// round trip may carry; longer batches fail with batch_too_large.
+const MaxStoreBatch = 256
+
+// StoreHasRequest is the POST /v1/store/has body: which of these
+// records does the daemon hold locally?
+type StoreHasRequest struct {
+	// Fingerprints are content addresses (lowercase hex, as produced by
+	// the incremental engine's component hashing).
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// StoreHasResponse answers a StoreHasRequest positionally: Present[i]
+// reports Fingerprints[i]. Malformed fingerprints are reported absent.
+type StoreHasResponse struct {
+	Present []bool `json:"present"`
+}
+
+// StoreGetRequest is the POST /v1/store/get body: fetch a batch of
+// records by fingerprint.
+type StoreGetRequest struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// StoreRecord is one content-addressed record on the wire. Data
+// travels base64-encoded (encoding/json's []byte convention).
+type StoreRecord struct {
+	Fingerprint string `json:"fingerprint"`
+	Data        []byte `json:"data"`
+}
+
+// StoreGetResponse carries the subset of requested records the daemon
+// holds; records it lacks are simply absent (a fetch is never an
+// error).
+type StoreGetResponse struct {
+	Records []StoreRecord `json:"records"`
+}
+
+// StorePutRequest is the POST /v1/store/put body: push a batch of
+// records into the daemon's local tiers.
+type StorePutRequest struct {
+	Records []StoreRecord `json:"records"`
+}
+
+// StorePutResponse reports how many pushed records were accepted
+// (malformed fingerprints and empty or oversized records are skipped,
+// not failed).
+type StorePutResponse struct {
+	Stored int `json:"stored"`
 }
 
 // Error is the payload of an ErrorBody.

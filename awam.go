@@ -179,7 +179,7 @@ type analyzeCfg struct {
 	// distinguishes an explicit WithStrategy choice from the default, so
 	// the cache can upgrade the default to Worklist but reject a
 	// deliberate conflicting pick.
-	cache       *SummaryCache
+	cache       Store
 	strategySet bool
 	// err records the first invalid option; Analyze surfaces it instead
 	// of running with a silently clamped configuration.
@@ -370,11 +370,11 @@ func (s *System) AnalyzeContext(ctx context.Context, opts ...AnalyzeOption) (*An
 	if c.tracer != nil {
 		c.cfg.Tracer = coreTracer{tab: s.tab, t: c.tracer}
 	}
-	if c.cache != nil {
+	if c.cache != nil && c.cache.engine() != nil {
 		if err := c.validateCacheOptions(); err != nil {
 			return nil, err
 		}
-		ir, err := c.cache.eng.AnalyzeAll(ctx, s.mod, c.cfg)
+		ir, err := c.cache.engine().AnalyzeAll(ctx, s.mod, c.cfg)
 		if err != nil {
 			return nil, wrapAnalysisErr(err)
 		}

@@ -32,7 +32,7 @@ func TestSummaryCacheWarmRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sc, err := NewSummaryCache(0, "")
+	sc, err := NewStore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestSummaryCacheOptionConflicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, err := NewSummaryCache(0, "")
+	sc, err := NewStore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestSummaryCacheOptionConflicts(t *testing.T) {
 // TestSummaryCacheIncrementalEdit: after an edit, the facade reuses the
 // clean components and still matches a from-scratch analysis.
 func TestSummaryCacheIncrementalEdit(t *testing.T) {
-	sc, err := NewSummaryCache(0, "")
+	sc, err := NewStore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestSummaryCacheIncrementalEdit(t *testing.T) {
 // SummaryCache over the same directory.
 func TestSummaryCacheDiskDir(t *testing.T) {
 	dir := t.TempDir()
-	sc1, err := NewSummaryCache(0, dir)
+	sc1, err := NewStore(WithDiskDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestSummaryCacheDiskDir(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sc2, err := NewSummaryCache(0, dir)
+	sc2, err := NewStore(WithDiskDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,6 +194,75 @@ func TestSummaryCacheDiskDir(t *testing.T) {
 	}
 	if st := sc2.Stats(); st.DiskLoads == 0 {
 		t.Fatalf("no disk loads after restart: %+v", st)
+	}
+}
+
+// TestDeprecatedNewSummaryCache: the two-arg constructor still works —
+// it must behave exactly like NewStore(WithMemoryBudget, WithDiskDir).
+// This is the shim's dedicated compatibility test; every other caller
+// is on the option constructor (see deprecated_lint_test.go).
+func TestDeprecatedNewSummaryCache(t *testing.T) {
+	dir := t.TempDir()
+	sc, err := NewSummaryCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Store = sc // the shim's result implements the new interface
+	sys, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.Analyze(WithStrategy(Worklist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Analyze(WithSummaryCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Marshal() != ref.Marshal() {
+		t.Fatal("deprecated-constructor cache changed the analysis result")
+	}
+	// The dir took effect: a fresh store over it warm-starts fully.
+	sc2, err := NewStore(WithDiskDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Load(cacheProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sys2.Analyze(WithSummaryCache(sc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc, ok := warm.Incremental(); !ok || inc.WarmSCCs != inc.SCCs {
+		t.Fatalf("shim's disk dir not shared with NewStore: %+v ok=%t", inc, ok)
+	}
+}
+
+// TestStoreBatchMethods: the fabric-protocol surface of a Store —
+// positional Has/GetRecords, PutRecords round trip, malformed
+// fingerprints skipped.
+func TestStoreBatchMethods(t *testing.T) {
+	s, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := []string{"aa11", "bb22", "../evil", ""}
+	if n := s.PutRecords(fps, [][]byte{[]byte("one"), []byte("two"), []byte("x"), []byte("y")}); n != 2 {
+		t.Fatalf("PutRecords stored %d, want 2 (malformed fingerprints skipped)", n)
+	}
+	has := s.Has(fps)
+	if !has[0] || !has[1] || has[2] || has[3] {
+		t.Fatalf("Has = %v, want [true true false false]", has)
+	}
+	recs := s.GetRecords(fps)
+	if string(recs[0]) != "one" || string(recs[1]) != "two" || recs[2] != nil || recs[3] != nil {
+		t.Fatalf("GetRecords = %q", recs)
+	}
+	if st := s.Stats(); st.Entries != 2 {
+		t.Fatalf("Stats.Entries = %d, want 2", st.Entries)
 	}
 }
 

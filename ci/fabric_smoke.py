@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the summary fabric: daemon A analyzes the
+wide_512 workload cold; daemon B — cold local tiers, started with
+-remote pointed at A — analyzes the same source and must warm-start
+over A's /v1/store routes with byte-identical predicate summaries.
+
+Usage: fabric_smoke.py
+Run from the repository root (builds and starts two awamd processes on
+loopback ports).
+"""
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+TIMEOUT_MS = 45000
+
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def wait_healthy(base, proc, deadline=30):
+    start = time.time()
+    while time.time() - start < deadline:
+        if proc.poll() is not None:
+            sys.exit(f"daemon at {base} exited early with {proc.returncode}")
+        try:
+            with urllib.request.urlopen(base + "/v1/healthz", timeout=2) as resp:
+                if resp.status == 200:
+                    return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    sys.exit(f"daemon at {base} never became healthy")
+
+
+def analyze(base, source):
+    body = json.dumps({"source": source, "timeout_ms": TIMEOUT_MS}).encode()
+    req = urllib.request.Request(
+        base + "/v1/analyze", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=TIMEOUT_MS / 1000 + 15) as resp:
+        return json.load(resp)
+
+
+def main():
+    source = subprocess.run(
+        ["go", "run", "./cmd/benchtab", "-dump-wide", "512"],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    if "p511_rev" not in source:
+        sys.exit("benchtab -dump-wide 512 produced an unexpected workload")
+
+    subprocess.run(["go", "build", "-o", "/tmp/awamd_fabric", "./cmd/awamd"], check=True)
+
+    port_a, port_b = free_port(), free_port()
+    base_a = f"http://127.0.0.1:{port_a}"
+    base_b = f"http://127.0.0.1:{port_b}"
+    max_body = str(64 << 20)  # wide_512 source is several MB of clauses
+
+    daemons = []
+    try:
+        a = subprocess.Popen(
+            ["/tmp/awamd_fabric", "-addr", f"127.0.0.1:{port_a}",
+             "-max-timeout", "60s", "-max-body", max_body])
+        daemons.append(a)
+        wait_healthy(base_a, a)
+
+        b = subprocess.Popen(
+            ["/tmp/awamd_fabric", "-addr", f"127.0.0.1:{port_b}",
+             "-remote", base_a, "-max-timeout", "60s", "-max-body", max_body])
+        daemons.append(b)
+        wait_healthy(base_b, b)
+
+        out_a = analyze(base_a, source)
+        inc_a = out_a.get("incremental") or {}
+        if inc_a.get("warm_sccs", -1) != 0:
+            sys.exit(f"daemon A's first run should be fully cold: {inc_a}")
+        if not out_a.get("predicates"):
+            sys.exit("daemon A returned no predicates")
+
+        out_b = analyze(base_b, source)
+        inc_b = out_b.get("incremental") or {}
+        cache_b = out_b.get("cache") or {}
+
+        if out_a["predicates"] != out_b["predicates"]:
+            sys.exit("fabric-served analysis differs from daemon A's")
+        sccs, warm = inc_b.get("sccs", 0), inc_b.get("warm_sccs", 0)
+        if sccs == 0 or warm == 0:
+            sys.exit(f"daemon B warm-start hit rate is zero: {inc_b}")
+        if cache_b.get("remote_loads", 0) == 0:
+            sys.exit(f"daemon B reports no remote tier traffic: {cache_b}")
+        if cache_b.get("degraded"):
+            sys.exit(f"daemon B degraded during a healthy run: {cache_b}")
+        print(
+            f"fabric warm start OK: daemon B served {warm}/{sccs} components "
+            f"via {cache_b.get('remote_loads')} remote loads, "
+            f"{len(out_b['predicates'])} identical predicate summaries"
+        )
+    finally:
+        for d in daemons:
+            if d.poll() is None:
+                d.send_signal(signal.SIGTERM)
+        for d in daemons:
+            try:
+                d.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                d.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	awamd [-addr :8347] [-cache-dir DIR] [-cache-bytes N]
+//	awamd [-addr :8347] [-cache-dir DIR] [-cache-bytes N] [-remote URL]
 //	      [-workers N] [-timeout D] [-max-timeout D]
 //	      [-max-body N] [-max-steps N] [-drain D]
+//
+// With -remote the daemon joins a summary fabric: its store gains a
+// remote tier speaking the batched /v1/store protocol against the peer
+// daemon at URL, so records computed by any fleet member are reused by
+// all of them. A peer outage degrades the tier to local-only serving —
+// analyses still succeed with identical results.
 //
 // Endpoints (see the awam/api package for the wire types): POST
 // /v1/analyze, POST /v1/optimize, GET /v1/healthz, GET /v1/metrics,
@@ -36,6 +42,7 @@ func main() {
 		addr       = flag.String("addr", ":8347", "listen address")
 		cacheDir   = flag.String("cache-dir", "", "persist summary records to this directory (empty: memory only)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory cache budget in bytes (0: default 64 MiB)")
+		remote     = flag.String("remote", "", "base URL of a peer daemon's summary store (joins its fabric)")
 		workers    = flag.Int("workers", 4, "max concurrent analyses")
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request analysis deadline")
 		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "clamp on request-supplied deadlines")
@@ -45,7 +52,14 @@ func main() {
 	)
 	flag.Parse()
 
-	cache, err := awam.NewSummaryCache(*cacheBytes, *cacheDir)
+	storeOpts := []awam.StoreOption{awam.WithMemoryBudget(*cacheBytes)}
+	if *cacheDir != "" {
+		storeOpts = append(storeOpts, awam.WithDiskDir(*cacheDir))
+	}
+	if *remote != "" {
+		storeOpts = append(storeOpts, awam.WithRemote(*remote))
+	}
+	cache, err := awam.NewStore(storeOpts...)
 	if err != nil {
 		log.Fatalf("awamd: cache: %v", err)
 	}
@@ -72,7 +86,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("awamd: listening on %s (cache dir %q)", *addr, *cacheDir)
+	if *remote != "" {
+		log.Printf("awamd: listening on %s (cache dir %q, fabric peer %s)", *addr, *cacheDir, *remote)
+	} else {
+		log.Printf("awamd: listening on %s (cache dir %q)", *addr, *cacheDir)
+	}
 
 	select {
 	case err := <-errc:

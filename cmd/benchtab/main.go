@@ -11,6 +11,7 @@
 //	benchtab -table all        # everything
 //	benchtab -quick            # smaller timing samples
 //	benchtab -json out.json    # machine-readable report (BENCH_PR3.json)
+//	benchtab -dump-wide 512    # print the wide_512 workload source and exit
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"awam/internal/bench"
 	"awam/internal/harness"
 )
 
@@ -28,7 +30,13 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this file and exit")
 	label := flag.String("label", "PR3", "revision label recorded in the -json report")
 	seed := flag.Int64("seed", 0, "randomize the wide scaling workloads with this seed (0 = fixed legacy programs)")
+	dumpWide := flag.Int("dump-wide", 0, "print the wide scaling workload with this many families to stdout and exit (honors -seed)")
 	flag.Parse()
+
+	if *dumpWide > 0 {
+		fmt.Print(bench.WideProgramSeeded(*dumpWide, *seed).Source)
+		return
+	}
 
 	if *jsonOut != "" {
 		fmt.Fprintf(os.Stderr, "measuring JSON benchmark report (seed=%d)...\n", *seed)

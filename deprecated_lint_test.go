@@ -10,13 +10,15 @@ import (
 )
 
 // TestNoDeprecatedSymbolsInCallers is a lint: the deprecated facade
-// shims (WithWorklist, WithHashTable, System.Specialize) exist only for
-// source compatibility, so nothing in the repo besides their
-// definitions and their dedicated compatibility tests may use them.
-// Internal packages, commands, examples, and the docs must all be on
-// the replacement API (WithStrategy, WithTable, System.Optimize).
+// shims (WithWorklist, WithHashTable, System.Specialize, the two-arg
+// NewSummaryCache constructor) exist only for source compatibility, so
+// nothing in the repo besides their definitions and their dedicated
+// compatibility tests may use them. Internal packages, commands,
+// examples, and the docs must all be on the replacement API
+// (WithStrategy, WithTable, System.Optimize, NewStore with
+// WithMemoryBudget/WithDiskDir/WithRemote).
 func TestNoDeprecatedSymbolsInCallers(t *testing.T) {
-	deprecated := regexp.MustCompile(`\b(WithWorklist|WithHashTable)\s*\(|\.Specialize\(`)
+	deprecated := regexp.MustCompile(`\b(WithWorklist|WithHashTable|NewSummaryCache)\s*\(|\.Specialize\(`)
 	roots := []string{"internal", "cmd", "examples", "api"}
 	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
 

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// diskTier persists records as <fingerprint>.scc files in a directory.
+// It is crash-safe (atomic temp-file + rename writes) and treats every
+// I/O failure as a miss or a counted error — a broken disk degrades the
+// store, never the analysis.
+type diskTier struct {
+	dir    string
+	loads  atomic.Int64 // records faulted in from disk
+	errors atomic.Int64 // persistence failures
+}
+
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+// path is the on-disk location of fp's record.
+func (d *diskTier) path(fp Fingerprint) string {
+	return filepath.Join(d.dir, string(fp)+".scc")
+}
+
+// get reads fp's record from disk.
+func (d *diskTier) get(fp Fingerprint) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	d.loads.Add(1)
+	return data, true
+}
+
+// has reports presence without reading the record.
+func (d *diskTier) has(fp Fingerprint) bool {
+	_, err := os.Stat(d.path(fp))
+	return err == nil
+}
+
+// put writes the record atomically (temp file + rename), so a
+// concurrent reader or a crash never observes a torn record. Failures
+// are counted, not returned.
+func (d *diskTier) put(fp Fingerprint, data []byte) {
+	if err := d.persist(fp, data); err != nil {
+		d.errors.Add(1)
+	}
+}
+
+func (d *diskTier) persist(fp Fingerprint, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "."+string(fp)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, d.path(fp)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package cache
+
+import "sync"
+
+// memTier is the first tier: a byte-budgeted in-memory LRU of records.
+// It is the only tier that owns recency state; the disk and remote
+// tiers are fault-in sources that promote records here.
+type memTier struct {
+	mu    sync.Mutex
+	index map[Fingerprint]*rec
+	// head is most recently used, tail least; a ring would save the nil
+	// checks but the two-pointer list keeps eviction obvious.
+	head, tail *rec
+	bytes      int64
+	budget     int64
+	evictions  int64
+}
+
+// rec is one resident record in the LRU's intrusive list.
+type rec struct {
+	fp         Fingerprint
+	data       []byte
+	prev, next *rec
+}
+
+func newMemTier(budget int64) *memTier {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &memTier{index: make(map[Fingerprint]*rec), budget: budget}
+}
+
+// unlink removes r from the recency list.
+func (m *memTier) unlink(r *rec) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		m.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		m.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// pushFront makes r the most recently used record.
+func (m *memTier) pushFront(r *rec) {
+	r.next = m.head
+	if m.head != nil {
+		m.head.prev = r
+	}
+	m.head = r
+	if m.tail == nil {
+		m.tail = r
+	}
+}
+
+// evict drops least-recently-used records until the budget holds. A
+// single record larger than the whole budget is kept resident anyway —
+// dropping the value just fetched would turn the store into a miss
+// machine — so the budget is a high-water target, exact once at least
+// two records exist.
+func (m *memTier) evict() {
+	for m.bytes > m.budget && m.tail != nil && m.tail != m.head {
+		r := m.tail
+		m.unlink(r)
+		delete(m.index, r.fp)
+		m.bytes -= int64(len(r.data))
+		m.evictions++
+	}
+}
+
+// get returns the record under fp and refreshes its recency.
+func (m *memTier) get(fp Fingerprint) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.index[fp]
+	if r == nil {
+		return nil, false
+	}
+	m.unlink(r)
+	m.pushFront(r)
+	return r.data, true
+}
+
+// has reports presence without touching recency (batch probes from the
+// fabric protocol should not churn the LRU order).
+func (m *memTier) has(fp Fingerprint) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.index[fp] != nil
+}
+
+// put adds (or refreshes) a record.
+func (m *memTier) put(fp Fingerprint, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r := m.index[fp]; r != nil {
+		m.bytes += int64(len(data)) - int64(len(r.data))
+		r.data = data
+		m.unlink(r)
+		m.pushFront(r)
+	} else {
+		r := &rec{fp: fp, data: data}
+		m.index[fp] = r
+		m.pushFront(r)
+		m.bytes += int64(len(data))
+	}
+	m.evict()
+}
+
+// occupancy reports the tier's entry count, resident bytes and
+// cumulative evictions.
+func (m *memTier) occupancy() (entries int, bytes, evictions int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.index), m.bytes, m.evictions
+}

@@ -1,0 +1,433 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The remote tier speaks a batched has/get/put protocol over HTTP
+// against another daemon's /v1/store routes (served by internal/serve;
+// the public mirror of these wire types lives in awam/api — the two are
+// pinned together by a parity test in internal/serve). All requests and
+// responses are JSON; record bytes travel base64-encoded by
+// encoding/json's []byte convention.
+//
+//	POST {base}/v1/store/has  HasRequest -> HasResponse
+//	POST {base}/v1/store/get  GetRequest -> GetResponse
+//	POST {base}/v1/store/put  PutRequest -> PutResponse
+
+// HasRequest asks which of a batch of fingerprints the peer holds.
+type HasRequest struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// HasResponse answers a HasRequest positionally.
+type HasResponse struct {
+	Present []bool `json:"present"`
+}
+
+// GetRequest fetches a batch of records by fingerprint.
+type GetRequest struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// WireRecord is one record on the wire.
+type WireRecord struct {
+	Fingerprint string `json:"fingerprint"`
+	Data        []byte `json:"data"`
+}
+
+// GetResponse carries the subset of requested records the peer holds.
+type GetResponse struct {
+	Records []WireRecord `json:"records"`
+}
+
+// PutRequest pushes a batch of records to the peer.
+type PutRequest struct {
+	Records []WireRecord `json:"records"`
+}
+
+// PutResponse reports how many pushed records the peer accepted.
+type PutResponse struct {
+	Stored int `json:"stored"`
+}
+
+// Remote-tier defaults. Every knob has a RemoteOption.
+const (
+	// DefaultRemoteTimeout is the per-batch round-trip deadline.
+	DefaultRemoteTimeout = 2 * time.Second
+	// DefaultRemoteRetries is the number of re-attempts after a failed
+	// round trip (transport errors and 5xx responses; 4xx never retry).
+	DefaultRemoteRetries = 2
+	// DefaultRemoteBackoff is the base of the jittered exponential
+	// backoff between retries.
+	DefaultRemoteBackoff = 50 * time.Millisecond
+	// DefaultBreakerThreshold consecutive failed round trips open the
+	// circuit breaker; while open every remote operation is an immediate
+	// local miss. DefaultBreakerCooldown later one probe is let through.
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 10 * time.Second
+	// DefaultMaxBatch bounds fingerprints (or records) per round trip;
+	// it matches the server-side api.MaxStoreBatch cap.
+	DefaultMaxBatch = 256
+	// DefaultMaxRecordBytes bounds one record on the wire; larger
+	// responses are treated as corrupt (a miss), larger puts are
+	// dropped.
+	DefaultMaxRecordBytes = 4 << 20
+	// maxPutBuffer bounds records waiting for a Flush; overflow drops
+	// the oldest (they remain in the local tiers and are counted).
+	maxPutBuffer = 4096
+	// maxResponseBytes bounds one protocol response body.
+	maxResponseBytes = int64(DefaultMaxBatch)*DefaultMaxRecordBytes/256 + 1<<20
+)
+
+// RemoteOption tunes the remote tier; pass to WithRemote.
+type RemoteOption func(*remoteTier)
+
+// WithRemoteTimeout sets the per-batch round-trip deadline.
+func WithRemoteTimeout(d time.Duration) RemoteOption {
+	return func(r *remoteTier) {
+		if d > 0 {
+			r.timeout = d
+		}
+	}
+}
+
+// WithRemoteRetries sets how many times a failed round trip is retried.
+func WithRemoteRetries(n int) RemoteOption {
+	return func(r *remoteTier) {
+		if n >= 0 {
+			r.retries = n
+		}
+	}
+}
+
+// WithRemoteBackoff sets the base of the jittered exponential backoff.
+func WithRemoteBackoff(d time.Duration) RemoteOption {
+	return func(r *remoteTier) {
+		if d > 0 {
+			r.backoff = d
+		}
+	}
+}
+
+// WithRemoteBreaker configures the circuit breaker: threshold
+// consecutive failures open it for cooldown.
+func WithRemoteBreaker(threshold int, cooldown time.Duration) RemoteOption {
+	return func(r *remoteTier) {
+		if threshold > 0 {
+			r.breakThreshold = threshold
+		}
+		if cooldown > 0 {
+			r.breakCooldown = cooldown
+		}
+	}
+}
+
+// WithRemoteMaxBatch bounds fingerprints or records per round trip.
+func WithRemoteMaxBatch(n int) RemoteOption {
+	return func(r *remoteTier) {
+		if n > 0 {
+			r.maxBatch = n
+		}
+	}
+}
+
+// WithRemoteMaxRecordBytes bounds a single record on the wire.
+func WithRemoteMaxRecordBytes(n int64) RemoteOption {
+	return func(r *remoteTier) {
+		if n > 0 {
+			r.maxRecord = n
+		}
+	}
+}
+
+// WithRemoteClient substitutes the HTTP client (tests inject transports
+// here).
+func WithRemoteClient(hc *http.Client) RemoteOption {
+	return func(r *remoteTier) {
+		if hc != nil {
+			r.hc = hc
+		}
+	}
+}
+
+// remoteTier is the third tier: a peer daemon's store reached over the
+// batch protocol. It is robust by construction — every operation runs
+// under a per-batch deadline with bounded jittered retries behind a
+// circuit breaker, and every failure mode (outage, slowness, corrupt or
+// oversized payloads) degrades to a local miss, never an error.
+type remoteTier struct {
+	base string // e.g. "http://10.0.0.7:8347", no trailing slash
+	hc   *http.Client
+
+	timeout        time.Duration
+	retries        int
+	backoff        time.Duration
+	breakThreshold int
+	breakCooldown  time.Duration
+	maxBatch       int
+	maxRecord      int64
+
+	// Circuit breaker state. fails counts consecutive failed round
+	// trips; openUntil is the wall-clock end of the current open
+	// interval.
+	bmu       sync.Mutex
+	fails     int
+	openUntil time.Time
+
+	// putBuf holds records awaiting Flush (oldest first).
+	pmu    sync.Mutex
+	putBuf []WireRecord
+
+	// Counters, surfaced through Stats.
+	loads      atomic.Int64 // records faulted in from the peer
+	misses     atomic.Int64 // requested records the peer did not hold
+	puts       atomic.Int64 // records accepted by the peer
+	roundTrips atomic.Int64 // HTTP round trips attempted
+	errors     atomic.Int64 // failed round trips (each attempt)
+	dropped    atomic.Int64 // records dropped: buffer overflow or failed flush
+	opens      atomic.Int64 // breaker open events
+}
+
+func newRemoteTier(base string, opts ...RemoteOption) *remoteTier {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	r := &remoteTier{
+		base:           base,
+		hc:             &http.Client{},
+		timeout:        DefaultRemoteTimeout,
+		retries:        DefaultRemoteRetries,
+		backoff:        DefaultRemoteBackoff,
+		breakThreshold: DefaultBreakerThreshold,
+		breakCooldown:  DefaultBreakerCooldown,
+		maxBatch:       DefaultMaxBatch,
+		maxRecord:      DefaultMaxRecordBytes,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// allow reports whether the breaker admits a round trip right now.
+func (r *remoteTier) allow() bool {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	return time.Now().After(r.openUntil)
+}
+
+// degraded reports whether the breaker is currently open.
+func (r *remoteTier) degraded() bool { return !r.allow() }
+
+// succeed and fail update the breaker after a round trip.
+func (r *remoteTier) succeed() {
+	r.bmu.Lock()
+	r.fails = 0
+	r.bmu.Unlock()
+}
+
+func (r *remoteTier) fail() {
+	r.bmu.Lock()
+	r.fails++
+	if r.fails >= r.breakThreshold {
+		r.fails = 0
+		r.openUntil = time.Now().Add(r.breakCooldown)
+		r.opens.Add(1)
+	}
+	r.bmu.Unlock()
+}
+
+// do runs one protocol exchange with retries, backoff and the breaker.
+// A nil return means resp is filled; every failure path returns an
+// error the caller converts into misses.
+func (r *remoteTier) do(path string, req, resp any) error {
+	if !r.allow() {
+		return fmt.Errorf("cache: remote breaker open")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			// Jittered exponential backoff: base*2^(attempt-1), up to
+			// +50% jitter so a fleet retrying together spreads out.
+			d := r.backoff << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			time.Sleep(d)
+			if !r.allow() {
+				return fmt.Errorf("cache: remote breaker open")
+			}
+		}
+		r.roundTrips.Add(1)
+		retryable, err := r.once(path, body, resp)
+		if err == nil {
+			r.succeed()
+			return nil
+		}
+		r.errors.Add(1)
+		r.fail()
+		last = err
+		if !retryable {
+			break
+		}
+	}
+	return last
+}
+
+// once performs a single round trip under the per-batch deadline.
+func (r *remoteTier) once(path string, body []byte, resp any) (retryable bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := r.hc.Do(hreq)
+	if err != nil {
+		return true, err // transport error or deadline: retryable
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hres.Body, 1<<16)) //nolint:errcheck // drain for keep-alive
+		hres.Body.Close()
+	}()
+	if hres.StatusCode != http.StatusOK {
+		// 5xx and 429 are peer-side trouble worth retrying; other 4xx
+		// mean this client is wrong and retrying cannot help.
+		retryable = hres.StatusCode >= 500 || hres.StatusCode == http.StatusTooManyRequests
+		return retryable, fmt.Errorf("cache: remote %s: %s", path, hres.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(hres.Body, maxResponseBytes)).Decode(resp); err != nil {
+		return false, fmt.Errorf("cache: remote %s: corrupt response: %w", path, err)
+	}
+	return false, nil
+}
+
+// get fetches the given fingerprints (one protocol batch at most
+// maxBatch long) and returns the well-formed records the peer holds.
+// Corrupt entries — invalid fingerprints, fingerprints not asked for,
+// oversized or empty data — are dropped record by record.
+func (r *remoteTier) get(fps []Fingerprint) map[Fingerprint][]byte {
+	out := make(map[Fingerprint][]byte)
+	for start := 0; start < len(fps); start += r.maxBatch {
+		end := start + r.maxBatch
+		if end > len(fps) {
+			end = len(fps)
+		}
+		batch := fps[start:end]
+		req := GetRequest{Fingerprints: make([]string, len(batch))}
+		asked := make(map[Fingerprint]bool, len(batch))
+		for i, fp := range batch {
+			req.Fingerprints[i] = string(fp)
+			asked[fp] = true
+		}
+		var resp GetResponse
+		if err := r.do("/v1/store/get", &req, &resp); err != nil {
+			r.misses.Add(int64(len(batch)))
+			continue
+		}
+		served := 0
+		for _, wr := range resp.Records {
+			fp := Fingerprint(wr.Fingerprint)
+			if !fp.valid() || !asked[fp] || len(wr.Data) == 0 || int64(len(wr.Data)) > r.maxRecord {
+				r.errors.Add(1)
+				continue
+			}
+			if _, dup := out[fp]; !dup {
+				out[fp] = wr.Data
+				served++
+			}
+		}
+		r.loads.Add(int64(served))
+		if served < len(batch) {
+			r.misses.Add(int64(len(batch) - served))
+		}
+	}
+	return out
+}
+
+// getOne is the single-record fallback used on an individual Get miss.
+func (r *remoteTier) getOne(fp Fingerprint) ([]byte, bool) {
+	recs := r.get([]Fingerprint{fp})
+	data, ok := recs[fp]
+	return data, ok
+}
+
+// enqueue buffers a record for the next flush, dropping the oldest on
+// overflow (the record stays in the local tiers either way).
+func (r *remoteTier) enqueue(fp Fingerprint, data []byte) {
+	if int64(len(data)) > r.maxRecord {
+		r.dropped.Add(1)
+		return
+	}
+	r.pmu.Lock()
+	if len(r.putBuf) >= maxPutBuffer {
+		over := len(r.putBuf) - maxPutBuffer + 1
+		r.putBuf = append(r.putBuf[:0], r.putBuf[over:]...)
+		r.dropped.Add(int64(over))
+	}
+	r.putBuf = append(r.putBuf, WireRecord{Fingerprint: string(fp), Data: data})
+	r.pmu.Unlock()
+}
+
+// flush pushes the buffered records upstream: a has round trip filters
+// records the peer already holds, then puts ship the rest in batches.
+// On failure the batch is dropped (counted); the records remain in the
+// local tiers and will be re-offered only after a local cold start, so
+// the fabric is eventually consistent, not transactional.
+func (r *remoteTier) flush() {
+	r.pmu.Lock()
+	pending := r.putBuf
+	r.putBuf = nil
+	r.pmu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+
+	for start := 0; start < len(pending); start += r.maxBatch {
+		end := start + r.maxBatch
+		if end > len(pending) {
+			end = len(pending)
+		}
+		batch := pending[start:end]
+
+		// Presence filter: don't ship bytes the peer already has. A
+		// failed has is ignored — the put is the operation that matters.
+		has := HasRequest{Fingerprints: make([]string, len(batch))}
+		for i, wr := range batch {
+			has.Fingerprints[i] = wr.Fingerprint
+		}
+		var present HasResponse
+		if err := r.do("/v1/store/has", &has, &present); err == nil && len(present.Present) == len(batch) {
+			novel := batch[:0:0]
+			for i, wr := range batch {
+				if !present.Present[i] {
+					novel = append(novel, wr)
+				}
+			}
+			batch = novel
+		}
+		if len(batch) == 0 {
+			continue
+		}
+
+		var resp PutResponse
+		if err := r.do("/v1/store/put", &PutRequest{Records: batch}, &resp); err != nil {
+			r.dropped.Add(int64(len(batch)))
+			continue
+		}
+		r.puts.Add(int64(resp.Stored))
+	}
+}

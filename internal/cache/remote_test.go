@@ -1,0 +1,412 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePeer is an in-memory implementation of the /v1/store protocol,
+// with injectable failure behavior per request.
+type fakePeer struct {
+	mu   sync.Mutex
+	recs map[string][]byte
+
+	// requests counts protocol hits; intercept, when set, gets the
+	// first say on every request (return true = response written).
+	requests  atomic.Int64
+	intercept func(w http.ResponseWriter, r *http.Request, n int64) bool
+}
+
+func newFakePeer() *fakePeer { return &fakePeer{recs: map[string][]byte{}} }
+
+func (p *fakePeer) server(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(p.handle))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func (p *fakePeer) handle(w http.ResponseWriter, r *http.Request) {
+	n := p.requests.Add(1)
+	if p.intercept != nil && p.intercept(w, r, n) {
+		return
+	}
+	switch r.URL.Path {
+	case "/v1/store/has":
+		var req HasRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		resp := HasResponse{Present: make([]bool, len(req.Fingerprints))}
+		p.mu.Lock()
+		for i, fp := range req.Fingerprints {
+			_, resp.Present[i] = p.recs[fp]
+		}
+		p.mu.Unlock()
+		json.NewEncoder(w).Encode(resp)
+	case "/v1/store/get":
+		var req GetRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		resp := GetResponse{}
+		p.mu.Lock()
+		for _, fp := range req.Fingerprints {
+			if data, ok := p.recs[fp]; ok {
+				resp.Records = append(resp.Records, WireRecord{Fingerprint: fp, Data: data})
+			}
+		}
+		p.mu.Unlock()
+		json.NewEncoder(w).Encode(resp)
+	case "/v1/store/put":
+		var req PutRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		p.mu.Lock()
+		for _, rec := range req.Records {
+			p.recs[rec.Fingerprint] = rec.Data
+		}
+		p.mu.Unlock()
+		json.NewEncoder(w).Encode(PutResponse{Stored: len(req.Records)})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// fastRemote returns RemoteOptions that keep test retries snappy.
+func fastRemote(extra ...RemoteOption) []RemoteOption {
+	return append([]RemoteOption{
+		WithRemoteTimeout(500 * time.Millisecond),
+		WithRemoteBackoff(time.Millisecond),
+	}, extra...)
+}
+
+// TestRemoteFaultAndFlush: the happy path — puts buffer until Flush,
+// flush has-filters records the peer already holds, and a cold store
+// faults records back over the wire, promoting them locally.
+func TestRemoteFaultAndFlush(t *testing.T) {
+	peer := newFakePeer()
+	peer.recs["cc33"] = []byte("already-there")
+	ts := peer.server(t)
+
+	a, err := New(WithRemoteURL(ts.URL, fastRemote()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put("aa11", []byte("alpha"))
+	a.Put("bb22", []byte("beta"))
+	a.Put("cc33", []byte("already-there"))
+	if len(peer.recs) != 1 {
+		t.Fatal("puts reached the peer before Flush")
+	}
+	a.Flush()
+	peer.mu.Lock()
+	stored := len(peer.recs)
+	peer.mu.Unlock()
+	if stored != 3 {
+		t.Fatalf("peer holds %d records after flush, want 3", stored)
+	}
+	if st := a.Stats(); st.RemotePuts != 2 {
+		t.Fatalf("RemotePuts = %d, want 2 (cc33 filtered by has)", st.RemotePuts)
+	}
+
+	b, err := New(WithRemoteURL(ts.URL, fastRemote()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := b.Get("aa11"); !ok || string(data) != "alpha" {
+		t.Fatalf("remote fault = %q, %t", data, ok)
+	}
+	// Promoted: the second Get must not touch the peer.
+	before := peer.requests.Load()
+	if _, ok := b.Get("aa11"); !ok {
+		t.Fatal("promoted record lost")
+	}
+	if peer.requests.Load() != before {
+		t.Fatal("second Get of a promoted record went remote")
+	}
+	st := b.Stats()
+	if st.RemoteLoads != 1 || st.Degraded {
+		t.Fatalf("stats after fault-in: %+v", st)
+	}
+
+	// Prefetch batches: ask for everything, then serve all locally.
+	c, err := New(WithRemoteURL(ts.URL, fastRemote()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := peer.requests.Load()
+	c.Prefetch([]Fingerprint{"aa11", "bb22", "cc33", "aa11", "9999"})
+	if got := peer.requests.Load() - base; got != 1 {
+		t.Fatalf("prefetch of 4 distinct fingerprints took %d round trips, want 1", got)
+	}
+	for _, fp := range []Fingerprint{"aa11", "bb22", "cc33"} {
+		if !c.HasLocal(fp) {
+			t.Fatalf("prefetch did not promote %s", fp)
+		}
+	}
+	if c.HasLocal("9999") {
+		t.Fatal("prefetch invented a record the peer does not hold")
+	}
+}
+
+// TestRemoteFlakyRetries: a peer that 503s twice then recovers is
+// absorbed by the retry loop — the fetch succeeds, no breaker opens.
+func TestRemoteFlakyRetries(t *testing.T) {
+	peer := newFakePeer()
+	peer.recs["aa11"] = []byte("alpha")
+	peer.intercept = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		if n <= 2 {
+			http.Error(w, "wobble", http.StatusServiceUnavailable)
+			return true
+		}
+		return false
+	}
+	ts := peer.server(t)
+
+	s, err := New(WithRemoteURL(ts.URL, fastRemote(WithRemoteRetries(2))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.Get("aa11")
+	if !ok || string(data) != "alpha" {
+		t.Fatalf("flaky peer: Get = %q, %t", data, ok)
+	}
+	st := s.Stats()
+	if st.RemoteRoundTrips != 3 || st.RemoteErrors != 2 {
+		t.Fatalf("round trips / errors = %d / %d, want 3 / 2", st.RemoteRoundTrips, st.RemoteErrors)
+	}
+	if st.BreakerOpens != 0 || st.Degraded {
+		t.Fatalf("retry success still opened the breaker: %+v", st)
+	}
+}
+
+// TestRemoteBreaker: a dead peer opens the breaker after the threshold
+// of consecutive failures; while open, operations are immediate local
+// misses with no round trips; after the cooldown a probe goes through
+// and a recovered peer closes it.
+func TestRemoteBreaker(t *testing.T) {
+	var down atomic.Bool
+	down.Store(true)
+	peer := newFakePeer()
+	peer.recs["aa11"] = []byte("alpha")
+	peer.intercept = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		if down.Load() {
+			http.Error(w, "dead", http.StatusInternalServerError)
+			return true
+		}
+		return false
+	}
+	ts := peer.server(t)
+
+	s, err := New(WithRemoteURL(ts.URL, fastRemote(
+		WithRemoteRetries(0),
+		WithRemoteBreaker(3, 200*time.Millisecond),
+	)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get("aa11"); ok {
+			t.Fatal("dead peer served a record")
+		}
+	}
+	st := s.Stats()
+	if st.BreakerOpens != 1 || !st.Degraded {
+		t.Fatalf("after 3 failures: opens=%d degraded=%t", st.BreakerOpens, st.Degraded)
+	}
+	// Open breaker: no traffic, still only misses — never an error.
+	trips := peer.requests.Load()
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Get("aa11"); ok {
+			t.Fatal("open breaker served a record")
+		}
+		s.Put(Fingerprint(fmt.Sprintf("dd%02d", i)), []byte("x"))
+	}
+	s.Flush()
+	if peer.requests.Load() != trips {
+		t.Fatal("open breaker let traffic through")
+	}
+
+	// Recovery: peer comes back, cooldown expires, the probe closes it.
+	down.Store(false)
+	time.Sleep(250 * time.Millisecond)
+	if data, ok := s.Get("aa11"); !ok || string(data) != "alpha" {
+		t.Fatalf("after recovery: Get = %q, %t", data, ok)
+	}
+	if st := s.Stats(); st.Degraded {
+		t.Fatal("breaker still open after a successful probe")
+	}
+}
+
+// TestRemoteSlowPeer: a peer slower than the per-batch deadline is a
+// miss, not a hang — the Get returns within a few deadlines.
+func TestRemoteSlowPeer(t *testing.T) {
+	peer := newFakePeer()
+	peer.intercept = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		time.Sleep(300 * time.Millisecond)
+		return false
+	}
+	ts := peer.server(t)
+
+	s, err := New(WithRemoteURL(ts.URL,
+		WithRemoteTimeout(50*time.Millisecond),
+		WithRemoteBackoff(time.Millisecond),
+		WithRemoteRetries(1),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, ok := s.Get("aa11"); ok {
+		t.Fatal("slow peer produced a record")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("slow peer stalled the store for %s", el)
+	}
+	st := s.Stats()
+	if st.RemoteErrors == 0 || st.Misses != 1 {
+		t.Fatalf("timeout accounting: %+v", st)
+	}
+}
+
+// TestRemoteCorruptPayloads: malformed JSON and malformed records —
+// wrong fingerprints, records never asked for, empty and oversized
+// data — are all dropped as misses; nothing corrupt enters the local
+// tiers.
+func TestRemoteCorruptPayloads(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(req GetRequest) string
+	}{
+		{"truncated_json", func(GetRequest) string { return `{"records": [` }},
+		{"not_json", func(GetRequest) string { return "<html>proxy error</html>" }},
+		{"wrong_fingerprint", func(GetRequest) string {
+			return `{"records":[{"fingerprint":"ZZ-not-hex","data":"aGk="}]}`
+		}},
+		{"unrequested_record", func(GetRequest) string {
+			return `{"records":[{"fingerprint":"dddd","data":"aGk="}]}`
+		}},
+		{"empty_data", func(req GetRequest) string {
+			return fmt.Sprintf(`{"records":[{"fingerprint":%q,"data":""}]}`, req.Fingerprints[0])
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			peer := newFakePeer()
+			peer.intercept = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+				var req GetRequest
+				json.NewDecoder(r.Body).Decode(&req)
+				fmt.Fprint(w, tc.body(req))
+				return true
+			}
+			ts := peer.server(t)
+			s, err := New(WithRemoteURL(ts.URL, fastRemote(WithRemoteRetries(0))...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data, ok := s.Get("aa11"); ok {
+				t.Fatalf("corrupt payload served a record: %q", data)
+			}
+			if s.HasLocal("aa11") || s.HasLocal("dddd") {
+				t.Fatal("corrupt payload contaminated the local tiers")
+			}
+			if st := s.Stats(); st.Misses != 1 {
+				t.Fatalf("corrupt payload accounting: %+v", st)
+			}
+		})
+	}
+}
+
+// TestRemoteOversizedRecord: a record over the wire cap is treated as
+// corrupt — skipped, counted, never promoted.
+func TestRemoteOversizedRecord(t *testing.T) {
+	peer := newFakePeer()
+	peer.recs["aa11"] = make([]byte, 256)
+	ts := peer.server(t)
+
+	s, err := New(WithRemoteURL(ts.URL, fastRemote(WithRemoteMaxRecordBytes(128))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("aa11"); ok {
+		t.Fatal("oversized record served")
+	}
+	if s.HasLocal("aa11") {
+		t.Fatal("oversized record promoted")
+	}
+	st := s.Stats()
+	if st.RemoteErrors == 0 {
+		t.Fatalf("oversized record not counted as an error: %+v", st)
+	}
+
+	// Outbound: an oversized Put never leaves the building.
+	s.Put("bb22", make([]byte, 256))
+	s.Flush()
+	peer.mu.Lock()
+	_, shipped := peer.recs["bb22"]
+	peer.mu.Unlock()
+	if shipped {
+		t.Fatal("oversized record shipped upstream")
+	}
+	if st := s.Stats(); st.RemoteDropped == 0 {
+		t.Fatalf("oversized put not counted as dropped: %+v", st)
+	}
+	// But it stays available locally.
+	if _, ok := s.Get("bb22"); !ok {
+		t.Fatal("oversized record lost locally")
+	}
+}
+
+// TestRemoteNoRetryOn4xx: a 400 means the client is wrong; retrying
+// cannot help and must not happen.
+func TestRemoteNoRetryOn4xx(t *testing.T) {
+	peer := newFakePeer()
+	peer.intercept = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		http.Error(w, `{"error":{"code":"batch_too_large","message":"no"}}`, http.StatusBadRequest)
+		return true
+	}
+	ts := peer.server(t)
+
+	s, err := New(WithRemoteURL(ts.URL, fastRemote(WithRemoteRetries(3))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("aa11"); ok {
+		t.Fatal("4xx served a record")
+	}
+	if got := peer.requests.Load(); got != 1 {
+		t.Fatalf("4xx retried: %d round trips, want 1", got)
+	}
+}
+
+// TestRemoteBatching: more fingerprints than the batch cap split into
+// ceil(n/cap) round trips, and every record still arrives.
+func TestRemoteBatching(t *testing.T) {
+	peer := newFakePeer()
+	var fps []Fingerprint
+	for i := 0; i < 10; i++ {
+		fp := fmt.Sprintf("%04x", i)
+		peer.recs[fp] = []byte("v" + fp)
+		fps = append(fps, Fingerprint(fp))
+	}
+	ts := peer.server(t)
+
+	s, err := New(WithRemoteURL(ts.URL, fastRemote(WithRemoteMaxBatch(4))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Prefetch(fps)
+	if got := peer.requests.Load(); got != 3 {
+		t.Fatalf("10 fingerprints at batch cap 4 took %d round trips, want 3", got)
+	}
+	for _, fp := range fps {
+		if data, ok := s.GetLocal(fp); !ok || string(data) != "v"+string(fp) {
+			t.Fatalf("batched prefetch lost %s: %q, %t", fp, data, ok)
+		}
+	}
+	if st := s.Stats(); st.RemoteLoads != 10 {
+		t.Fatalf("RemoteLoads = %d, want 10", st.RemoteLoads)
+	}
+}

@@ -107,6 +107,14 @@ type Metrics struct {
 	// store.
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheBytes                             int64
+	// Remote-tier (summary fabric) traffic of this run, filled like the
+	// Cache* counters: records faulted in from the fabric peer, records
+	// the peer was asked for but did not hold, records pushed upstream,
+	// HTTP round trips, and failed exchanges (outages, timeouts, corrupt
+	// payloads — all degraded to local misses). Zero without a remote
+	// tier.
+	RemoteLoads, RemoteMisses, RemotePuts int64
+	RemoteRoundTrips, RemoteErrors        int64
 	// HeapHighWater is the largest abstract heap (in cells) any worker
 	// ever held.
 	HeapHighWater int
@@ -322,6 +330,10 @@ func (m *Metrics) Render(tab *term.Tab) string {
 		fmt.Fprintf(&b, "warm     hits=%d misses=%d\n", m.WarmHits, m.WarmMisses)
 		fmt.Fprintf(&b, "store    hits=%d misses=%d evictions=%d bytes=%d\n",
 			m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheBytes)
+	}
+	if m.RemoteRoundTrips > 0 {
+		fmt.Fprintf(&b, "remote   loads=%d misses=%d puts=%d round-trips=%d errors=%d\n",
+			m.RemoteLoads, m.RemoteMisses, m.RemotePuts, m.RemoteRoundTrips, m.RemoteErrors)
 	}
 	fmt.Fprintf(&b, "heap     high-water=%d cells\n", m.HeapHighWater)
 	for _, w := range m.Workers {

@@ -70,6 +70,11 @@ type BenchReport struct {
 	// Optimize holds the machine-runtime speedups from the gated
 	// optimizer pipeline (absent before the pass pipeline existed).
 	Optimize []OptimizeEntry `json:"optimize,omitempty"`
+	// Fabric holds the distributed summary fabric measurements: a
+	// one-edit re-analysis served over a peer daemon's store routes
+	// versus a scratch run, plus the forced-outage identity check
+	// (absent before the fabric existed).
+	Fabric []FabricEntry `json:"fabric,omitempty"`
 }
 
 // benchConfigs are the engine configurations the JSON report sweeps on
@@ -227,6 +232,11 @@ func MeasureBenchJSON(label string, quick bool, seed int64, progress io.Writer) 
 			return nil, err
 		}
 		rep.Optimize = oe
+		fe, err := MeasureFabric(512, quick, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fabric = append(rep.Fabric, *fe)
 	}
 	return rep, nil
 }

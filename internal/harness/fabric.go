@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"awam"
+	"awam/internal/bench"
+	"awam/internal/cache"
+	"awam/internal/core"
+	"awam/internal/inc"
+	"awam/internal/serve"
+	"awam/internal/wam"
+)
+
+// This file measures the summary fabric: what a one-edit re-analysis
+// costs when the warm records live on another daemon, reached over the
+// batched /v1/store protocol, versus computing from scratch. The
+// topology is the minimal fleet — daemon A holds the records (primed by
+// pushing a cold run's flush through the real put handlers), daemon B
+// starts with cold local tiers and only the fabric between it and a
+// scratch run. A forced mid-run outage is measured alongside: it must
+// finish byte-identical with no surfaced error.
+
+// FabricEntry is the fabric measurement for one workload, recorded in
+// the JSON benchmark report.
+type FabricEntry struct {
+	// Name is the workload, e.g. "wide_512".
+	Name string `json:"name"`
+	// ColdNsPerOp is daemon B's from-scratch run (no store at all);
+	// FabricNsPerOp is its one-edit re-analysis with cold memory and
+	// disk, warm only through the remote tier. Both time the engine
+	// only.
+	ColdNsPerOp   int64 `json:"cold_ns_per_op"`
+	FabricNsPerOp int64 `json:"fabric_ns_per_op"`
+	// Speedup is ColdNsPerOp / FabricNsPerOp.
+	Speedup float64 `json:"speedup"`
+	// SCCs is the workload's component count; WarmSCCs of them were
+	// served over the fabric in each measured run.
+	SCCs     int `json:"sccs"`
+	WarmSCCs int `json:"warm_sccs"`
+	// RemoteLoads and RemoteRoundTrips are per measured fabric run:
+	// records faulted from daemon A and HTTP exchanges needed to do it.
+	RemoteLoads      int64 `json:"remote_loads"`
+	RemoteRoundTrips int64 `json:"remote_round_trips"`
+	// ColdIters and FabricIters are the run counts behind the averages.
+	ColdIters   int `json:"cold_iters"`
+	FabricIters int `json:"fabric_iters"`
+	// OutageIdentical records the forced mid-run outage check: the peer
+	// starts 503ing partway through the prefetch, and the analysis must
+	// still return no error and a byte-identical result. OutageErrors
+	// is the store's count of failed round trips during that run
+	// (nonzero proves the outage actually hit the fabric path).
+	OutageIdentical bool  `json:"outage_identical"`
+	OutageErrors    int64 `json:"outage_errors"`
+}
+
+// MeasureFabric produces the fabric entry for the wide program with the
+// given family count.
+func MeasureFabric(families int, quick bool, progress io.Writer) (*FabricEntry, error) {
+	base := bench.WideProgramSeeded(families, 0)
+	e := &FabricEntry{Name: base.Name}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format, args...)
+		}
+	}
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+
+	baseMod, err := compileBench(base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Daemon A: an empty store behind the real HTTP handlers.
+	storeA, err := awam.NewStore()
+	if err != nil {
+		return nil, err
+	}
+	srvA, err := serve.New(serve.Config{Cache: storeA})
+	if err != nil {
+		return nil, err
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	// Prime A through the fabric itself: a cold fabric-attached run of
+	// the base program computes everything and flushes the records to A
+	// through the put handlers — exactly how a fleet member would seed
+	// its peers.
+	say("  %s/fabric: priming daemon A over the wire...\n", base.Name)
+	primer, err := cache.New(cache.WithRemoteURL(tsA.URL))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inc.NewEngine(primer).AnalyzeAll(ctx, baseMod, cfg); err != nil {
+		return nil, err
+	}
+	if st := primer.Stats(); st.RemotePuts == 0 || st.RemoteErrors != 0 {
+		return nil, fmt.Errorf("fabric: priming flush pushed %d records, %d errors",
+			st.RemotePuts, st.RemoteErrors)
+	}
+
+	coldIters, fabricIters := 3, 8
+	if quick {
+		coldIters, fabricIters = 1, 2
+	}
+	if fabricIters > families {
+		fabricIters = families
+	}
+
+	editMods := make([]*editCase, fabricIters)
+	for i := 0; i < fabricIters; i++ {
+		edited := base
+		edited.Source += fmt.Sprintf("\np%d_use(mutant_edit).\n", i)
+		mod, err := compileBench(edited)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := inc.NewEngine(nil).AnalyzeAll(ctx, mod, cfg)
+		if err != nil {
+			return nil, err
+		}
+		editMods[i] = &editCase{mod: mod, ref: ref.Result.Marshal()}
+	}
+
+	// Cold: daemon B from scratch, no store.
+	say("  %s/fabric: %d cold scratch runs...\n", base.Name, coldIters)
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < coldIters; i++ {
+		if _, err := inc.NewEngine(nil).AnalyzeAll(ctx, editMods[i%fabricIters].mod, cfg); err != nil {
+			return nil, err
+		}
+	}
+	e.ColdNsPerOp = time.Since(start).Nanoseconds() / int64(coldIters)
+	e.ColdIters = coldIters
+
+	// Fabric: every run is a fresh store — cold memory, no disk — so
+	// each one pays the full fetch-over-HTTP cost, plus one dirty cone.
+	say("  %s/fabric: %d one-edit runs through daemon A...\n", base.Name, fabricIters)
+	runtime.GC()
+	start = time.Now()
+	var lastRes *inc.Result
+	var lastStats cache.Stats
+	for i := 0; i < fabricIters; i++ {
+		storeB, err := cache.New(cache.WithRemoteURL(tsA.URL))
+		if err != nil {
+			return nil, err
+		}
+		res, err := inc.NewEngine(storeB).AnalyzeAll(ctx, editMods[i].mod, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.Result.Marshal() != editMods[i].ref {
+			return nil, fmt.Errorf("fabric: run %d differs from scratch", i)
+		}
+		lastRes, lastStats = res, storeB.Stats()
+	}
+	e.FabricNsPerOp = time.Since(start).Nanoseconds() / int64(fabricIters)
+	e.FabricIters = fabricIters
+	e.SCCs = len(lastRes.Plan.SCCs)
+	e.WarmSCCs = lastRes.WarmSCCs
+	e.RemoteLoads = lastStats.RemoteLoads
+	e.RemoteRoundTrips = lastStats.RemoteRoundTrips
+	if lastStats.RemoteErrors != 0 {
+		return nil, fmt.Errorf("fabric: healthy runs surfaced %d remote errors", lastStats.RemoteErrors)
+	}
+	if e.FabricNsPerOp > 0 {
+		e.Speedup = float64(e.ColdNsPerOp) / float64(e.FabricNsPerOp)
+	}
+
+	// Forced outage mid-run: a proxy in front of A serves exactly one
+	// round trip, then 503s — the peer dies partway through the
+	// prefetch (large programs) or before the flush (small ones). The
+	// edit is one daemon A has never seen, so the run cannot be served
+	// entirely by that first round trip. The analysis must complete
+	// with no error and a byte-identical result.
+	say("  %s/fabric: forced mid-run outage...\n", base.Name)
+	outage := base
+	outage.Source += "\np0_use(outage_edit).\n"
+	outMod, err := compileBench(outage)
+	if err != nil {
+		return nil, err
+	}
+	outRef, err := inc.NewEngine(nil).AnalyzeAll(ctx, outMod, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var served atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 1 {
+			http.Error(w, "upstream gone", http.StatusServiceUnavailable)
+			return
+		}
+		srvA.Handler().ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+	storeOut, err := cache.New(cache.WithRemoteURL(proxy.URL,
+		cache.WithRemoteRetries(0),
+		cache.WithRemoteBackoff(time.Millisecond),
+		cache.WithRemoteBreaker(2, time.Minute),
+	))
+	if err != nil {
+		return nil, err
+	}
+	res, err := inc.NewEngine(storeOut).AnalyzeAll(ctx, outMod, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: outage run surfaced an error: %w", err)
+	}
+	e.OutageIdentical = res.Result.Marshal() == outRef.Result.Marshal()
+	e.OutageErrors = storeOut.Stats().RemoteErrors
+	if !e.OutageIdentical {
+		return nil, fmt.Errorf("fabric: outage run differs from scratch")
+	}
+	if e.OutageErrors == 0 {
+		return nil, fmt.Errorf("fabric: outage did not reach the fabric path")
+	}
+	return e, nil
+}
+
+// editCase pairs a compiled edit with its scratch-analysis reference
+// output.
+type editCase struct {
+	mod *wam.Module
+	ref string
+}

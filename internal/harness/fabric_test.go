@@ -1,0 +1,29 @@
+package harness
+
+import "testing"
+
+// TestMeasureFabricSmall: the fabric measurement machinery on a small
+// wide program in quick mode — priming over the wire, byte-identity of
+// every fabric-served run, and the forced mid-run outage check all run
+// inside MeasureFabric and fail it loudly.
+func TestMeasureFabricSmall(t *testing.T) {
+	e, err := MeasureFabric(32, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "wide_32" {
+		t.Fatalf("entry name %q", e.Name)
+	}
+	if e.SCCs == 0 || e.WarmSCCs == 0 || e.WarmSCCs >= e.SCCs {
+		t.Fatalf("warm accounting: %d/%d (want part warm, part dirty)", e.WarmSCCs, e.SCCs)
+	}
+	if e.RemoteLoads == 0 || e.RemoteRoundTrips == 0 {
+		t.Fatalf("no fabric traffic: %+v", e)
+	}
+	if !e.OutageIdentical || e.OutageErrors == 0 {
+		t.Fatalf("outage check: identical=%t errors=%d", e.OutageIdentical, e.OutageErrors)
+	}
+	if e.ColdNsPerOp <= 0 || e.FabricNsPerOp <= 0 {
+		t.Fatalf("timings: cold=%d fabric=%d", e.ColdNsPerOp, e.FabricNsPerOp)
+	}
+}

@@ -15,22 +15,38 @@ import (
 // Engine runs incremental analyses against a summary store. It is
 // stateless apart from the store, so one engine can serve many modules
 // (the daemon shares one across requests); the store is safe for
-// concurrent use.
+// concurrent use. The engine sees only the composed cache.ChunkStore —
+// whether a record came from memory, disk or a fabric peer is the
+// store's business, and results are byte-identical regardless.
 type Engine struct {
-	store *cache.Store
+	store cache.ChunkStore
 }
 
 // NewEngine returns an engine over store; a nil store gets a private
 // in-memory store with the default budget.
-func NewEngine(store *cache.Store) *Engine {
+func NewEngine(store cache.ChunkStore) *Engine {
 	if store == nil {
-		store, _ = cache.NewStore(0, "") // memory-only construction cannot fail
+		store, _ = cache.New() // memory-only construction cannot fail
 	}
 	return &Engine{store: store}
 }
 
 // Store exposes the engine's summary store (for stats and tests).
-func (e *Engine) Store() *cache.Store { return e.store }
+func (e *Engine) Store() cache.ChunkStore { return e.store }
+
+// prefetcher is the optional batch-fault hook of tiered stores: given
+// the run's full fingerprint set up front, a fabric-backed store can
+// fetch every remotely-cached component in a few batched round trips
+// instead of one per Get.
+type prefetcher interface {
+	Prefetch(fps []cache.Fingerprint)
+}
+
+// flusher is the optional end-of-run hook that ships this run's novel
+// records to the fabric peer in batches.
+type flusher interface {
+	Flush()
+}
 
 // Result is an incremental analysis outcome: the core result (whose
 // Entries/Marshal are byte-identical to a from-scratch worklist run)
@@ -84,6 +100,9 @@ func (e *Engine) AnalyzeAll(ctx context.Context, mod *wam.Module, cfg core.Confi
 		return nil, err
 	}
 	e.storeRecords(plan, mod.Tab, res, cached)
+	if f, ok := e.store.(flusher); ok {
+		f.Flush()
+	}
 
 	after := e.store.Stats()
 	if res.Metrics != nil {
@@ -91,6 +110,11 @@ func (e *Engine) AnalyzeAll(ctx context.Context, mod *wam.Module, cfg core.Confi
 		res.Metrics.CacheMisses = after.Misses - before.Misses
 		res.Metrics.CacheEvictions = after.Evictions - before.Evictions
 		res.Metrics.CacheBytes = after.Bytes
+		res.Metrics.RemoteLoads = after.RemoteLoads - before.RemoteLoads
+		res.Metrics.RemoteMisses = after.RemoteMisses - before.RemoteMisses
+		res.Metrics.RemotePuts = after.RemotePuts - before.RemotePuts
+		res.Metrics.RemoteRoundTrips = after.RemoteRoundTrips - before.RemoteRoundTrips
+		res.Metrics.RemoteErrors = after.RemoteErrors - before.RemoteErrors
 	}
 	return &Result{Result: res, Plan: plan, WarmSCCs: len(cached), Store: after}, nil
 }
@@ -163,6 +187,13 @@ type cachedSCC struct {
 // this gate guarantees it is *available*.) Returns nil when nothing is
 // served, so cold runs skip warm probes entirely.
 func (e *Engine) loadWarm(tab *term.Tab, plan *Plan) (*warmTable, map[int]*cachedSCC) {
+	if p, ok := e.store.(prefetcher); ok {
+		fps := make([]cache.Fingerprint, len(plan.SCCs))
+		for i, scc := range plan.SCCs {
+			fps[i] = cache.Fingerprint(scc.Fingerprint)
+		}
+		p.Prefetch(fps)
+	}
 	cached := make(map[int]*cachedSCC)
 	w := &warmTable{seeds: make(map[term.Functor]map[string]*warmSeed)}
 	served := make([]bool, len(plan.SCCs))

@@ -7,12 +7,15 @@
 // Endpoints (versioned under /v1; the request and response types live
 // in the importable awam/api package):
 //
-//	POST /v1/analyze   {"source": "...", "timeout_ms"?, "max_steps"?, "depth"?}
-//	                   -> per-predicate summaries + run stats + cache stats
-//	POST /v1/optimize  {"source": "...", "passes"?, "gate_goals"?, ...}
-//	                   -> differentially-gated optimizer report (+ disasm)
-//	GET  /v1/healthz   -> {"status":"ok"}
-//	GET  /v1/metrics   -> Prometheus text exposition
+//	POST /v1/analyze    {"source": "...", "timeout_ms"?, "max_steps"?, "depth"?}
+//	                    -> per-predicate summaries + run stats + cache stats
+//	POST /v1/optimize   {"source": "...", "passes"?, "gate_goals"?, ...}
+//	                    -> differentially-gated optimizer report (+ disasm)
+//	POST /v1/store/has  batched summary-fabric presence probe (store.go)
+//	POST /v1/store/get  batched record fetch
+//	POST /v1/store/put  batched record push
+//	GET  /v1/healthz    -> {"status":"ok"}
+//	GET  /v1/metrics    -> Prometheus text exposition
 //
 // The original unversioned routes (/analyze, /healthz, /metrics) remain
 // as thin aliases of their /v1 counterparts.
@@ -54,11 +57,18 @@ type (
 // Config parameterizes a Server. The zero value is usable: defaults are
 // filled by New.
 type Config struct {
-	// Cache is the shared summary cache; nil gets a private in-memory
-	// cache with the default budget.
-	Cache *awam.SummaryCache
+	// Cache is the shared summary store; nil gets a private in-memory
+	// store with the default budget. Configure it with awam.WithRemote
+	// to make this daemon a fabric member that pulls from and pushes to
+	// a peer.
+	Cache awam.Store
 	// MaxBodyBytes caps the /analyze request body (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxStoreBodyBytes caps /v1/store request bodies, which carry
+	// record batches and so run larger than analyze bodies (default
+	// 32 MiB). MaxRecordBytes caps one record within a batch (default
+	// 4 MiB); oversized records are skipped, not failed.
+	MaxStoreBodyBytes, MaxRecordBytes int64
 	// MaxConcurrent bounds simultaneously running analyses (default 4);
 	// excess requests wait for a slot until their deadline.
 	MaxConcurrent int
@@ -77,17 +87,19 @@ type Config struct {
 // Handler.
 type Server struct {
 	cfg   Config
-	cache *awam.SummaryCache
+	cache awam.Store
 	sem   chan struct{}
 
 	mu      sync.Mutex
 	flights map[string]*flight
 
 	// Counters for /metrics.
-	requestsOK, requestsErr  atomic.Int64
-	analysesRun, analysesDup atomic.Int64
-	optimizesRun             atomic.Int64
-	inflight                 atomic.Int64
+	requestsOK, requestsErr      atomic.Int64
+	analysesRun, analysesDup     atomic.Int64
+	optimizesRun                 atomic.Int64
+	inflight                     atomic.Int64
+	storeHas, storeGet, storePut atomic.Int64
+	recordsServed, recordsStored atomic.Int64
 }
 
 // flight is one in-progress analysis shared by coalesced requests.
@@ -100,7 +112,7 @@ type flight struct {
 // New builds a server, filling config defaults.
 func New(cfg Config) (*Server, error) {
 	if cfg.Cache == nil {
-		c, err := awam.NewSummaryCache(0, "")
+		c, err := awam.NewStore()
 		if err != nil {
 			return nil, err
 		}
@@ -108,6 +120,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxStoreBodyBytes <= 0 {
+		cfg.MaxStoreBodyBytes = 32 << 20
+	}
+	if cfg.MaxRecordBytes <= 0 {
+		cfg.MaxRecordBytes = 4 << 20
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
@@ -132,6 +150,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/store/has", s.handleStoreHas)
+	mux.HandleFunc("POST /v1/store/get", s.handleStoreGet)
+	mux.HandleFunc("POST /v1/store/put", s.handleStorePut)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	// Legacy aliases, kept for pre-/v1 clients.
@@ -271,7 +292,10 @@ func (s *Server) runAnalysis(ctx context.Context, req *analyzeRequest) (*analyze
 	cs := s.cache.Stats()
 	resp.Cache = api.Cache{
 		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
-		DiskLoads: cs.DiskLoads, Entries: cs.Entries, Bytes: cs.Bytes,
+		DiskLoads: cs.DiskLoads, RemoteLoads: cs.RemoteLoads,
+		RemoteMisses: cs.RemoteMisses, RemotePuts: cs.RemotePuts,
+		RemoteRoundTrips: cs.RemoteRoundTrips, RemoteErrors: cs.RemoteErrors,
+		Degraded: cs.Degraded, Entries: cs.Entries, Bytes: cs.Bytes,
 	}
 	return resp, nil
 }
@@ -392,6 +416,14 @@ func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, body)
 }
 
+// boolGauge renders a bool as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -414,12 +446,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"awamd_analyses_coalesced_total", "Requests served by joining an identical in-flight analysis.", "counter", s.analysesDup.Load()},
 		{"awamd_optimizes_total", "Optimizer pipeline runs executed.", "counter", s.optimizesRun.Load()},
 		{"awamd_inflight_analyses", "Analyses currently running.", "gauge", s.inflight.Load()},
-		{"awamd_cache_hits_total", "Summary-cache record hits.", "counter", cs.Hits},
-		{"awamd_cache_misses_total", "Summary-cache record misses.", "counter", cs.Misses},
-		{"awamd_cache_evictions_total", "Summary-cache evictions.", "counter", cs.Evictions},
-		{"awamd_cache_disk_loads_total", "Summary-cache records faulted in from disk.", "counter", cs.DiskLoads},
-		{"awamd_cache_entries", "Summary-cache resident records.", "gauge", int64(cs.Entries)},
-		{"awamd_cache_bytes", "Summary-cache resident bytes.", "gauge", cs.Bytes},
+		{"awamd_cache_hits_total", "Summary-store record hits (any tier).", "counter", cs.Hits},
+		{"awamd_cache_misses_total", "Summary-store record misses.", "counter", cs.Misses},
+		{"awamd_cache_evictions_total", "Summary-store evictions.", "counter", cs.Evictions},
+		{"awamd_cache_disk_loads_total", "Summary-store records faulted in from disk.", "counter", cs.DiskLoads},
+		{"awamd_cache_remote_loads_total", "Summary-store records faulted in from the fabric peer.", "counter", cs.RemoteLoads},
+		{"awamd_cache_remote_misses_total", "Records the fabric peer was asked for but did not hold.", "counter", cs.RemoteMisses},
+		{"awamd_cache_remote_puts_total", "Records the fabric peer accepted upstream.", "counter", cs.RemotePuts},
+		{"awamd_cache_remote_round_trips_total", "Fabric protocol round trips attempted.", "counter", cs.RemoteRoundTrips},
+		{"awamd_cache_remote_errors_total", "Failed fabric exchanges (degraded to local misses).", "counter", cs.RemoteErrors},
+		{"awamd_cache_remote_breaker_opens_total", "Fabric circuit-breaker open events.", "counter", cs.BreakerOpens},
+		{"awamd_cache_remote_degraded", "1 while the fabric breaker is open (serving local tiers only).", "gauge", boolGauge(cs.Degraded)},
+		{"awamd_store_requests_total{op=\"has\"}", "Fabric protocol requests served.", "counter", s.storeHas.Load()},
+		{"awamd_store_requests_total{op=\"get\"}", "", "", s.storeGet.Load()},
+		{"awamd_store_requests_total{op=\"put\"}", "", "", s.storePut.Load()},
+		{"awamd_store_records_served_total", "Records served to fabric peers.", "counter", s.recordsServed.Load()},
+		{"awamd_store_records_stored_total", "Records accepted from fabric peers.", "counter", s.recordsStored.Load()},
+		{"awamd_cache_entries", "Summary-store resident records.", "gauge", int64(cs.Entries)},
+		{"awamd_cache_bytes", "Summary-store resident bytes.", "gauge", cs.Bytes},
 	} {
 		if m.help != "" {
 			base := m.name

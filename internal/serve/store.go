@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"awam/api"
+)
+
+// This file serves the summary-fabric protocol: batched has/get/put
+// record exchange against the daemon's summary store, under
+// /v1/store/{has,get,put}. Peer daemons' remote tiers
+// (awam.WithRemote) are the intended clients — N daemons pointing at
+// one (or at each other) share a single summary universe.
+//
+// The handlers touch the local tiers only (awam.Store's batch methods
+// are defined that way), so a cycle of daemons can never chase a
+// record around the fabric. Batches are capped at api.MaxStoreBatch;
+// individual records at Config.MaxRecordBytes.
+
+// decodeStore decodes a store request body under the store body cap,
+// writing the error response itself on failure.
+func (s *Server) decodeStore(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxStoreBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxStoreBodyBytes))
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// checkBatch enforces the protocol batch cap.
+func (s *Server) checkBatch(w http.ResponseWriter, n int) bool {
+	if n > api.MaxStoreBatch {
+		s.fail(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("batch of %d exceeds the %d-entry cap", n, api.MaxStoreBatch))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleStoreHas(w http.ResponseWriter, r *http.Request) {
+	var req api.StoreHasRequest
+	if !s.decodeStore(w, r, &req) {
+		return
+	}
+	if !s.checkBatch(w, len(req.Fingerprints)) {
+		return
+	}
+	s.storeHas.Add(1)
+	s.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, api.StoreHasResponse{Present: s.cache.Has(req.Fingerprints)})
+}
+
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	var req api.StoreGetRequest
+	if !s.decodeStore(w, r, &req) {
+		return
+	}
+	if !s.checkBatch(w, len(req.Fingerprints)) {
+		return
+	}
+	s.storeGet.Add(1)
+	resp := api.StoreGetResponse{Records: []api.StoreRecord{}}
+	for i, data := range s.cache.GetRecords(req.Fingerprints) {
+		if data == nil || int64(len(data)) > s.cfg.MaxRecordBytes {
+			continue
+		}
+		resp.Records = append(resp.Records, api.StoreRecord{
+			Fingerprint: req.Fingerprints[i], Data: data,
+		})
+	}
+	s.recordsServed.Add(int64(len(resp.Records)))
+	s.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	var req api.StorePutRequest
+	if !s.decodeStore(w, r, &req) {
+		return
+	}
+	if !s.checkBatch(w, len(req.Records)) {
+		return
+	}
+	s.storePut.Add(1)
+	fps := make([]string, 0, len(req.Records))
+	recs := make([][]byte, 0, len(req.Records))
+	for _, rec := range req.Records {
+		if int64(len(rec.Data)) > s.cfg.MaxRecordBytes {
+			continue // oversized: skipped, not failed — mirrors the client's treatment
+		}
+		fps = append(fps, rec.Fingerprint)
+		recs = append(recs, rec.Data)
+	}
+	stored := s.cache.PutRecords(fps, recs)
+	s.recordsStored.Add(int64(stored))
+	s.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, api.StorePutResponse{Stored: stored})
+}

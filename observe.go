@@ -146,6 +146,12 @@ type Metrics struct {
 	// missed (one probe per program component), records evicted by the
 	// memory budget, and the store's in-memory footprint afterwards.
 	CacheHits, CacheMisses, CacheEvictions, CacheBytes int64
+	// Remote-tier (summary fabric) traffic of this run: records faulted
+	// in from the fabric peer, records the peer did not hold, records
+	// pushed upstream, HTTP round trips, and failed exchanges (all
+	// degraded to local misses). Zero without a remote tier.
+	RemoteLoads, RemoteMisses, RemotePuts int64
+	RemoteRoundTrips, RemoteErrors        int64
 	// ExecuteTime is the fixpoint-phase wall time; FinalizeTime the
 	// deterministic presentation pass's. TableTime estimates the share
 	// of ExecuteTime spent in extension-table operations (sampled).
@@ -180,6 +186,11 @@ func (a *Analysis) Metrics() Metrics {
 		CacheMisses:      cm.CacheMisses,
 		CacheEvictions:   cm.CacheEvictions,
 		CacheBytes:       cm.CacheBytes,
+		RemoteLoads:      cm.RemoteLoads,
+		RemoteMisses:     cm.RemoteMisses,
+		RemotePuts:       cm.RemotePuts,
+		RemoteRoundTrips: cm.RemoteRoundTrips,
+		RemoteErrors:     cm.RemoteErrors,
 		ExecuteTime:      cm.ExecuteTime,
 		TableTime:        cm.TableTime,
 		FinalizeTime:     cm.FinalizeTime,
