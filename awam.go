@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"awam/internal/compiler"
@@ -37,6 +38,7 @@ import (
 	"awam/internal/optimize"
 	"awam/internal/parser"
 	"awam/internal/plmeta"
+	"awam/internal/specialize"
 	"awam/internal/term"
 	"awam/internal/transform"
 	"awam/internal/wam"
@@ -69,6 +71,30 @@ type System struct {
 	tab  *term.Tab
 	prog *term.Program
 	mod  *wam.Module
+
+	// spec is the per-SCC specialized transfer program, built lazily on
+	// the first specialized Analyze and shared by all later analyses of
+	// this System (it depends only on the compiled code, not on analysis
+	// options).
+	specOnce sync.Once
+	spec     *specialize.Program
+}
+
+// specProgram builds (once) the specialized abstract transfer streams
+// for this System's code: the module's condensation supplies the SCC
+// components, a static opcode profile picks the fusion set, and
+// pre-interning is enabled.
+func (s *System) specProgram() *specialize.Program {
+	s.specOnce.Do(func() {
+		plan := inc.Condense(s.mod, core.Config{})
+		comps := make([][]term.Functor, len(plan.SCCs))
+		for i, scc := range plan.SCCs {
+			comps[i] = scc.Members
+		}
+		s.spec = specialize.Build(s.mod, comps, specialize.StaticProfile(s.mod),
+			specialize.Options{Fuse: true, PreIntern: true})
+	})
+	return s.spec
 }
 
 // Load parses and compiles Prolog source text. Unreadable source fails
@@ -181,6 +207,9 @@ type analyzeCfg struct {
 	// deliberate conflicting pick.
 	cache       Store
 	strategySet bool
+	// specOff disables the specialized transfer streams (they default
+	// on; see WithSpecializedTransfer).
+	specOff bool
 	// err records the first invalid option; Analyze surfaces it instead
 	// of running with a silently clamped configuration.
 	err error
@@ -322,6 +351,19 @@ func WithEntry(pattern string) AnalyzeOption {
 	return func(c *analyzeCfg) { c.entry = pattern }
 }
 
+// WithSpecializedTransfer toggles the per-SCC specialized abstract
+// transfer streams (on by default). When on, the analysis executes each
+// component's clauses from a flattened instruction stream with fused
+// superinstructions and pre-resolved intra-SCC calls instead of the
+// generic abstract-WAM switch; results — summaries, Marshal bytes, step
+// counts, opcode histograms — are byte-identical either way, only the
+// wall time differs. The specialization is built once per System and
+// reused across analyses. A WithTracer analysis always runs the generic
+// engine (the trace callbacks observe individual generic instructions).
+func WithSpecializedTransfer(on bool) AnalyzeOption {
+	return func(c *analyzeCfg) { c.specOff = !on }
+}
+
 // Analysis holds a finished dataflow analysis.
 type Analysis struct {
 	sys *System
@@ -369,6 +411,9 @@ func (s *System) AnalyzeContext(ctx context.Context, opts ...AnalyzeOption) (*An
 	}
 	if c.tracer != nil {
 		c.cfg.Tracer = coreTracer{tab: s.tab, t: c.tracer}
+	}
+	if !c.specOff && c.tracer == nil {
+		c.cfg.Spec = s.specProgram()
 	}
 	if c.cache != nil && c.cache.engine() != nil {
 		if err := c.validateCacheOptions(); err != nil {

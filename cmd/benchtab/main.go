@@ -8,6 +8,7 @@
 //	benchtab -table ablation   # term-depth restriction sweep
 //	benchtab -table observe    # table traffic + working set per benchmark
 //	benchtab -table optimize   # machine-runtime speedups from the pass pipeline
+//	benchtab -table specialize # specialized transfer stream ablation
 //	benchtab -table all        # everything
 //	benchtab -quick            # smaller timing samples
 //	benchtab -json out.json    # machine-readable report (BENCH_PR3.json)
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, optimize, all")
+	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, optimize, specialize, all")
 	quick := flag.Bool("quick", false, "use short timing samples")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this file and exit")
 	label := flag.String("label", "PR3", "revision label recorded in the -json report")
@@ -105,6 +106,13 @@ func main() {
 			os.Exit(1)
 		}
 		harness.WriteOptimizeTable(os.Stdout, entries)
+	case "specialize":
+		entries, err := harness.MeasureSpecialize(*quick, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteSpecializeTable(os.Stdout, entries)
 	case "all":
 		harness.WriteTable1(os.Stdout, rows)
 		fmt.Println()

@@ -13,8 +13,26 @@ import (
 // widened to the configured term depth with var-occurrences that cross
 // the depth boundary soundly generalized.
 func (a *Analyzer) abstractArgs(fn term.Functor, argAddrs []int) *domain.Pattern {
-	conv := &abstractor{a: a, first: make(map[int]*domain.Term), ids: make(map[int]int)}
-	busy := make(map[int]bool)
+	var conv *abstractor
+	var busy map[int]bool
+	if a.specOn {
+		// The specialized engine reuses one scratch abstractor per
+		// analyzer: the maps are cleared, not reallocated (the *Term nodes
+		// escape into the pattern; the map storage does not). Behaviour is
+		// identical to the fresh-maps path.
+		if a.absScratch == nil {
+			a.absScratch = &abstractor{a: a, first: make(map[int]*domain.Term), ids: make(map[int]int)}
+			a.absBusy = make(map[int]bool)
+		}
+		conv = a.absScratch
+		clear(conv.first)
+		clear(conv.ids)
+		busy = a.absBusy
+		clear(busy)
+	} else {
+		conv = &abstractor{a: a, first: make(map[int]*domain.Term), ids: make(map[int]int)}
+		busy = make(map[int]bool)
+	}
 	args := make([]*domain.Term, len(argAddrs))
 	for i, addr := range argAddrs {
 		args[i] = conv.convert(addr, 1, busy)
@@ -199,7 +217,16 @@ func devarifyGroups(p *domain.Pattern, groups map[int]bool) *domain.Pattern {
 // types, honoring share groups (group members become the same cell).
 // It returns the root addresses.
 func (a *Analyzer) materialize(p *domain.Pattern) []int {
-	groups := make(map[int]int)
+	var groups map[int]int
+	if a.specOn {
+		if a.matGroups == nil {
+			a.matGroups = make(map[int]int)
+		}
+		groups = a.matGroups
+		clear(groups)
+	} else {
+		groups = make(map[int]int)
+	}
 	out := make([]int, len(p.Args))
 	for i, t := range p.Args {
 		out[i] = a.materializeTerm(t, groups)

@@ -10,6 +10,7 @@ import (
 
 	"awam/internal/domain"
 	"awam/internal/rt"
+	"awam/internal/specialize"
 	"awam/internal/term"
 	"awam/internal/wam"
 )
@@ -48,6 +49,14 @@ type Config struct {
 	// StrategyParallel the tracer is shared by all workers and must be
 	// safe for concurrent use.
 	Tracer Tracer
+	// Spec, when non-nil, is the specialized transfer program
+	// (internal/specialize): clauses with a specialized stream execute
+	// through the dense jump-threaded dispatch loop instead of the
+	// generic opcode switch, with results byte-identical to the generic
+	// engine (execspec.go documents the contract). Ignored when a Tracer
+	// is installed — the per-instruction trace contract requires the
+	// generic loop.
+	Spec *specialize.Program
 	// Warm, when non-nil, supplies converged summaries from a previous
 	// analysis of an unchanged program region (the incremental engine,
 	// internal/inc). Supported by StrategyWorklist only; Validate rejects
@@ -155,6 +164,24 @@ type Analyzer struct {
 	parCur   *Entry
 	specFail bool
 
+	// Specialized-engine state (execspec.go). spec mirrors cfg.Spec;
+	// specOn is set once per analysis (spec present, no tracer); specPre
+	// additionally requires Options.PreIntern (dense tables, static
+	// call-site cache, materialization plans). The pools and caches are
+	// goroutine-private, like the metrics shard.
+	spec        *specialize.Program
+	specOn      bool
+	specPre     bool
+	staticCalls []staticPat
+	matPlans    []*matPlan
+	envPool     [][]rt.Cell
+	argPool     [][]int
+	absScratch  *abstractor
+	absBusy     map[int]bool
+	matGroups   map[int]int
+	selCache    [][]int
+	selDone     []bool
+
 	// Observability state (observe.go). met is this goroutine's private
 	// counter shard (never nil); tr mirrors cfg.Tracer. attrFn/attrStart
 	// attribute step deltas to predicates at exploration boundaries.
@@ -258,6 +285,12 @@ func (a *Analyzer) mergeSumm(succID, spID domain.PatternID) (domain.PatternID, *
 }
 
 func (a *Analyzer) newTable() Table {
+	if a.specPre {
+		// Pre-interning guarantees dense IDs drive every lookup, so the
+		// table can be an ID-indexed slice (dense.go); same contract and
+		// entry order as the linear table.
+		return NewDenseTable()
+	}
 	if a.cfg.Table == TableHash {
 		return NewHashTable()
 	}
@@ -363,6 +396,9 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 		default:
 		}
 	}
+	a.spec = a.cfg.Spec
+	a.specOn = a.spec != nil && a.tr == nil
+	a.specPre = a.specOn && a.spec.Opts.PreIntern
 	switch a.cfg.Strategy {
 	case StrategyWorklist:
 		return a.analyzeWorklist(entries)
@@ -383,7 +419,11 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 			a.tr.Iteration(a.Iterations)
 		}
 		a.noteHeap()
-		a.h = rt.NewHeap()
+		if a.specOn && a.h != nil {
+			a.h.Reset()
+		} else {
+			a.h = rt.NewHeap()
+		}
 		for _, e := range entries {
 			a.solve(e.Canonical())
 			if a.err != nil {
@@ -455,7 +495,17 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	id := a.intern(cp)
+	succ, _ := a.solveNaiveID(cp, a.intern(cp))
+	return succ
+}
+
+// solveNaiveID is solve's naive-strategy core over a pre-interned
+// calling pattern, returning the success pattern with its interned ID
+// (the specialized engine's solveID keeps IDs flowing end to end).
+func (a *Analyzer) solveNaiveID(cp *domain.Pattern, id domain.PatternID) (*domain.Pattern, domain.PatternID) {
+	if a.err != nil {
+		return nil, domain.BottomID
+	}
 	t0, timed := a.met.sampleTable()
 	e := a.table.Get(id)
 	a.met.doneTable(t0, timed)
@@ -468,7 +518,7 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 			// Memoized for this iteration (possibly in-flight: a
 			// recursive call sees the last known success pattern).
 			e.Lookups++
-			return e.Succ
+			return e.Succ, e.succID
 		}
 	} else {
 		e = &Entry{ID: id, CP: a.in.Pattern(id)}
@@ -486,22 +536,22 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 	if proc == nil {
 		// Undefined predicates fail (and were warned about at compile
 		// time); their success pattern stays bottom.
-		return e.Succ
+		return e.Succ, e.succID
 	}
 
 	a.met.predRuns[cp.Fn]++
 	prevFn := a.attrSwitch(cp.Fn)
 	defer a.attrRestore(prevFn)
-	for _, clauseAddr := range a.selectClauses(proc, cp) {
+	for _, clauseAddr := range a.selectClausesEntry(proc, cp, id) {
 		mark := a.h.Mark()
-		argAddrs := a.materialize(cp)
+		argAddrs := a.materializeEntry(e.CP, id)
 		a.ensureX(cp.Fn.Arity)
 		for i, addr := range argAddrs {
 			a.x[i+1] = rt.MkRef(addr)
 		}
-		ok := a.runClause(clauseAddr)
+		ok := a.run(clauseAddr)
 		if a.err != nil {
-			return nil
+			return nil, domain.BottomID
 		}
 		if ok {
 			sp := a.abstractArgs(cp.Fn, argAddrs)
@@ -527,7 +577,7 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 		// clause regardless of success.
 		a.h.Undo(mark)
 	}
-	return e.Succ
+	return e.Succ, e.succID
 }
 
 // selectClauses returns the clause addresses to explore for cp,

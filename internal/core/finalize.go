@@ -64,16 +64,43 @@ type summaryOracle interface {
 }
 
 // finState is the finalize-pass bookkeeping; solve dispatches on it.
+// The presentation index is a map by default; pre-interning
+// specialization uses the dense ID-indexed slice instead (useDense).
 type finState struct {
-	oracle summaryOracle
-	index  map[domain.PatternID]*Entry
-	order  []*Entry
+	oracle   summaryOracle
+	index    map[domain.PatternID]*Entry
+	dense    []*Entry
+	useDense bool
+	order    []*Entry
 	// cur is the entry whose clauses (or cached trace) are being
 	// replayed; consultations are recorded on it, deduplicated through
 	// the entry's finSeen scratch (first occurrences only — repeats are
 	// no-ops for discovery, so replaying first sights reproduces the
 	// order).
 	cur *Entry
+}
+
+// get returns the presented entry for id, or nil.
+func (f *finState) get(id domain.PatternID) *Entry {
+	if f.useDense {
+		if int(id) < len(f.dense) {
+			return f.dense[id]
+		}
+		return nil
+	}
+	return f.index[id]
+}
+
+// put records a presented entry under its ID.
+func (f *finState) put(id domain.PatternID, e *Entry) {
+	if f.useDense {
+		for int(id) >= len(f.dense) {
+			f.dense = append(f.dense, nil)
+		}
+		f.dense[id] = e
+		return
+	}
+	f.index[id] = e
 }
 
 // consult records that the current entry's replay consulted id.
@@ -112,8 +139,9 @@ func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]
 	a.attrFn = term.Functor{}
 	a.attrStart = 0
 	a.fin = &finState{
-		oracle: oracle,
-		index:  make(map[domain.PatternID]*Entry),
+		oracle:   oracle,
+		index:    make(map[domain.PatternID]*Entry),
+		useDense: a.specPre,
 	}
 	defer func() {
 		a.fin = nil
@@ -123,8 +151,14 @@ func (a *Analyzer) finalize(entries []*domain.Pattern, oracle summaryOracle) ([]
 		a.attrFn, a.attrStart = savedAttrFn, savedAttrStart
 	}()
 	for _, cp := range entries {
-		// Top level: nothing survives between explorations.
-		a.h = rt.NewHeap()
+		// Top level: nothing survives between explorations (the
+		// specialized engine reuses heap capacity via Reset; the parallel
+		// driver reaches here with a nil heap of its own).
+		if a.specOn && a.h != nil {
+			a.h.Reset()
+		} else {
+			a.h = rt.NewHeap()
+		}
 		a.solveFin(cp.Canonical())
 		if a.err != nil {
 			return nil, a.err
@@ -147,11 +181,20 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	id := a.intern(cp)
-	if e := a.fin.index[id]; e != nil {
+	succ, _ := a.solveFinID(cp, a.intern(cp))
+	return succ
+}
+
+// solveFinID is solveFin's core over a pre-interned calling pattern;
+// see solveNaiveID.
+func (a *Analyzer) solveFinID(cp *domain.Pattern, id domain.PatternID) (*domain.Pattern, domain.PatternID) {
+	if a.err != nil {
+		return nil, domain.BottomID
+	}
+	if e := a.fin.get(id); e != nil {
 		e.Lookups++
 		a.fin.consult(id, e.CP)
-		return e.Succ
+		return e.Succ, e.succID
 	}
 	e := &Entry{ID: id, CP: a.in.Pattern(id)}
 	a.fin.consult(id, e.CP)
@@ -166,7 +209,7 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 			e.Succ = a.in.Pattern(spID)
 			e.succID = spID
 			e.warm = true
-			a.fin.index[id] = e
+			a.fin.put(id, e)
 			a.fin.order = append(a.fin.order, e)
 			prev := a.fin.cur
 			a.fin.cur = e
@@ -177,7 +220,7 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 				}
 			}
 			a.fin.cur = prev
-			return e.Succ
+			return e.Succ, e.succID
 		}
 	}
 	if oe := a.fin.oracle.Get(id); oe != nil {
@@ -188,13 +231,13 @@ func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
 		// a convergence bug surfaces as imprecision, not silence.
 		a.warnOnce("core: finalize: calling pattern missing from converged table: " + cp.String(a.tab))
 	}
-	a.fin.index[id] = e
+	a.fin.put(id, e)
 	a.fin.order = append(a.fin.order, e)
 	prev := a.fin.cur
 	a.fin.cur = e
 	a.exploreFin(e)
 	a.fin.cur = prev
-	return e.Succ
+	return e.Succ, e.succID
 }
 
 // exploreFin runs the entry's clauses once against the converged
@@ -209,14 +252,14 @@ func (a *Analyzer) exploreFin(e *Entry) {
 		return
 	}
 	accID := domain.BottomID
-	for _, clauseAddr := range a.selectClauses(proc, e.CP) {
+	for _, clauseAddr := range a.selectClausesEntry(proc, e.CP, e.ID) {
 		mark := a.h.Mark()
-		argAddrs := a.materialize(e.CP)
+		argAddrs := a.materializeEntry(e.CP, e.ID)
 		a.ensureX(e.CP.Fn.Arity)
 		for i, addr := range argAddrs {
 			a.x[i+1] = rt.MkRef(addr)
 		}
-		ok := a.runClause(clauseAddr)
+		ok := a.run(clauseAddr)
 		if a.err != nil {
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"awam/internal/specialize"
 	"awam/internal/term"
 	"awam/internal/wam"
 )
@@ -77,6 +78,13 @@ type Metrics struct {
 	// Opcodes is the per-opcode execution histogram; its sum equals
 	// Result.Steps.
 	Opcodes [wam.NumOps]int64
+	// FusedOps counts executed fused superinstructions (Config.Spec with
+	// fusion on). Each fused execution also charged its base opcodes to
+	// Opcodes — one anchor plus two unify slots, see
+	// specialize.FusedKindBases — so the Opcodes sum still equals
+	// Result.Steps and stays comparable across engines; FusedOps reports
+	// how many of those base triples ran through a single fused word.
+	FusedOps [specialize.NumFusedKinds]int64
 	// Extension-table operation counts. A lookup that finds an entry is
 	// a hit; a miss is immediately followed by an insert; an update is
 	// a success-pattern growth.
@@ -133,6 +141,7 @@ type metricsShard struct {
 	predSteps map[term.Functor]int64
 	predRuns  map[term.Functor]int64
 	opcodes   [wam.NumOps]int64
+	fusedOps  [specialize.NumFusedKinds]int64
 
 	hits, misses, inserts, updates, enqueues int64
 
@@ -183,6 +192,9 @@ func (m *metricsShard) merge(other *metricsShard) {
 	}
 	for i := range other.opcodes {
 		m.opcodes[i] += other.opcodes[i]
+	}
+	for i := range other.fusedOps {
+		m.fusedOps[i] += other.fusedOps[i]
 	}
 	m.hits += other.hits
 	m.misses += other.misses
@@ -299,6 +311,7 @@ func (a *Analyzer) buildMetrics(workers []*Analyzer, execute, finalize time.Dura
 		TableTime:      a.met.tableTime,
 		FinalizeTime:   finalize,
 	}
+	m.FusedOps = a.met.fusedOps
 	m.InternedPatterns, m.InternedTerms = a.in.Size()
 	m.HeapHighWater = a.heapHW
 	for i, w := range workers {
@@ -373,6 +386,19 @@ func (m *Metrics) Render(tab *term.Tab) string {
 	})
 	for _, o := range ops {
 		fmt.Fprintf(&b, "  %-24s %10d\n", o.op.String(), o.n)
+	}
+	var fusedTotal int64
+	for _, n := range m.FusedOps {
+		fusedTotal += n
+	}
+	if fusedTotal > 0 {
+		b.WriteString("fused superinstructions (base opcodes above include these):\n")
+		for k, n := range m.FusedOps {
+			if n > 0 {
+				fmt.Fprintf(&b, "  %-24s %10d  (= %s)\n",
+					specialize.FusedKindName(k), n, specialize.FusedKindBases(k))
+			}
+		}
 	}
 	return b.String()
 }

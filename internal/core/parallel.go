@@ -35,9 +35,11 @@ import (
 //     under-instantiated arguments are explored like any other and
 //     simply go unused by finalize.
 
-// parState is the shared state of one parallel analysis.
+// parState is the shared state of one parallel analysis. The table is
+// map-sharded by default; pre-interning specialization swaps in the
+// dense ID-indexed variant (dense.go), same contract.
 type parState struct {
-	table *ShardedTable
+	table parTable
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -149,6 +151,9 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 	*a.budget = a.cfg.MaxSteps
 	a.allow = 0
 	ps := newParState(n)
+	if a.specPre {
+		ps.table = NewDenseShardedTable()
+	}
 	execStart := time.Now()
 
 	seeds := make([]*domain.Pattern, len(entries))
@@ -169,8 +174,18 @@ func (a *Analyzer) analyzeParallel(entries []*domain.Pattern) (*Result, error) {
 			par: ps, h: rt.NewHeap(), x: make([]rt.Cell, 16),
 			met: newMetricsShard(), tr: a.tr, budget: a.budget,
 			// The interner is shared (concurrent, leaf-level lock); the
-			// memo is per-worker and folded in after the barrier.
+			// memo is per-worker and folded in after the barrier, and so
+			// are the specialized engine's caches and pools (execspec.go).
 			in: a.in, memo: domain.NewMemo(),
+			// Workers run the fused flattened streams but NOT the
+			// pre-interning machinery: its caches (materialize plans,
+			// clause-selection memos, static call sites) are per-engine
+			// state that every worker would rebuild privately, and the
+			// duplicated memory traffic measurably outweighs the saved
+			// interner round-trips under the parallel schedule. The
+			// sequential finalize replay (run on the parent analyzer,
+			// which keeps specPre) still gets the full benefit.
+			spec: a.spec, specOn: a.specOn, specPre: false,
 		}
 		workers[i] = w
 		wg.Add(1)
@@ -264,7 +279,16 @@ func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	id := a.intern(cp)
+	succ, _ := a.solveParID(cp, a.intern(cp))
+	return succ
+}
+
+// solveParID is solvePar's core over a pre-interned calling pattern;
+// the summary and its ID are snapshotted under the same entry lock.
+func (a *Analyzer) solveParID(cp *domain.Pattern, id domain.PatternID) (*domain.Pattern, domain.PatternID) {
+	if a.err != nil {
+		return nil, domain.BottomID
+	}
 	t0, timed := a.met.sampleTable()
 	e, created := a.par.table.GetOrAdd(id, a.in.Pattern(id))
 	a.met.doneTable(t0, timed)
@@ -292,9 +316,9 @@ func (a *Analyzer) solvePar(cp *domain.Pattern) *domain.Pattern {
 		// in-flight summary must rerun when the summary grows.
 		e.deps[a.parCur.ID] = a.parCur
 	}
-	succ := e.Succ
+	succ, succID := e.Succ, e.succID
 	e.mu.Unlock()
-	return succ
+	return succ, succID
 }
 
 // explorePar runs the entry's clauses once, merging clause successes
@@ -311,15 +335,15 @@ func (w *Analyzer) explorePar(e *Entry) {
 	if proc == nil {
 		return
 	}
-	for _, clauseAddr := range w.selectClauses(proc, e.CP) {
+	for _, clauseAddr := range w.selectClausesEntry(proc, e.CP, e.ID) {
 		mark := w.h.Mark()
-		argAddrs := w.materialize(e.CP)
+		argAddrs := w.materializeEntry(e.CP, e.ID)
 		w.ensureX(e.CP.Fn.Arity)
 		for i, addr := range argAddrs {
 			w.x[i+1] = rt.MkRef(addr)
 		}
 		w.specFail = false
-		ok := w.runClause(clauseAddr)
+		ok := w.run(clauseAddr)
 		if w.err != nil {
 			return
 		}

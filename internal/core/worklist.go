@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"awam/internal/domain"
@@ -40,29 +41,84 @@ const (
 // interned calling-pattern IDs.
 type wlState struct {
 	// dependents[id] = set of entry IDs whose exploration consulted id
-	// and must be revisited when its success pattern grows.
+	// and must be revisited when its success pattern grows. Under
+	// pre-interning specialization (dense) the outer map becomes an
+	// ID-indexed slice, and so do the exploring and queued marks — the
+	// set contents and iteration behaviour are unchanged.
 	dependents map[domain.PatternID]map[domain.PatternID]bool
+	depSlots   []map[domain.PatternID]bool
 	// exploring marks in-flight entries (recursive calls read their
 	// current success pattern instead of re-entering).
-	exploring map[domain.PatternID]bool
+	exploring     map[domain.PatternID]bool
+	exploringBits []bool
 	// queued marks entries already on the worklist.
-	queued map[domain.PatternID]bool
-	queue  []*Entry
+	queued     map[domain.PatternID]bool
+	queuedBits []bool
+	dense      bool
+	queue      []*Entry
 	// current is the entry being explored (dependency recording).
 	current *Entry
 	// explorations counts exploreWL runs (reported as Iterations).
 	explorations int
 }
 
-func newWLState() *wlState {
-	return &wlState{
-		dependents: make(map[domain.PatternID]map[domain.PatternID]bool),
-		exploring:  make(map[domain.PatternID]bool),
-		queued:     make(map[domain.PatternID]bool),
+func newWLState(dense bool) *wlState {
+	w := &wlState{dense: dense}
+	if !dense {
+		w.dependents = make(map[domain.PatternID]map[domain.PatternID]bool)
+		w.exploring = make(map[domain.PatternID]bool)
+		w.queued = make(map[domain.PatternID]bool)
 	}
+	return w
+}
+
+func growBits(s []bool, id domain.PatternID) []bool {
+	for int(id) >= len(s) {
+		s = append(s, make([]bool, 64)...)
+	}
+	return s
+}
+
+func (w *wlState) isExploring(id domain.PatternID) bool {
+	if w.dense {
+		return int(id) < len(w.exploringBits) && w.exploringBits[id]
+	}
+	return w.exploring[id]
+}
+
+func (w *wlState) setExploring(id domain.PatternID, v bool) {
+	if w.dense {
+		w.exploringBits = growBits(w.exploringBits, id)
+		w.exploringBits[id] = v
+		return
+	}
+	w.exploring[id] = v
+}
+
+// deps returns id's dependent set (nil when none recorded).
+func (w *wlState) deps(id domain.PatternID) map[domain.PatternID]bool {
+	if w.dense {
+		if int(id) < len(w.depSlots) {
+			return w.depSlots[id]
+		}
+		return nil
+	}
+	return w.dependents[id]
 }
 
 func (w *wlState) addDep(on, dependent domain.PatternID) {
+	if w.dense {
+		for int(on) >= len(w.depSlots) {
+			w.depSlots = append(w.depSlots, make([]map[domain.PatternID]bool, 64)...)
+		}
+		m := w.depSlots[on]
+		if m == nil {
+			m = make(map[domain.PatternID]bool)
+			w.depSlots[on] = m
+		}
+		m[dependent] = true
+		return
+	}
 	m := w.dependents[on]
 	if m == nil {
 		m = make(map[domain.PatternID]bool)
@@ -74,12 +130,31 @@ func (w *wlState) addDep(on, dependent domain.PatternID) {
 // enqueue schedules e, reporting whether it was newly added (false when
 // already queued — the observability layer counts real insertions only).
 func (w *wlState) enqueue(e *Entry) bool {
+	if w.dense {
+		w.queuedBits = growBits(w.queuedBits, e.ID)
+		if w.queuedBits[e.ID] {
+			return false
+		}
+		w.queuedBits[e.ID] = true
+		w.queue = append(w.queue, e)
+		return true
+	}
 	if w.queued[e.ID] {
 		return false
 	}
 	w.queued[e.ID] = true
 	w.queue = append(w.queue, e)
 	return true
+}
+
+// setQueued clears (or sets) the queued mark at pop time.
+func (w *wlState) setQueued(id domain.PatternID, v bool) {
+	if w.dense {
+		w.queuedBits = growBits(w.queuedBits, id)
+		w.queuedBits[id] = v
+		return
+	}
+	w.queued[id] = v
 }
 
 // analyzeWorklist is the worklist driver, the counterpart of analyze().
@@ -89,7 +164,7 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 	a.err = nil
 	*a.budget = a.cfg.MaxSteps
 	a.allow = 0
-	a.wl = newWLState()
+	a.wl = newWLState(a.specPre)
 	a.h = rt.NewHeap()
 	execStart := time.Now()
 	for _, cp := range entries {
@@ -101,10 +176,17 @@ func (a *Analyzer) analyzeWorklist(entries []*domain.Pattern) (*Result, error) {
 	for len(a.wl.queue) > 0 {
 		e := a.wl.queue[0]
 		a.wl.queue = a.wl.queue[1:]
-		a.wl.queued[e.ID] = false
-		// Top level: nothing survives between explorations.
+		a.wl.setQueued(e.ID, false)
+		// Top level: nothing survives between explorations. The
+		// specialized engine reuses the heap's capacity (Reset) instead of
+		// reallocating; Reset truncates cells and trail, so the two are
+		// observationally identical for a fresh exploration.
 		a.noteHeap()
-		a.h = rt.NewHeap()
+		if a.specOn {
+			a.h.Reset()
+		} else {
+			a.h = rt.NewHeap()
+		}
 		a.exploreWL(e)
 		if a.err != nil {
 			return nil, a.err
@@ -144,7 +226,16 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 	if a.err != nil {
 		return nil
 	}
-	id := a.intern(cp)
+	succ, _ := a.solveWLID(cp, a.intern(cp))
+	return succ
+}
+
+// solveWLID is solveWL's core over a pre-interned calling pattern; see
+// solveNaiveID.
+func (a *Analyzer) solveWLID(cp *domain.Pattern, id domain.PatternID) (*domain.Pattern, domain.PatternID) {
+	if a.err != nil {
+		return nil, domain.BottomID
+	}
 	t0, timed := a.met.sampleTable()
 	e := a.table.Get(id)
 	a.met.doneTable(t0, timed)
@@ -187,7 +278,7 @@ func (a *Analyzer) solveWL(cp *domain.Pattern) *domain.Pattern {
 		// own in-flight summary must rerun when the summary grows.
 		a.wl.addDep(id, a.wl.current.ID)
 	}
-	return e.Succ
+	return e.Succ, e.succID
 }
 
 // exploreWL runs the entry's clauses once, lubbing success patterns and
@@ -197,13 +288,13 @@ func (a *Analyzer) exploreWL(e *Entry) {
 		// Seeded entries are converged by construction; nothing to run.
 		return
 	}
-	if a.wl.exploring[e.ID] {
+	if a.wl.isExploring(e.ID) {
 		// Recursive occurrence: the caller proceeds with the current
 		// success pattern; a self-dependency has been recorded, so the
 		// entry is revisited if it grows.
 		return
 	}
-	a.wl.exploring[e.ID] = true
+	a.wl.setExploring(e.ID, true)
 	a.wl.explorations++
 	a.met.predRuns[e.CP.Fn]++
 	prev := a.wl.current
@@ -212,21 +303,21 @@ func (a *Analyzer) exploreWL(e *Entry) {
 	defer func() {
 		a.attrRestore(prevFn)
 		a.wl.current = prev
-		a.wl.exploring[e.ID] = false
+		a.wl.setExploring(e.ID, false)
 	}()
 
 	proc := a.mod.Proc(e.CP.Fn)
 	if proc == nil {
 		return
 	}
-	for _, clauseAddr := range a.selectClauses(proc, e.CP) {
+	for _, clauseAddr := range a.selectClausesEntry(proc, e.CP, e.ID) {
 		mark := a.h.Mark()
-		argAddrs := a.materialize(e.CP)
+		argAddrs := a.materializeEntry(e.CP, e.ID)
 		a.ensureX(e.CP.Fn.Arity)
 		for i, addr := range argAddrs {
 			a.x[i+1] = rt.MkRef(addr)
 		}
-		ok := a.runClause(clauseAddr)
+		ok := a.run(clauseAddr)
 		if a.err != nil {
 			return
 		}
@@ -243,7 +334,20 @@ func (a *Analyzer) exploreWL(e *Entry) {
 					if a.tr != nil {
 						a.tr.Table(e.CP.Fn, TableUpdate)
 					}
-					for dep := range a.wl.dependents[e.ID] {
+					// Enqueue dependents in ascending ID order (not map
+					// iteration order): interned IDs are assigned
+					// deterministically by the sequential engine, so this
+					// makes the exploration schedule — and with it Steps
+					// and the opcode histogram — a stable quantity,
+					// directly comparable between runs and between the
+					// generic and specialized engines.
+					deps := a.wl.deps(e.ID)
+					ids := make([]domain.PatternID, 0, len(deps))
+					for dep := range deps {
+						ids = append(ids, dep)
+					}
+					sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+					for _, dep := range ids {
 						if de := a.table.Get(dep); de != nil && a.wl.enqueue(de) {
 							a.met.enqueues++
 							if a.tr != nil {

@@ -75,6 +75,10 @@ type BenchReport struct {
 	// versus a scratch run, plus the forced-outage identity check
 	// (absent before the fabric existed).
 	Fabric []FabricEntry `json:"fabric,omitempty"`
+	// Specialize holds the specialized-transfer-stream ablation
+	// (off / flatten / fuse / full; absent before the specializer
+	// existed).
+	Specialize []SpecializeEntry `json:"specialize,omitempty"`
 }
 
 // benchConfigs are the engine configurations the JSON report sweeps on
@@ -237,6 +241,11 @@ func MeasureBenchJSON(label string, quick bool, seed int64, progress io.Writer) 
 			return nil, err
 		}
 		rep.Fabric = append(rep.Fabric, *fe)
+		se, err := MeasureSpecialize(quick, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.Specialize = se
 	}
 	return rep, nil
 }

@@ -74,7 +74,17 @@ func configContext(cfg core.Config) string {
 	if depth == 0 {
 		depth = 4
 	}
-	return fmt.Sprintf("depth=%d indexing=%t", depth, cfg.Indexing)
+	ctx := fmt.Sprintf("depth=%d indexing=%t", depth, cfg.Indexing)
+	if cfg.Spec != nil {
+		// Specialized runs are salted with the specialization version and
+		// the per-component fusion-set hash: results are byte-identical to
+		// generic runs by construction, but a record produced by one
+		// engine generation must never satisfy a lookup from another — a
+		// specializer bug would otherwise be masked by cached summaries
+		// from before (or after) the bug.
+		ctx += " " + cfg.Spec.Salt()
+	}
+	return ctx
 }
 
 // AnalyzeAll analyzes mod the way core's AnalyzeAll does (main/0 when

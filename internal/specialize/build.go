@@ -1,0 +1,425 @@
+package specialize
+
+import (
+	"awam/internal/rt"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// maxTrackRegs bounds the static-call simulation's register file;
+// clauses using higher registers simply get no static call sites.
+const maxTrackRegs = 128
+
+// Build specializes a compiled module into per-component transfer
+// streams. comps is the module's condensation (e.g. the SCC plan's
+// member lists, in topological order); nil means one singleton
+// component per predicate in definition order. prof drives fusion
+// selection (StaticProfile(mod) when no measured histogram exists).
+//
+// Build is total: clauses the translator cannot prove straight-line
+// (unexpected opcodes, register overflow) are left unspecialized and
+// the engine falls back to the generic switch for them.
+func Build(mod *wam.Module, comps [][]term.Functor, prof *Profile, opts Options) *Program {
+	if comps == nil {
+		comps = make([][]term.Functor, 0, len(mod.Order))
+		for _, fn := range mod.Order {
+			comps = append(comps, []term.Functor{fn})
+		}
+	}
+	b := &builder{mod: mod, prof: prof, opts: opts}
+	prog := &Program{
+		Opts: opts,
+		locs: make([]Loc, len(mod.Code)),
+	}
+	for i := range prog.locs {
+		prog.locs[i] = Loc{Comp: -1, Clause: -1}
+	}
+	compOf := make(map[term.Functor]int32, len(mod.Order))
+	for ci, members := range comps {
+		for _, fn := range members {
+			compOf[fn] = int32(ci)
+		}
+	}
+	b.compOf = compOf
+	for ci, members := range comps {
+		cs := &CompStream{
+			Index:      ci,
+			Members:    members,
+			FusionMask: enabledMask(prof, members, opts),
+		}
+		b.cs = cs
+		b.cellIdx = make(map[rt.Cell]int32)
+		b.fnIdx = make(map[term.Functor]int32)
+		for _, fn := range members {
+			proc := mod.Proc(fn)
+			if proc == nil {
+				continue
+			}
+			for _, addr := range proc.Clauses {
+				if ci2 := prog.locs[addr]; ci2.Comp >= 0 {
+					continue // shared clause address already specialized
+				}
+				info, ok := b.translateClause(fn, addr)
+				if !ok {
+					continue
+				}
+				prog.locs[addr] = Loc{Comp: int32(ci), Clause: int32(len(cs.Clauses))}
+				cs.Clauses = append(cs.Clauses, info)
+			}
+		}
+		prog.Comps = append(prog.Comps, cs)
+	}
+	// Second pass: resolve call sites now that every callee's stream
+	// location is known.
+	for _, cs := range prog.Comps {
+		for i := range cs.Calls {
+			cr := &cs.Calls[i]
+			cr.Comp = -1
+			cr.Clause0 = -1
+			if ci, ok := compOf[cr.Fn]; ok {
+				cr.Comp = ci
+				if proc := mod.Proc(cr.Fn); proc != nil && len(proc.Clauses) > 0 {
+					if loc := prog.Loc(proc.Clauses[0]); loc.Comp == ci {
+						cr.Clause0 = loc.Clause
+					}
+				}
+			}
+		}
+	}
+	prog.StaticSites = b.staticSites
+	prog.Hash = hashProgram(mod.Tab, prog.Comps, opts)
+	return prog
+}
+
+type builder struct {
+	mod    *wam.Module
+	prof   *Profile
+	opts   Options
+	compOf map[term.Functor]int32
+
+	cs          *CompStream
+	cellIdx     map[rt.Cell]int32
+	fnIdx       map[term.Functor]int32
+	staticSites int
+}
+
+func (b *builder) cell(c rt.Cell) int32 {
+	if i, ok := b.cellIdx[c]; ok {
+		return i
+	}
+	i := int32(len(b.cs.Cells))
+	b.cs.Cells = append(b.cs.Cells, c)
+	b.cellIdx[c] = i
+	return i
+}
+
+func (b *builder) fn(f term.Functor) int32 {
+	if i, ok := b.fnIdx[f]; ok {
+		return i
+	}
+	i := int32(len(b.cs.Fns))
+	b.cs.Fns = append(b.cs.Fns, f)
+	b.fnIdx[f] = i
+	return i
+}
+
+// unifyCtx tracks which anchor governs the current unify run during
+// the static-call simulation: unify slots after a put build fresh
+// structure (context-independent), after a get they bind incoming
+// arguments (context-dependent).
+type unifyCtx uint8
+
+const (
+	ctxGet unifyCtx = iota
+	ctxPut
+)
+
+// translateClause compiles one clause into the current component
+// stream. It mirrors runClause's straight-line walk: from the clause
+// address to its proceed/execute/halt, bailing out (ok=false) on
+// anything else — such clauses stay on the generic switch.
+//
+// Alongside translation it runs the static-call simulation: a register
+// is static when its value was rebuilt in this clause from constants
+// and fresh variables only, so the abstracted calling pattern at a
+// call site whose arguments are all static is identical on every
+// execution. Any call, execute or builtin poisons all registers (its
+// success application may bind fresh variables reachable from them),
+// and unify runs governed by a get poison the registers they write
+// (they alias incoming subterms).
+func (b *builder) translateClause(fn term.Functor, addr int) (ClauseInfo, bool) {
+	code := b.mod.Code
+	var out []SInstr
+	maxX := 0
+	static := [maxTrackRegs]bool{}
+	trackOK := true
+	uctx := ctxGet
+
+	poisonAll := func() {
+		static = [maxTrackRegs]bool{}
+	}
+	setStatic := func(reg int, v bool) {
+		if reg >= 0 && reg < maxTrackRegs {
+			static[reg] = v
+		} else if v {
+			trackOK = false
+		}
+	}
+	isStatic := func(reg int) bool {
+		return trackOK && reg >= 0 && reg < maxTrackRegs && static[reg]
+	}
+
+	reg16 := func(n int) (uint16, bool) {
+		if n < 0 || n > 0xFFFF {
+			return 0, false
+		}
+		return uint16(n), true
+	}
+
+	for p := addr; ; p++ {
+		if p >= len(code) {
+			return ClauseInfo{}, false
+		}
+		ins := code[p]
+		if ins.A1 > maxX {
+			maxX = ins.A1
+		}
+		if ins.A2 > maxX {
+			maxX = ins.A2
+		}
+		a1, ok1 := reg16(ins.A1)
+		a2, ok2 := reg16(ins.A2)
+		if !ok1 || !ok2 {
+			return ClauseInfo{}, false
+		}
+		w := ins.Op
+		switch ins.Op {
+		case wam.OpNop:
+			out = append(out, SInstr{Op: SNop, W: w})
+
+		case wam.OpGetVarX:
+			out = append(out, SInstr{Op: SGetVarX, W: w, A: a1, B: a2})
+			setStatic(ins.A2, false)
+		case wam.OpGetVarY:
+			out = append(out, SInstr{Op: SGetVarY, W: w, A: a1, B: a2})
+		case wam.OpGetValX:
+			out = append(out, SInstr{Op: SGetValX, W: w, A: a1, B: a2})
+		case wam.OpGetValY:
+			out = append(out, SInstr{Op: SGetValY, W: w, A: a1, B: a2})
+		case wam.OpGetConst, wam.OpGetConstCmp:
+			out = append(out, SInstr{Op: SGetCell, W: w, A: a1, K: b.cell(rt.MkCon(ins.Fn.Name))})
+		case wam.OpGetInt, wam.OpGetIntCmp:
+			out = append(out, SInstr{Op: SGetCell, W: w, A: a1, K: b.cell(rt.MkInt(ins.I))})
+		case wam.OpGetNil, wam.OpGetNilCmp:
+			out = append(out, SInstr{Op: SGetCell, W: w, A: a1, K: b.cell(rt.MkCon(b.mod.Tab.Nil))})
+		case wam.OpGetList, wam.OpGetListRead:
+			out = append(out, SInstr{Op: SGetList, W: w, A: a1})
+			uctx = ctxGet
+		case wam.OpGetStruct, wam.OpGetStructRead:
+			out = append(out, SInstr{Op: SGetStruct, W: w, A: a1, K: b.fn(ins.Fn)})
+			uctx = ctxGet
+
+		case wam.OpPutVarX:
+			out = append(out, SInstr{Op: SPutVarX, W: w, A: a1, B: a2})
+			setStatic(ins.A1, true)
+			setStatic(ins.A2, true)
+		case wam.OpPutVarY:
+			out = append(out, SInstr{Op: SPutVarY, W: w, A: a1, B: a2})
+			setStatic(ins.A1, true)
+		case wam.OpPutValX:
+			out = append(out, SInstr{Op: SPutValX, W: w, A: a1, B: a2})
+			setStatic(ins.A1, isStatic(ins.A2))
+		case wam.OpPutValY:
+			out = append(out, SInstr{Op: SPutValY, W: w, A: a1, B: a2})
+			setStatic(ins.A1, false)
+		case wam.OpPutConst:
+			out = append(out, SInstr{Op: SPutCell, W: w, A: a1, K: b.cell(rt.MkCon(ins.Fn.Name))})
+			setStatic(ins.A1, true)
+		case wam.OpPutInt:
+			out = append(out, SInstr{Op: SPutCell, W: w, A: a1, K: b.cell(rt.MkInt(ins.I))})
+			setStatic(ins.A1, true)
+		case wam.OpPutNil:
+			out = append(out, SInstr{Op: SPutCell, W: w, A: a1, K: b.cell(rt.MkCon(b.mod.Tab.Nil))})
+			setStatic(ins.A1, true)
+		case wam.OpPutList:
+			out = append(out, SInstr{Op: SPutList, W: w, A: a1})
+			// Static until a following unify slot proves otherwise.
+			setStatic(ins.A1, true)
+			uctx = ctxPut
+		case wam.OpPutStruct:
+			out = append(out, SInstr{Op: SPutStruct, W: w, A: a1, K: b.fn(ins.Fn)})
+			setStatic(ins.A1, true)
+			uctx = ctxPut
+
+		case wam.OpUnifyVarX:
+			out = append(out, SInstr{Op: SUnifyVarX, W: w, A: a2})
+			// After a put the slot pushes a fresh variable (static);
+			// after a get it aliases an incoming subterm.
+			setStatic(ins.A2, uctx == ctxPut)
+		case wam.OpUnifyVarY:
+			out = append(out, SInstr{Op: SUnifyVarY, W: w, A: a2})
+		case wam.OpUnifyValX:
+			out = append(out, SInstr{Op: SUnifyValX, W: w, A: a2})
+			if uctx == ctxGet {
+				// Read mode may bind the register's referent to an
+				// incoming subterm.
+				setStatic(ins.A2, false)
+			} else if !isStatic(ins.A2) {
+				// A dynamic cell flows into the structure being built.
+				b.poisonPutAnchor(out, &static)
+			}
+		case wam.OpUnifyValY:
+			out = append(out, SInstr{Op: SUnifyValY, W: w, A: a2})
+			if uctx == ctxPut {
+				b.poisonPutAnchor(out, &static)
+			}
+		case wam.OpUnifyConst:
+			out = append(out, SInstr{Op: SUnifyCell, W: w, K: b.cell(rt.MkCon(ins.Fn.Name))})
+		case wam.OpUnifyInt:
+			out = append(out, SInstr{Op: SUnifyCell, W: w, K: b.cell(rt.MkInt(ins.I))})
+		case wam.OpUnifyNil:
+			out = append(out, SInstr{Op: SUnifyCell, W: w, K: b.cell(rt.MkCon(b.mod.Tab.Nil))})
+		case wam.OpUnifyVoid:
+			out = append(out, SInstr{Op: SUnifyVoid, W: w, A: a2})
+
+		case wam.OpAllocate:
+			out = append(out, SInstr{Op: SAllocate, W: w, A: a2})
+		case wam.OpDeallocate:
+			out = append(out, SInstr{Op: SDeallocate, W: w})
+		case wam.OpCall, wam.OpExecute:
+			op := SCall
+			if ins.Op == wam.OpExecute {
+				op = SExecute
+			}
+			cr := CallRef{Fn: ins.Fn, Comp: -1, Clause0: -1, Static: -1}
+			if b.opts.PreIntern && b.allArgsStatic(ins.Fn.Arity, &static, trackOK) {
+				cr.Static = int32(b.staticSites)
+				b.staticSites++
+			}
+			k := int32(len(b.cs.Calls))
+			b.cs.Calls = append(b.cs.Calls, cr)
+			if ins.Fn.Arity > maxX {
+				maxX = ins.Fn.Arity
+			}
+			out = append(out, SInstr{Op: op, W: w, K: k})
+			poisonAll()
+			if ins.Op == wam.OpExecute {
+				return b.finishClause(fn, addr, out, maxX), true
+			}
+		case wam.OpProceed:
+			out = append(out, SInstr{Op: SProceed, W: w})
+			return b.finishClause(fn, addr, out, maxX), true
+		case wam.OpBuiltin:
+			out = append(out, SInstr{Op: SBuiltin, W: w, A: a1, B: a2})
+			poisonAll()
+		case wam.OpHalt:
+			out = append(out, SInstr{Op: SHalt, W: w})
+			return b.finishClause(fn, addr, out, maxX), true
+
+		case wam.OpNeckCut, wam.OpGetLevel, wam.OpCutTo:
+			out = append(out, SInstr{Op: SCutNop, W: w})
+
+		default:
+			// Choice or indexing instruction inside a clause body: not a
+			// straight-line clause. Leave it to the generic switch.
+			return ClauseInfo{}, false
+		}
+	}
+}
+
+// poisonPutAnchor marks the structure currently being built (and
+// anything that may alias it) context-dependent. We cannot cheaply
+// name the anchor register here, so poison the whole file — rare
+// enough (a dynamic unify_value inside a put run) not to matter.
+func (b *builder) poisonPutAnchor(_ []SInstr, static *[maxTrackRegs]bool) {
+	*static = [maxTrackRegs]bool{}
+}
+
+func (b *builder) allArgsStatic(arity int, static *[maxTrackRegs]bool, trackOK bool) bool {
+	if !trackOK || arity >= maxTrackRegs {
+		return false
+	}
+	for i := 1; i <= arity; i++ {
+		if !static[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// finishClause applies the component's fusion rules to the translated
+// body and records it in the stream.
+func (b *builder) finishClause(fn term.Functor, addr int, body []SInstr, maxX int) ClauseInfo {
+	fused := 0
+	if b.cs.FusionMask != 0 {
+		body, fused = fuseClause(body, b.cs.FusionMask)
+	}
+	if maxX > 0xFFFF {
+		maxX = 0xFFFF
+	}
+	info := ClauseInfo{
+		Fn:    fn,
+		Addr:  int32(addr),
+		Off:   int32(len(b.cs.Code)),
+		MaxX:  uint16(maxX),
+		Fused: uint16(fused),
+	}
+	b.cs.Code = append(b.cs.Code, body...)
+	return info
+}
+
+// fuseSlot classifies a word as a fusable unify slot, returning its
+// slot kind, charge opcode and 16-bit operand.
+func fuseSlot(ins SInstr) (kind uint8, w wam.Op, operand uint16, ok bool) {
+	switch ins.Op {
+	case SUnifyVarX:
+		return SlotVarX, ins.W, ins.A, true
+	case SUnifyValX:
+		return SlotValX, ins.W, ins.A, true
+	case SUnifyCell:
+		if ins.K >= 0 && ins.K <= 0xFFFF {
+			return SlotCell, ins.W, uint16(ins.K), true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// fuseClause rewrites anchor+unify+unify triples into single
+// superinstruction words according to the enabled rule mask.
+func fuseClause(body []SInstr, mask uint32) ([]SInstr, int) {
+	out := body[:0]
+	fused := 0
+	for i := 0; i < len(body); i++ {
+		ins := body[i]
+		var fop SOp
+		var bit uint32
+		switch ins.Op {
+		case SGetList:
+			fop, bit = SFGetList2, FuseGetList
+		case SGetStruct:
+			fop, bit = SFGetStruct2, FuseGetStruct
+		case SPutList:
+			fop, bit = SFPutList2, FusePutList
+		case SPutStruct:
+			fop, bit = SFPutStruct2, FusePutStruct
+		}
+		if fop != 0 && mask&bit != 0 && i+2 < len(body) {
+			k1, w1, op1, ok1 := fuseSlot(body[i+1])
+			k2, w2, op2, ok2 := fuseSlot(body[i+2])
+			if ok1 && ok2 {
+				out = append(out, SInstr{
+					Op: fop,
+					W:  ins.W, W1: w1, W2: w2,
+					M: k1 | k2<<2,
+					A: ins.A, B: op1, C: op2,
+					K: ins.K,
+				})
+				fused++
+				i += 2
+				continue
+			}
+		}
+		out = append(out, ins)
+	}
+	return out, fused
+}

@@ -1,0 +1,47 @@
+package specialize_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"awam/internal/bench"
+	"awam/internal/specialize"
+)
+
+// TestSpecDisasmGolden pins the specialized instruction streams of the
+// Table 1 suite against goldens under testdata/: the fused
+// superinstruction selection, the flattened component layout and the
+// pre-resolved call sites all show up in review as a plain-text diff
+// whenever the specializer's output changes. Regenerate with
+// SPEC_WRITE_GOLDEN=1 after an intentional change.
+func TestSpecDisasmGolden(t *testing.T) {
+	write := os.Getenv("SPEC_WRITE_GOLDEN") != ""
+	if write {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tab, mod := buildMod(t, p.Source)
+			spec := buildSpec(mod, specialize.Options{Fuse: true, PreIntern: true})
+			text := specialize.Disasm(tab, spec)
+			golden := filepath.Join("testdata", p.Name+".spec")
+			if write {
+				if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with SPEC_WRITE_GOLDEN=1 to regenerate): %v", err)
+			}
+			if text != string(want) {
+				t.Fatalf("specialized stream drifted from %s; regenerate with SPEC_WRITE_GOLDEN=1 if intentional\n--- got ---\n%s", golden, text)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package specialize_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"awam/internal/bench"
+	"awam/internal/core"
+	"awam/internal/specialize"
+)
+
+// TestPerfSmoke is the CI perf gate: on wide_256 under the worklist,
+// the fully specialized engine must not be slower than the generic
+// switch. Timing on shared runners is noisy, so each engine gets the
+// best of three runs and the specialized side a small grace factor —
+// the gate exists to catch a specialization that has stopped paying for
+// itself (a real regression shows up as 2x+, not 10%). Gated behind
+// AWAM_PERF_SMOKE=1 so ordinary `go test ./...` stays timing-free.
+func TestPerfSmoke(t *testing.T) {
+	if os.Getenv("AWAM_PERF_SMOKE") == "" {
+		t.Skip("set AWAM_PERF_SMOKE=1 to run the perf smoke gate")
+	}
+	_, mod := buildMod(t, bench.WideProgram(256).Source)
+	spec := buildSpec(mod, specialize.Options{Fuse: true, PreIntern: true})
+
+	bestOf := func(spec *specialize.Program) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = core.StrategyWorklist
+			cfg.Spec = spec
+			start := time.Now()
+			if _, err := core.NewWith(mod, cfg).AnalyzeMain(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	generic := bestOf(nil)
+	specialized := bestOf(spec)
+	t.Logf("wide_256 worklist: generic %v, specialized %v (%.2fx)",
+		generic, specialized, float64(generic)/float64(specialized))
+	if float64(specialized) > float64(generic)*1.10 {
+		t.Fatalf("specialized engine slower than generic on wide_256: %v vs %v", specialized, generic)
+	}
+}

@@ -1,0 +1,242 @@
+// Package specialize compiles the abstract machine's clause code into
+// per-SCC specialized transfer streams — the "compile the interpreter
+// away" stage between compilation and fixpoint execution.
+//
+// The generic abstract engine (internal/core/exec.go) re-dispatches a
+// 30-way switch over 120-byte wam.Instr values for every abstract step.
+// This package flattens each condensation component's clauses into one
+// contiguous stream of compact 16-byte SInstr words with all operands
+// pre-resolved at specialize time:
+//
+//   - constant operands (get/put/unify constants, integers, nil) become
+//     indices into a per-component rt.Cell pool, so the hot loop never
+//     re-boxes a constant;
+//   - structure functors become indices into a functor pool;
+//   - call sites become CallRef records that carry the callee's
+//     component and clause-stream offsets (intra-SCC calls are fully
+//     pre-resolved; the extension-table consult remains the call's
+//     semantics, exactly as in the generic engine);
+//   - call sites whose argument registers are provably rebuilt from
+//     constants and fresh variables on every execution are marked
+//     static: the engine computes their calling pattern once per
+//     analysis and never touches the abstractor or the interner for
+//     them again (no interner round-trips on the hot path);
+//   - dominant get_*/unify_* opcode pairs are fused into superinstruction
+//     words with hand-written combined transfer functions (fusion.go),
+//     selected per component from the Metrics opcode histogram.
+//
+// The streams are an execution plan, not new semantics: internal/core
+// interprets them with the same transfer helpers (getList, absUnify,
+// absCall, ...) and charges the step budget and opcode histogram per
+// original base opcode, so results, Steps and Metrics stay byte-for-byte
+// identical to the generic engine. Clauses the translator cannot prove
+// it understands are simply left out of the program; the engine falls
+// back to the generic switch for them.
+package specialize
+
+import (
+	"fmt"
+
+	"awam/internal/rt"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// Version is the specialization format/semantics version. It salts the
+// incremental engine's component fingerprints (via Program.Salt), so
+// cached summaries produced by one specializer generation are never
+// served to another.
+const Version = 1
+
+// SOp enumerates the specialized stream operations. The set mirrors the
+// clause-body subset of wam.Op with operands pre-resolved, plus the
+// fused superinstructions.
+type SOp uint8
+
+const (
+	SNop SOp = iota
+
+	// Head/get operations. A is the argument register.
+	SGetVarX   // x[B] = x[A]
+	SGetVarY   // env[B] = x[A]
+	SGetValX   // absUnify(x[B], x[A])
+	SGetValY   // absUnify(env[B], x[A])
+	SGetCell   // absUnify(x[A], Cells[K])
+	SGetList   // s,mode = getList(x[A])
+	SGetStruct // s,mode = getStruct(x[A], Fns[K])
+
+	// Put operations.
+	SPutVarX   // fresh var; x[B] = x[A] = ref
+	SPutVarY   // fresh var; env[B], x[A]
+	SPutValX   // x[A] = x[B]
+	SPutValY   // x[A] = env[B]
+	SPutCell   // x[A] = Cells[K]
+	SPutList   // x[A] = list(heap top); write mode
+	SPutStruct // push functor Fns[K]; x[A] = str; write mode
+
+	// Unify operations (mode-dependent).
+	SUnifyVarX // A = Xn
+	SUnifyVarY // A = Yn
+	SUnifyValX // A = Xn
+	SUnifyValY // A = Yn
+	SUnifyCell // Cells[K]
+	SUnifyVoid // A = count
+
+	// Procedural operations.
+	SAllocate   // A = environment size
+	SDeallocate //
+	SCall       // Calls[K]
+	SExecute    // Calls[K], then return
+	SProceed    //
+	SBuiltin    // A = builtin id, B = arity
+	SHalt       //
+	SCutNop     // neck_cut / get_level / cut: charged no-ops
+
+	// Fused superinstructions (fusion.go). Each charges its base
+	// opcodes individually (W, W1, W2), so step totals and the opcode
+	// histogram are invariant under fusion.
+	SFGetList2   // get_list A + two unify slots (M, B, C)
+	SFGetStruct2 // get_structure Fns[K], A + two unify slots
+	SFPutList2   // put_list A + two write-mode unify slots
+	SFPutStruct2 // put_structure Fns[K], A + two write-mode unify slots
+
+	NumSOps
+)
+
+// Slot kinds for fused superinstruction operand slots, packed into
+// SInstr.M (slot 1 = M&3, slot 2 = (M>>2)&3).
+const (
+	SlotVarX = 0 // operand is an X register: unify_variable_x
+	SlotValX = 1 // operand is an X register: unify_value_x
+	SlotCell = 2 // operand is a Cells pool index: unify_constant/int/nil
+)
+
+// SInstr is one specialized stream word: 16 bytes versus the ~120-byte
+// wam.Instr the generic switch copies per step.
+type SInstr struct {
+	Op SOp
+	// W is the original wam opcode this word charges to the step budget
+	// and opcode histogram (the anchor opcode for fused words); W1/W2
+	// are the fused slots' charge opcodes.
+	W, W1, W2 wam.Op
+	// M packs the fused slot kinds.
+	M uint8
+	// A, B, C are register/count operands; K indexes the component
+	// pools (Cells, Fns, Calls) and carries fused cell-slot operands.
+	A, B, C uint16
+	K       int32
+}
+
+// CallRef is a pre-resolved call site.
+type CallRef struct {
+	Fn term.Functor
+	// Comp is the callee's component index, -1 for undefined predicates
+	// (intra-SCC calls have Comp == the caller's component: the callee's
+	// clause offsets live in the same stream).
+	Comp int32
+	// Clause0 is the callee's first ClauseInfo index within Comp's
+	// stream (-1 when the callee has no specialized clauses).
+	Clause0 int32
+	// Static is the site's index into the analysis' static-pattern
+	// cache when the builder proved the call's argument registers are
+	// rebuilt from constants and fresh variables on every execution
+	// (the calling pattern is context-independent); -1 otherwise.
+	Static int32
+}
+
+// ClauseInfo locates one specialized clause inside its component stream.
+type ClauseInfo struct {
+	Fn term.Functor
+	// Addr is the clause's address in the original wam code array.
+	Addr int32
+	// Off is the clause's first instruction in CompStream.Code.
+	Off int32
+	// MaxX is the clause's X-register high-water mark; the engine
+	// ensures the register file once per clause instead of per
+	// instruction.
+	MaxX uint16
+	// Fused counts superinstructions emitted into this clause.
+	Fused uint16
+}
+
+// CompStream is one condensation component compiled to a contiguous
+// specialized stream with its operand pools.
+type CompStream struct {
+	Index   int
+	Members []term.Functor
+	Code    []SInstr
+	Cells   []rt.Cell
+	Fns     []term.Functor
+	Calls   []CallRef
+	Clauses []ClauseInfo
+	// FusionMask is the enabled fusion-rule bitmask chosen for this
+	// component by the profile policy (fusion.go).
+	FusionMask uint32
+}
+
+// Loc addresses one specialized clause: the component and its
+// ClauseInfo index. Comp < 0 means the clause is not specialized.
+type Loc struct {
+	Comp   int32
+	Clause int32
+}
+
+// Options selects the specialization stages, the axes of the benchtab
+// ablation. The zero value is flatten-only: compact streams, dense
+// dispatch, pre-resolved operands and hoisted register growth, but no
+// superinstructions and no pattern pre-interning.
+type Options struct {
+	// Fuse enables profile-guided superinstruction fusion.
+	Fuse bool
+	// PreIntern enables the calling-pattern fast paths: static call
+	// sites bypass the abstractor/interner, pattern materialization
+	// replays cached cell templates, and the extension table (and the
+	// finalize index) become dense PatternID-indexed arrays instead of
+	// scan/hash structures.
+	PreIntern bool
+}
+
+// Program is a module's specialized transfer streams.
+type Program struct {
+	Opts  Options
+	Comps []*CompStream
+	// StaticSites is the number of static call sites across all
+	// components; the engine sizes its per-analysis pattern cache by it.
+	StaticSites int
+	// Hash fingerprints the specialization: version, options and the
+	// per-component fusion-rule selection (over stable member names, so
+	// it is identical across processes). It salts incremental-cache
+	// fingerprints via Salt.
+	Hash uint64
+
+	locs []Loc
+}
+
+// Loc returns the specialized location of the clause at the given wam
+// code address, or a Loc with Comp < 0 when the clause was not
+// specialized (the engine falls back to the generic switch).
+func (p *Program) Loc(addr int) Loc {
+	if addr < 0 || addr >= len(p.locs) {
+		return Loc{Comp: -1, Clause: -1}
+	}
+	return p.locs[addr]
+}
+
+// Salt is the fingerprint-salt component recorded by the incremental
+// engine: cached summaries from a generic run and from specialized runs
+// with different fusion sets must live at different store addresses.
+func (p *Program) Salt() string {
+	return fmt.Sprintf("spec=v%d:%016x:fuse=%t:pre=%t", Version, p.Hash, p.Opts.Fuse, p.Opts.PreIntern)
+}
+
+// Stats summarizes the program for logs and tests.
+func (p *Program) Stats() (comps, clauses, fused, static int) {
+	for _, c := range p.Comps {
+		comps++
+		clauses += len(c.Clauses)
+		for _, ci := range c.Clauses {
+			fused += int(ci.Fused)
+		}
+	}
+	return comps, clauses, fused, p.StaticSites
+}
