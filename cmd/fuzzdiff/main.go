@@ -2,7 +2,9 @@
 // analyzer: it generates seeded random Prolog programs, runs the
 // concrete-vs-abstract soundness oracle (plus cross-strategy and
 // metamorphic checks) on each, shrinks any counterexample, and emits
-// violations as JSON for triage.
+// violations as JSON for triage. A strategy-divergence violation's
+// JSON carries the first diverging calling pattern and its two
+// summaries (diverged_pred / diverged_pair).
 //
 // Usage:
 //
@@ -29,7 +31,7 @@ func main() {
 		n         = flag.Int64("n", 10000, "number of cases to run; 0 = run until interrupted")
 		jsonPath  = flag.String("json", "", "append violations as JSON lines to this file (default stdout)")
 		keepGoing = flag.Bool("keep-going", false, "continue after a violation instead of stopping")
-		strict    = flag.Bool("strict", true, "require byte-identical worklist/parallel results (schedule-confluence contract)")
+		strict    = flag.Bool("strict", true, "require byte-identical worklist/naive/parallel results (schedule-confluence contract)")
 		meta      = flag.Bool("meta", true, "also run metamorphic checks (clause reorder, predicate rename)")
 		progress  = flag.Int64("progress", 1000, "print a progress line every N cases (0 = quiet)")
 	)

@@ -26,6 +26,19 @@ func DefaultConfig() Config { return Config{Depth: 4, MaxSteps: 2_000_000_000} }
 // ErrStepLimit reports an exceeded step budget.
 var ErrStepLimit = errors.New("baseline: abstract step limit exceeded")
 
+// finTable holds the state of the post-convergence presentation replay
+// (mirroring core/finalize.go): a single depth-first pass from the entry
+// pattern that rebuilds the table in demand order, consulting the
+// converged table as an oracle for cyclic calls. The replay drops
+// schedule-transient entries — calling patterns that were consulted
+// while summaries were still growing but are unreachable at the
+// fixpoint — so the presented table matches the core analyzer's.
+type finTable struct {
+	oracle map[string]*domain.Pattern
+	index  map[string]*tblEntry
+	order  []*tblEntry
+}
+
 // tblEntry is one record of the linear extension table.
 type tblEntry struct {
 	key          string
@@ -45,6 +58,7 @@ type Analyzer struct {
 	builtins map[term.Functor]wam.BuiltinID
 	subst    []binding   // association-list substitution (Prolog style)
 	table    []*tblEntry // the paper's linear list
+	fin      *finTable   // non-nil during the presentation replay
 
 	// Steps counts abstract operations (unification visits and goal
 	// reductions); wall-clock time is what Table 1 reports.
@@ -84,6 +98,9 @@ func (a *Analyzer) Analyze(entry *domain.Pattern) (*core.Result, error) {
 	a.table = nil
 	a.Steps = 0
 	a.err = nil
+	// The table only ever stores widened canonical patterns (the same
+	// invariant as core: widening is an upper closure applied at ingest).
+	entry = domain.WidenPattern(a.tab, entry.Canonical(), a.cfg.Depth)
 	const maxIterations = 1000
 	for a.Iterations = 1; a.Iterations <= maxIterations; a.Iterations++ {
 		a.iter = a.Iterations
@@ -108,24 +125,53 @@ func (a *Analyzer) Analyze(entry *domain.Pattern) (*core.Result, error) {
 			break
 		}
 	}
-	entries := make([]*core.Entry, len(a.table))
-	for i, e := range a.table {
+	if a.Iterations > maxIterations {
+		entries := make([]*core.Entry, len(a.table))
+		for i, e := range a.table {
+			entries[i] = &core.Entry{
+				CP: e.cp, Succ: e.succ,
+				Lookups: e.lookups, Updates: e.updates,
+			}
+		}
+		return &core.Result{
+			Tab:        a.tab,
+			Entries:    entries,
+			Steps:      a.Steps,
+			Iterations: a.Iterations,
+			TableSize:  len(a.table),
+		}, fmt.Errorf("baseline: fixpoint did not converge")
+	}
+	// Presentation replay: rebuild the table in demand order from the
+	// converged summaries, dropping transients (see finTable). The replay
+	// runs off the same step counter but never changes summaries.
+	a.fin = &finTable{
+		oracle: make(map[string]*domain.Pattern, len(a.table)),
+		index:  make(map[string]*tblEntry, len(a.table)),
+	}
+	for _, e := range a.table {
+		a.fin.oracle[e.key] = e.succ
+	}
+	a.subst = a.subst[:0]
+	a.solve(entry.Canonical())
+	fin := a.fin
+	a.fin = nil
+	if a.err != nil {
+		return nil, a.err
+	}
+	entries := make([]*core.Entry, len(fin.order))
+	for i, e := range fin.order {
 		entries[i] = &core.Entry{
 			CP: e.cp, Succ: e.succ,
 			Lookups: e.lookups, Updates: e.updates,
 		}
 	}
-	res := &core.Result{
+	return &core.Result{
 		Tab:        a.tab,
 		Entries:    entries,
 		Steps:      a.Steps,
 		Iterations: a.Iterations,
-		TableSize:  len(a.table),
-	}
-	if a.Iterations > maxIterations {
-		return res, fmt.Errorf("baseline: fixpoint did not converge")
-	}
-	return res, nil
+		TableSize:  len(entries),
+	}, nil
 }
 
 // lookup scans the linear table.
@@ -148,6 +194,9 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 	if a.Steps >= a.cfg.MaxSteps {
 		a.fail(ErrStepLimit)
 		return nil
+	}
+	if a.fin != nil {
+		return a.solveFin(cp)
 	}
 	key := cp.Key()
 	e := a.lookup(key)
@@ -181,6 +230,47 @@ func (a *Analyzer) solve(cp *domain.Pattern) *domain.Pattern {
 		}
 		a.undo(mark)
 	}
+	return e.succ
+}
+
+// solveFin is solve's replay twin: each calling pattern is explored at
+// most once, with its summary seeded from the converged oracle so
+// cyclic consultations read the fixpoint value. Because the table is
+// converged, re-deriving the summary from the clause bodies cannot
+// change it; the pass only records which entries are demanded.
+func (a *Analyzer) solveFin(cp *domain.Pattern) *domain.Pattern {
+	if a.err != nil {
+		return nil
+	}
+	if a.Steps >= a.cfg.MaxSteps {
+		a.fail(ErrStepLimit)
+		return nil
+	}
+	key := cp.Key()
+	if e, ok := a.fin.index[key]; ok {
+		e.lookups++
+		return e.succ
+	}
+	e := &tblEntry{key: key, cp: cp, succ: a.fin.oracle[key]}
+	a.fin.index[key] = e
+	a.fin.order = append(a.fin.order, e)
+
+	clauses, defined := a.prog.Preds[cp.Fn]
+	if !defined {
+		return e.succ
+	}
+	var acc *domain.Pattern
+	for _, ci := range clauses {
+		cl := a.prog.Clauses[ci]
+		mark := a.mark()
+		args := a.materialize(cp)
+		if a.tryClause(cl, args) {
+			sp := a.abstract(cp.Fn, args)
+			acc = domain.WidenPattern(a.tab, domain.LubPattern(a.tab, acc, sp), a.cfg.Depth)
+		}
+		a.undo(mark)
+	}
+	e.succ = acc
 	return e.succ
 }
 

@@ -13,26 +13,22 @@ import (
 // widened to the configured term depth with var-occurrences that cross
 // the depth boundary soundly generalized.
 func (a *Analyzer) abstractArgs(fn term.Functor, argAddrs []int) *domain.Pattern {
-	var conv *abstractor
-	var busy map[int]bool
-	if a.specOn {
-		// The specialized engine reuses one scratch abstractor per
-		// analyzer: the maps are cleared, not reallocated (the *Term nodes
-		// escape into the pattern; the map storage does not). Behaviour is
-		// identical to the fresh-maps path.
-		if a.absScratch == nil {
-			a.absScratch = &abstractor{a: a, first: make(map[int]*domain.Term), ids: make(map[int]int)}
-			a.absBusy = make(map[int]bool)
-		}
-		conv = a.absScratch
-		clear(conv.first)
-		clear(conv.ids)
-		busy = a.absBusy
-		clear(busy)
-	} else {
-		conv = &abstractor{a: a, first: make(map[int]*domain.Term), ids: make(map[int]int)}
-		busy = make(map[int]bool)
+	// One scratch abstractor per analyzer, generation-stamped: bumping
+	// gen invalidates every map entry at once, so the per-call clear()
+	// walks (measurable at call-event frequency) disappear. The *Term
+	// nodes escape into the pattern; the map storage does not. Analyzers
+	// are goroutine-private — parallel workers each own a clone — so the
+	// reuse needs no locking.
+	if a.absScratch == nil {
+		a.absScratch = &abstractor{a: a, first: make(map[int]genTerm), ids: make(map[int]genInt)}
+		a.absBusy = make(map[int]bool)
 	}
+	conv := a.absScratch
+	conv.gen++
+	conv.nids = 0
+	// busy needs no generation: convert pairs every insertion with a
+	// delete on unwind, so the map is empty between calls.
+	busy := a.absBusy
 	args := make([]*domain.Term, len(argAddrs))
 	for i, addr := range argAddrs {
 		args[i] = conv.convert(addr, 1, busy)
@@ -52,7 +48,7 @@ func (a *Analyzer) abstractArgs(fn term.Functor, argAddrs []int) *domain.Pattern
 	// cons-chain collapse). A var node whose group lost occurrences may
 	// be instantiated through the now-invisible alias, so it must widen
 	// to any. When nothing was widened, no group can have been dropped.
-	if widened && len(conv.ids) > 0 {
+	if widened && conv.nids > 0 {
 		before := countGroups(domain.NewPattern(fn, args))
 		after := countGroups(p)
 		dropped := make(map[int]bool)
@@ -91,31 +87,47 @@ func countGroups(p *domain.Pattern) map[int]int {
 	return out
 }
 
+// genTerm/genInt are generation-stamped scratch-map values: an entry is
+// live only when its gen matches the abstractor's current generation, so
+// advancing the generation invalidates the whole map without a clear.
+type genTerm struct {
+	gen uint64
+	t   *domain.Term
+}
+
+type genInt struct {
+	gen uint64
+	v   int
+}
+
 type abstractor struct {
-	a *Analyzer
+	a   *Analyzer
+	gen uint64
 	// first remembers the node built for an open cell's first
 	// occurrence; a group id is only allocated when the cell is reached
 	// again (singleton groups would be dropped by Canonical anyway, and
 	// most cells are singletons).
-	first map[int]*domain.Term
-	ids   map[int]int // heap addr -> share group id (2+ occurrences)
+	first map[int]genTerm
+	ids   map[int]genInt // heap addr -> share group id (2+ occurrences)
+	nids  int            // groups allocated this generation
 }
 
 // share wires node t into addr's share group, lazily creating the group
 // on the second occurrence.
 func (c *abstractor) share(addr int, t *domain.Term) {
-	if id, ok := c.ids[addr]; ok {
+	if g, ok := c.ids[addr]; ok && g.gen == c.gen {
+		t.Share = g.v
+		return
+	}
+	if f, ok := c.first[addr]; ok && f.gen == c.gen {
+		c.nids++
+		id := c.nids
+		c.ids[addr] = genInt{gen: c.gen, v: id}
+		f.t.Share = id
 		t.Share = id
 		return
 	}
-	if firstNode, ok := c.first[addr]; ok {
-		id := len(c.ids) + 1
-		c.ids[addr] = id
-		firstNode.Share = id
-		t.Share = id
-		return
-	}
-	c.first[addr] = t
+	c.first[addr] = genTerm{gen: c.gen, t: t}
 }
 
 func (c *abstractor) leaf(kind domain.Kind, addr, depth int) *domain.Term {
@@ -217,16 +229,11 @@ func devarifyGroups(p *domain.Pattern, groups map[int]bool) *domain.Pattern {
 // types, honoring share groups (group members become the same cell).
 // It returns the root addresses.
 func (a *Analyzer) materialize(p *domain.Pattern) []int {
-	var groups map[int]int
-	if a.specOn {
-		if a.matGroups == nil {
-			a.matGroups = make(map[int]int)
-		}
-		groups = a.matGroups
-		clear(groups)
-	} else {
-		groups = make(map[int]int)
+	if a.matGroups == nil {
+		a.matGroups = make(map[int]genInt)
 	}
+	a.matGen++
+	groups := a.matGroups
 	out := make([]int, len(p.Args))
 	for i, t := range p.Args {
 		out[i] = a.materializeTerm(t, groups)
@@ -234,10 +241,10 @@ func (a *Analyzer) materialize(p *domain.Pattern) []int {
 	return out
 }
 
-func (a *Analyzer) materializeTerm(t *domain.Term, groups map[int]int) int {
+func (a *Analyzer) materializeTerm(t *domain.Term, groups map[int]genInt) int {
 	if t.Share != 0 {
-		if addr, ok := groups[t.Share]; ok {
-			return addr
+		if g, ok := groups[t.Share]; ok && g.gen == a.matGen {
+			return g.v
 		}
 	}
 	var addr int
@@ -285,7 +292,7 @@ func (a *Analyzer) materializeTerm(t *domain.Term, groups map[int]int) int {
 		addr = a.h.Push(rt.Cell{Tag: rt.AAny})
 	}
 	if t.Share != 0 {
-		groups[t.Share] = addr
+		groups[t.Share] = genInt{gen: a.matGen, v: addr}
 	}
 	return addr
 }

@@ -31,7 +31,7 @@ func newBareAnalyzer(t *testing.T, tab *term.Tab) *Analyzer {
 
 // absPair materializes an abstract term and returns its root address.
 func absRoot(a *Analyzer, t *domain.Term) int {
-	return a.materializeTerm(t, make(map[int]int))
+	return a.materializeTerm(t, make(map[int]genInt))
 }
 
 // TestAbsUnifyTable checks the s_unify rules directly on cells,

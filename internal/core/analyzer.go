@@ -163,6 +163,11 @@ type Analyzer struct {
 	// bottom callee during parallel discovery (its success is discarded).
 	parCur   *Entry
 	specFail bool
+	// parReadEnts/parReadVals accumulate the in-flight exploration's
+	// consulted-callee reads (first read per callee), published to the
+	// entry's read snapshot when the exploration completes (table.go).
+	parReadEnts []*Entry
+	parReadVals []domain.PatternID
 
 	// Specialized-engine state (execspec.go). spec mirrors cfg.Spec;
 	// specOn is set once per analysis (spec present, no tracer); specPre
@@ -178,7 +183,8 @@ type Analyzer struct {
 	argPool     [][]int
 	absScratch  *abstractor
 	absBusy     map[int]bool
-	matGroups   map[int]int
+	matGroups   map[int]genInt
+	matGen      uint64
 	selCache    [][]int
 	selDone     []bool
 
@@ -261,10 +267,13 @@ func (a *Analyzer) leqSumm(spID, succID domain.PatternID) bool {
 	return v
 }
 
-// mergeSumm computes widen(lub(succ, sp), k) — the monotone summary
-// merge every strategy performs — through the ID-keyed memo caches,
-// returning the interned result. The lub cache is the one surfaced in
-// Metrics (LubCacheHits/Misses); the widen cache rides on its output.
+// mergeSumm computes widen(lub(succ, sp), k) — the summary merge every
+// strategy performs — through the ID-keyed memo caches, returning the
+// interned result. On the widened subdomain (the only values the table
+// holds) this merge is an idempotent, commutative, associative join
+// (domain/laws_test.go), which is what makes the converged table
+// schedule-independent. The lub cache is the one surfaced in Metrics
+// (LubCacheHits/Misses); the widen cache rides on its output.
 func (a *Analyzer) mergeSumm(succID, spID domain.PatternID) (domain.PatternID, *domain.Pattern) {
 	lubID, ok := a.memo.Lub(succID, spID)
 	if ok {
@@ -399,6 +408,17 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 	a.spec = a.cfg.Spec
 	a.specOn = a.spec != nil && a.tr == nil
 	a.specPre = a.specOn && a.spec.Opts.PreIntern
+	// The extension table only ever stores widened canonical patterns —
+	// the invariant behind schedule confluence (every stored element is a
+	// fixed point of the Widen closure, on which lub∘widen is
+	// associative). Internally generated patterns are widened by
+	// abstractArgs and mergeSumm; caller-supplied entry patterns are
+	// closed here at ingest.
+	widened := make([]*domain.Pattern, len(entries))
+	for i, e := range entries {
+		widened[i] = domain.WidenPattern(a.tab, e.Canonical(), a.cfg.Depth)
+	}
+	entries = widened
 	switch a.cfg.Strategy {
 	case StrategyWorklist:
 		return a.analyzeWorklist(entries)
@@ -450,17 +470,36 @@ func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 	}
 	a.attrClose()
 	a.noteHeap()
+	execDur := time.Since(execStart)
+	if a.Iterations > maxIterations {
+		return &Result{
+			Tab:        a.tab,
+			Entries:    a.table.Entries(),
+			Steps:      a.Steps,
+			Iterations: a.Iterations,
+			TableSize:  a.table.Len(),
+			Warnings:   a.Warnings,
+			Metrics:    a.buildMetrics(nil, execDur, 0),
+		}, fmt.Errorf("core: fixpoint did not converge in %d iterations", maxIterations)
+	}
+	// Present the converged table deterministically (finalize.go), like
+	// the worklist and parallel strategies: the raw naive table retains
+	// stale entries whose calling patterns stopped being reachable as
+	// summaries grew, so the three strategies are only byte-comparable on
+	// the rebuilt presentation.
+	finStart := time.Now()
+	finEntries, err := a.finalize(entries, a.table)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Tab:        a.tab,
-		Entries:    a.table.Entries(),
+		Entries:    finEntries,
 		Steps:      a.Steps,
 		Iterations: a.Iterations,
-		TableSize:  a.table.Len(),
+		TableSize:  len(finEntries),
 		Warnings:   a.Warnings,
-		Metrics:    a.buildMetrics(nil, time.Since(execStart), 0),
-	}
-	if a.Iterations > maxIterations {
-		return res, fmt.Errorf("core: fixpoint did not converge in %d iterations", maxIterations)
+		Metrics:    a.buildMetrics(nil, execDur, time.Since(finStart)),
 	}
 	return res, nil
 }

@@ -7,23 +7,20 @@ import (
 )
 
 // This file implements the deterministic presentation pass shared by
-// StrategyWorklist and StrategyParallel.
+// all three strategies (naive, worklist, parallel).
 //
-// Both strategies converge the summary function (calling pattern ->
-// lubbed success pattern) by chaotic iteration, but the raw table they
-// accumulate along the way is schedule-dependent in two ways. First, the
-// entry set: a clause explored under an intermediate summary can
-// generate calling patterns that no longer occur once its callees reach
-// their fixpoint (transients). Second, the summaries themselves: each
-// entry's success pattern is a running lub over every exploration in its
-// history, and a contribution computed from an intermediate callee
-// summary is not always below the one computed from the final summary —
-// the sharing component makes the transfer non-monotone (LubPattern
-// keeps only aliasing common to both sides, so one sharing-free
-// intermediate contribution erases a definite alias for good). Different
-// schedules pass through different intermediate summaries, so both the
-// entry set and the lubbed summaries can differ between the sequential
-// worklist and any parallel interleaving.
+// Every strategy converges the summary function (calling pattern ->
+// merged success pattern) by chaotic iteration. Since the widening
+// became an upper closure, the converged summary function itself is
+// schedule-independent: the table stores only widened canonical
+// patterns, and merge = widen ∘ lub is an idempotent, commutative,
+// associative join on that subdomain (domain/laws_test.go), so the
+// accumulated value of each entry is the join of the set of
+// contributions, not of their history. What stays schedule-dependent
+// is the raw table's *presentation*: a clause explored under an
+// intermediate summary can generate calling patterns that no longer
+// occur once its callees reach their fixpoint (transients), and
+// discovery order differs per schedule.
 //
 // The finalize pass removes that dependence: it re-explores the program
 // once, depth-first from the entry patterns, and rebuilds both parts of
@@ -34,11 +31,13 @@ import (
 // contributions. The converged oracle is consulted only where the replay
 // cannot supply a value of its own: a cyclic consultation (the entry is
 // still running its own clauses) reads the oracle's converged summary.
-// At such points the strategies' oracles agree — a converged cyclic
-// summary absorbed its own recursive contributions under every schedule
-// — so the reported table (Entries, summaries, TableSize, Report,
+// At such points the strategies' oracles agree — the converged summary
+// function is the same under every schedule (the join argument above) —
+// so the reported table (Entries, summaries, TableSize, Report,
 // Marshal) is a pure function of the fixpoint, identical across
-// strategies, worker counts and schedules.
+// strategies, worker counts and schedules. internal/baseline runs the
+// same replay over its meta-interpreted table, which is what lets the
+// cross-validation suite compare the two analyzers byte for byte.
 //
 // Termination needs no in-flight bookkeeping: an entry is added to the
 // presentation table before its clauses run (carrying the oracle summary

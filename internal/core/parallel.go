@@ -125,6 +125,20 @@ func (ps *parState) next() *Entry {
 	}
 }
 
+// queuedAny reports whether any of ents is currently enqueued (inQueue
+// is guarded by the queue lock). Used by the deferral heuristic only —
+// a stale answer is harmless.
+func (ps *parState) queuedAny(ents []*Entry) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, e := range ents {
+		if e.inQueue {
+			return true
+		}
+	}
+	return false
+}
+
 // fail records the first worker error and wakes everyone to drain out.
 func (ps *parState) fail(err error) {
 	ps.mu.Lock()
@@ -258,13 +272,43 @@ func (w *Analyzer) runWorker(id int) {
 			w.attrClose()
 			return
 		}
-		w.h.Reset()
-		w.Iterations++ // per-worker exploration count
-		w.explorePar(e)
-		if w.err != nil {
-			ps.fail(w.err)
-			w.attrClose()
-			return
+		if w.freshReads(e) {
+			// Every summary the entry read during its last completed
+			// exploration is still current, so re-running its clauses
+			// would retrace the identical path and merge identical
+			// successes — skip it. This prunes the re-enqueues issued by
+			// growth the in-flight exploration had already observed.
+			continue
+		}
+		if w.deferExplore(e) {
+			// Some callee this entry reads is itself queued (its summary
+			// is likely still climbing): rotate the entry to the back so
+			// the callee quiesces first and the caller re-runs once on
+			// settled summaries instead of once per growth rung. The
+			// per-entry cap bounds rotations, so dependency cycles still
+			// make progress; any schedule converges to the same table
+			// (DESIGN §3.10), only the wasted-work profile differs.
+			ps.enqueue(e)
+			continue
+		}
+		// Iterate the entry to a local fixpoint: a self-recursive entry
+		// whose exploration grew a summary it read (typically its own)
+		// would otherwise round-trip through the queue once per ladder
+		// rung, exposing every intermediate summary to its callers. The
+		// loop is bounded by the finite widened domain — each rerun only
+		// happens when some read summary strictly grew.
+		for {
+			w.h.Reset()
+			w.Iterations++ // per-worker exploration count
+			w.explorePar(e)
+			if w.err != nil {
+				ps.fail(w.err)
+				w.attrClose()
+				return
+			}
+			if w.freshReads(e) {
+				break
+			}
 		}
 	}
 }
@@ -318,18 +362,48 @@ func (a *Analyzer) solveParID(cp *domain.Pattern, id domain.PatternID) (*domain.
 	}
 	succ, succID := e.Succ, e.succID
 	e.mu.Unlock()
+	if a.parCur != nil {
+		a.recordRead(e, succID)
+	}
 	return succ, succID
 }
 
+// recordRead notes the first summary ID read from callee e during the
+// in-flight exploration (later reads of the same callee may observe
+// newer values; keeping the first is what makes the skip check in
+// runWorker conservative). Consult sets are small, so a linear scan
+// beats a map.
+func (a *Analyzer) recordRead(e *Entry, succID domain.PatternID) {
+	for _, r := range a.parReadEnts {
+		if r == e {
+			return
+		}
+	}
+	a.parReadEnts = append(a.parReadEnts, e)
+	a.parReadVals = append(a.parReadVals, succID)
+}
+
 // explorePar runs the entry's clauses once, merging clause successes
-// into the shared entry.
+// into the shared entry and publishing the consulted-read snapshot the
+// skip check in runWorker compares against.
 func (w *Analyzer) explorePar(e *Entry) {
 	w.parCur = e
+	w.parReadEnts = w.parReadEnts[:0]
+	w.parReadVals = w.parReadVals[:0]
 	w.met.predRuns[e.CP.Fn]++
 	prevFn := w.attrSwitch(e.CP.Fn)
 	defer func() {
 		w.attrRestore(prevFn)
 		w.parCur = nil
+		if w.err == nil {
+			ents := append([]*Entry(nil), w.parReadEnts...)
+			vals := append([]domain.PatternID(nil), w.parReadVals...)
+			e.mu.Lock()
+			e.readEnts, e.readVals = ents, vals
+			e.explored = true
+			e.deferCount = 0
+			e.mu.Unlock()
+		}
 	}()
 	proc := w.mod.Proc(e.CP.Fn)
 	if proc == nil {
@@ -353,6 +427,54 @@ func (w *Analyzer) explorePar(e *Entry) {
 		}
 		w.h.Undo(mark)
 	}
+}
+
+// freshReads reports whether e has a completed exploration whose every
+// recorded callee read is still that callee's current summary. The
+// snapshot slices are immutable once published, so they are copied out
+// under e.mu and the per-callee checks take each callee's own lock —
+// entry locks are never nested.
+func (w *Analyzer) freshReads(e *Entry) bool {
+	e.mu.Lock()
+	explored := e.explored
+	ents, vals := e.readEnts, e.readVals
+	e.mu.Unlock()
+	if !explored {
+		return false
+	}
+	for i, d := range ents {
+		d.mu.Lock()
+		cur := d.succID
+		d.mu.Unlock()
+		if cur != vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// deferCap bounds per-entry queue rotations between explorations.
+const deferCap = 8
+
+// deferExplore implements the quiesce-callees-first heuristic: an
+// already-explored entry whose recorded callee reads include one still
+// sitting in the queue is rotated (up to deferCap times) instead of
+// re-run.
+func (w *Analyzer) deferExplore(e *Entry) bool {
+	e.mu.Lock()
+	explored, count := e.explored, e.deferCount
+	ents := e.readEnts
+	e.mu.Unlock()
+	if !explored || count >= deferCap || len(ents) == 0 {
+		return false
+	}
+	if !w.par.queuedAny(ents) {
+		return false
+	}
+	e.mu.Lock()
+	e.deferCount++
+	e.mu.Unlock()
+	return true
 }
 
 // mergeSucc lubs a clause success into the shared entry — the monotone

@@ -74,12 +74,28 @@ type Entry struct {
 	finSeen []domain.PatternID
 
 	// Parallel-engine state (used only by StrategyParallel). The mutex
-	// guards Succ, succID, Updates and deps; dependency edges live on the
-	// callee entry itself — the sharded-table replacement for
-	// wlState.dependents — so a worker that grows a summary can snapshot
-	// and enqueue dependents without any global lock.
+	// guards Succ, succID, Updates, deps and the read snapshot; dependency
+	// edges live on the callee entry itself — the sharded-table
+	// replacement for wlState.dependents — so a worker that grows a
+	// summary can snapshot and enqueue dependents without any global lock.
 	mu   sync.Mutex
 	deps map[domain.PatternID]*Entry
+	// readEnts/readVals snapshot the entry's last completed parallel
+	// exploration: for each callee consulted, the first summary ID read.
+	// An exploration is a deterministic function of the calling pattern
+	// and the summaries it reads, so a pop whose every recorded read is
+	// still the callee's current summary can skip re-exploration — the
+	// rerun would take the identical path and merge identical (idempotent)
+	// successes. Written under mu at exploration end; the slices are
+	// immutable once published.
+	readEnts []*Entry
+	readVals []domain.PatternID
+	explored bool
+	// deferCount bounds how often a popped entry may be rotated to the
+	// back of the queue while callees it reads are still queued (the
+	// quiesce-callees-first heuristic in runWorker); the cap guarantees
+	// progress on dependency cycles.
+	deferCount int
 	// inQueue dedups work-queue insertions; guarded by the queue lock,
 	// not by mu.
 	inQueue bool
@@ -110,9 +126,11 @@ type Table interface {
 // LinearTable is the paper's implementation: "a linear list of
 // (calling-pattern, success-pattern) pairs" searched sequentially. It is
 // the faithful default; HashTable is the ablation. The scan compares
-// interned IDs, so each probe is a word compare, but the cost stays
-// linear in the table size as the paper measured.
+// interned IDs kept in a dense side slice — each probe is a word compare
+// over contiguous int32s instead of a pointer chase per entry — but the
+// cost stays linear in the table size as the paper measured.
 type LinearTable struct {
+	ids     []domain.PatternID
 	entries []*Entry
 }
 
@@ -121,16 +139,19 @@ func NewLinearTable() *LinearTable { return &LinearTable{} }
 
 // Get scans the list for id.
 func (t *LinearTable) Get(id domain.PatternID) *Entry {
-	for _, e := range t.entries {
-		if e.ID == id {
-			return e
+	for i, tid := range t.ids {
+		if tid == id {
+			return t.entries[i]
 		}
 	}
 	return nil
 }
 
 // Add appends an entry.
-func (t *LinearTable) Add(e *Entry) { t.entries = append(t.entries, e) }
+func (t *LinearTable) Add(e *Entry) {
+	t.ids = append(t.ids, e.ID)
+	t.entries = append(t.entries, e)
+}
 
 // Entries returns the list.
 func (t *LinearTable) Entries() []*Entry { return t.entries }

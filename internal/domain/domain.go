@@ -116,8 +116,33 @@ var (
 	top    = &Term{Kind: Any}
 )
 
-// MkLeaf returns a leaf of kind k.
-func MkLeaf(k Kind) *Term { return &Term{Kind: k} }
+// leafReps holds one immutable node per leaf kind. Unshared leaves
+// carry no per-occurrence state, and the domain operations are
+// value-based (interner reps already alias equal subtrees as a DAG),
+// so every MkLeaf occurrence can be the same node. Leaf allocation is
+// hot — one node per constant cell on every abstraction — and this
+// removes it entirely.
+var leafReps = func() [List + 1]*Term {
+	var reps [List + 1]*Term
+	for k := Empty; k <= List; k++ {
+		reps[k] = &Term{Kind: k}
+	}
+	reps[Empty] = bottom
+	reps[Any] = top
+	return reps
+}()
+
+// MkLeaf returns the shared leaf node of kind k. Callers must not
+// mutate the result; code that builds a leaf to then set Share or Elem
+// allocates its own node instead.
+func MkLeaf(k Kind) *Term {
+	if k == Struct || k == List {
+		// Not leaves; a caller wanting an empty shell gets a private node
+		// it may fill in.
+		return &Term{Kind: k}
+	}
+	return leafReps[k]
+}
 
 // MkStructT returns a struct node.
 func MkStructT(f term.Functor, args ...*Term) *Term {
@@ -294,6 +319,30 @@ func asList(tab *term.Tab, t *Term) (*Term, bool) {
 	}
 }
 
+// listTailElem reports whether t, viewed as the tail of a cons cell, is
+// an alpha-list or a cons chain ending in one, returning the lub of the
+// list element with the chain's heads. Unlike asList it fails on
+// nil-terminated chains: those denote lists of one exact length and are
+// kept precise — only tails that already admit arbitrary continuation
+// trigger the uniform-list normalization.
+func listTailElem(tab *term.Tab, t *Term) (*Term, bool) {
+	switch t.Kind {
+	case List:
+		return t.Elem, true
+	case Struct:
+		if !t.IsCons(tab) {
+			return nil, false
+		}
+		rest, ok := listTailElem(tab, t.Args[1])
+		if !ok {
+			return nil, false
+		}
+		return Lub(tab, t.Args[0], rest), true
+	default:
+		return nil, false
+	}
+}
+
 // Lub returns the least upper bound of two types. Share groups of the
 // result are cleared; the Pattern-level lub reinstates sharing.
 func Lub(tab *term.Tab, a, b *Term) *Term {
@@ -309,6 +358,22 @@ func Lub(tab *term.Tab, a, b *Term) *Term {
 		args := make([]*Term, len(a.Args))
 		for i := range args {
 			args[i] = Lub(tab, a.Args[i], b.Args[i])
+		}
+		// A cons whose tail joined into an alpha-list is normalized to the
+		// uniform non-empty list form [u|list(u)], u = head ⊔ elem.
+		// Without this the pointwise join of nil-terminated chains of
+		// different length ([x|[]] ⊔ [x|[y|[]]]) would produce [x|list(y)]
+		// — a head strictly below the tail's element type — and the shape
+		// of such mixed cells would depend on the order contributions
+		// arrived in. The uniform form is the least order-independent
+		// representative that still excludes [], which keeps widen∘lub
+		// schedule-confluent without conflating non-empty lists with
+		// possibly-empty ones (DESIGN §3.10).
+		if a.IsCons(tab) {
+			if e, ok := listTailElem(tab, args[1]); ok {
+				u := Lub(tab, args[0], e)
+				return MkStructT(a.Fn, u, MkListT(u))
+			}
 		}
 		return MkStructT(a.Fn, args...)
 	}
@@ -369,18 +434,37 @@ func hasAnyShare(t *Term) bool {
 	return false
 }
 
-// Widen applies the paper's term-depth restriction: composite subterms
-// at depth k are replaced by g (when the subtree is certainly ground),
-// nv (when certainly non-variable) or any, so that the result's Depth is
-// at most k. Widening only goes up the lattice, so the analysis stays
-// sound and the domain becomes finite.
+// Widen is the upper closure onto the widened subdomain: the paper's
+// term-depth restriction — composite subterms at depth k are replaced by
+// g (when the subtree is certainly ground), nv (when certainly
+// non-variable) or any, so that the result's Depth is at most k — plus
+// the uniform-list closure: a cons cell whose tail is an alpha-list is
+// normalized to [u|list(u)] with u = head ⊔ elem. The closure erases
+// the schedule-dependent head/element asymmetry of such cells while
+// keeping the non-empty/possibly-empty distinction, which is what makes
+// lub∘widen order-independent on terms in Widen's image (DESIGN §3.10):
+// every fixpoint schedule converges to the same table. Widening only
+// goes up the lattice, so the analysis stays sound and the domain stays
+// finite.
 func Widen(tab *term.Tab, t *Term, k int) *Term {
 	// A cons chain about to be truncated generalizes to its alpha-list
 	// view when it has one: [1,2,...,30] widens to list(int) rather than
-	// to g, preserving the paper's list-awareness for long data.
-	if t.Kind == Struct && k >= 2 && Depth(t) > k {
+	// to g, preserving the paper's list-awareness for long data. A cons
+	// chain is provably non-empty, so it generalizes to the uniform
+	// non-empty form when the depth budget allows the extra level —
+	// widening must never inject [] into a summary that excluded it, or
+	// the injection (a function of the schedule-dependent chain depth)
+	// would make base-case clauses reachable under one schedule and not
+	// another.
+	if t.Kind == Struct && Depth(t) > k {
 		if elem, ok := asList(tab, Normalize(t)); ok {
-			return MkListT(Widen(tab, elem, k-1))
+			if k >= 3 {
+				u := Widen(tab, elem, k-2)
+				return MkStructT(t.Fn, u, MkListT(u))
+			}
+			if k == 2 {
+				return MkListT(Widen(tab, elem, k-1))
+			}
 		}
 	}
 	if (t.Kind == Struct || t.Kind == List) && k <= 1 {
@@ -401,6 +485,22 @@ func Widen(tab *term.Tab, t *Term, k int) *Term {
 			args[i] = Widen(tab, a, k-1)
 			if args[i] != a {
 				changed = true
+			}
+		}
+		// The closure rule: a cons whose tail chain reaches an alpha-list
+		// is normalized to the uniform non-empty form. Checked on the
+		// widened tail — which, bottom-up, is already uniform — so the
+		// operator is idempotent and the normal form is always exactly one
+		// cons level over the list. The element sits one level deeper than
+		// the head did, so it is re-widened to the tail-element budget.
+		if t.IsCons(tab) {
+			if e, ok := listTailElem(tab, args[1]); ok {
+				u := Lub(tab, args[0], e)
+				if k >= 3 {
+					u = Widen(tab, u, k-2)
+					return MkStructT(t.Fn, u, MkListT(u))
+				}
+				return MkListT(Widen(tab, u, k-1))
 			}
 		}
 		if !changed {

@@ -108,8 +108,11 @@ func TestLubTable(t *testing.T) {
 // genAbs generates a random abstract type for property tests.
 func genAbs(r *rand.Rand, tab *term.Tab, depth int) *Term {
 	leaves := []Kind{Empty, Var, Nil, Atom, Intg, Const, Ground, NV, Any}
+	// Private nodes, not MkLeaf: some consumers decorate the generated
+	// tree with Share in place, which must not touch the shared leaf
+	// singletons.
 	if depth <= 0 || r.Intn(3) == 0 {
-		return MkLeaf(leaves[r.Intn(len(leaves))])
+		return &Term{Kind: leaves[r.Intn(len(leaves))]}
 	}
 	switch r.Intn(3) {
 	case 0:
@@ -127,7 +130,7 @@ func genAbs(r *rand.Rand, tab *term.Tab, depth int) *Term {
 	case 1:
 		return MkListT(genAbs(r, tab, depth-1))
 	default:
-		return MkLeaf(leaves[r.Intn(len(leaves))])
+		return &Term{Kind: leaves[r.Intn(len(leaves))]}
 	}
 }
 

@@ -76,6 +76,11 @@ type Interner struct {
 	tbuck map[uint64][]TermID
 	pats  []pnode
 	pbuck map[uint64][]PatternID
+	// fast buckets whole-pattern structural hashes to candidate IDs: the
+	// steady-state Intern call (finite widened domain, almost all hits)
+	// resolves with one tree hash, one map probe and one compare against
+	// the canonical rep, instead of a per-node bucket probe in tbuck.
+	fast map[uint64][]PatternID
 }
 
 // NewInterner returns an empty interner; ID 0 is reserved for Bottom.
@@ -85,6 +90,7 @@ func NewInterner() *Interner {
 		tbuck: make(map[uint64][]TermID, 256),
 		pats:  make([]pnode, 1), // PatternID 0 = Bottom (nil pattern)
 		pbuck: make(map[uint64][]PatternID, 64),
+		fast:  make(map[uint64][]PatternID, 64),
 	}
 }
 
@@ -116,18 +122,131 @@ func (in *Interner) Intern(p *Pattern) (PatternID, bool) {
 		return BottomID, true
 	}
 	sc := internScratchPool.Get().(*internScratch)
+	h := hashPattern(p, sc)
+	sc.reset()
 	in.mu.RLock()
+	for _, pid := range in.fast[h] {
+		rep := in.pats[pid].rep
+		if eqCanonical(p, rep, sc.renum) {
+			in.mu.RUnlock()
+			sc.reset()
+			internScratchPool.Put(sc)
+			return pid, true
+		}
+		clear(sc.renum)
+	}
 	id, ok := in.walkPattern(p, sc, false)
 	in.mu.RUnlock()
 	if !ok {
 		sc.reset()
 		in.mu.Lock()
 		id, _ = in.walkPattern(p, sc, true)
+		in.recordFast(h, id)
+		in.mu.Unlock()
+	} else {
+		in.mu.Lock()
+		in.recordFast(h, id)
 		in.mu.Unlock()
 	}
 	sc.reset()
 	internScratchPool.Put(sc)
 	return id, ok
+}
+
+// recordFast adds id to the whole-pattern hash bucket (write lock held);
+// a concurrent racer may have recorded it already.
+func (in *Interner) recordFast(h uint64, id PatternID) {
+	for _, pid := range in.fast[h] {
+		if pid == id {
+			return
+		}
+	}
+	in.fast[h] = append(in.fast[h], id)
+}
+
+// hashPattern computes a whole-tree structural hash of p under the same
+// equivalence walkPattern quotients by: share groups renumbered in
+// first-occurrence preorder through sc.renum.
+func hashPattern(p *Pattern, sc *internScratch) uint64 {
+	h := mix(mix(fnvOffset, uint64(uint32(p.Fn.Name))), uint64(uint32(p.Fn.Arity)))
+	for _, a := range p.Args {
+		h = hashTermTree(a, sc, h)
+	}
+	return h
+}
+
+func hashTermTree(t *Term, sc *internScratch, h uint64) uint64 {
+	var share int32
+	if t.Share != 0 {
+		g, ok := sc.renum[t.Share]
+		if !ok {
+			g = len(sc.renum) + 1
+			sc.renum[t.Share] = g
+		}
+		share = int32(g)
+	}
+	h = mix(h, uint64(t.Kind)<<32|uint64(uint32(share)))
+	h = mix(h, uint64(uint32(t.Fn.Name))<<16|uint64(uint32(t.Fn.Arity)))
+	switch t.Kind {
+	case Struct:
+		h = mix(h, uint64(len(t.Args)))
+		for _, a := range t.Args {
+			h = hashTermTree(a, sc, h)
+		}
+	case List:
+		h = hashTermTree(t.Elem, sc, h)
+	}
+	return h
+}
+
+// eqCanonical reports whether p is walkPattern-equivalent to the
+// canonical rep: structurally equal with p's share groups mapping to
+// rep's canonical first-occurrence numbering through renum (empty on
+// entry; the caller clears it between candidates). Positional
+// comparison makes the mapping bijective: a rep share that disagrees
+// with p's renumbered value rejects immediately.
+func eqCanonical(p *Pattern, rep *Pattern, renum map[int]int) bool {
+	if p.Fn != rep.Fn || len(p.Args) != len(rep.Args) {
+		return false
+	}
+	for i := range p.Args {
+		if !eqCanonicalTerm(p.Args[i], rep.Args[i], renum) {
+			return false
+		}
+	}
+	return true
+}
+
+func eqCanonicalTerm(t, rep *Term, renum map[int]int) bool {
+	if t.Kind != rep.Kind || t.Fn != rep.Fn {
+		return false
+	}
+	want := 0
+	if t.Share != 0 {
+		g, ok := renum[t.Share]
+		if !ok {
+			g = len(renum) + 1
+			renum[t.Share] = g
+		}
+		want = g
+	}
+	if rep.Share != want {
+		return false
+	}
+	switch t.Kind {
+	case Struct:
+		if len(t.Args) != len(rep.Args) {
+			return false
+		}
+		for i := range t.Args {
+			if !eqCanonicalTerm(t.Args[i], rep.Args[i], renum) {
+				return false
+			}
+		}
+	case List:
+		return eqCanonicalTerm(t.Elem, rep.Elem, renum)
+	}
+	return true
 }
 
 // Pattern returns the canonical representative of id (nil for Bottom).

@@ -1,0 +1,219 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awam/internal/term"
+)
+
+// This file checks the algebraic laws behind schedule confluence
+// (DESIGN §3.7): the fixpoint engine merges table entries with
+//
+//	merge(a, b) = Widen(Lub(a, b), k)
+//
+// and the analysis result is independent of evaluation order exactly
+// when merge is an idempotent, commutative, associative join on the
+// widened subdomain — i.e. when Widen is an upper closure (extensive,
+// monotone, idempotent) and Lub restricted to widened elements stays
+// widened. Each law is tested by byte-identity (Equal / Key), not just
+// mutual Leq, because the fuzz oracle compares marshaled tables.
+
+var lawDepths = []int{2, 3, 4, 6}
+
+// normGen draws a random normalized type: the laws are stated on the
+// normalized carrier (Normalize collapses degenerate empty-containing
+// terms, which the analyzer never constructs — see Normalize's doc).
+func normGen(r *rand.Rand, tab *term.Tab) *Term {
+	return Normalize(genAbs(r, tab, 5))
+}
+
+// lubW is merge: the lub of two widened elements, re-widened.
+func lubW(tab *term.Tab, a, b *Term, k int) *Term {
+	return Widen(tab, Lub(tab, a, b), k)
+}
+
+func TestWidenUpperClosure(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(41))
+	for _, k := range lawDepths {
+		f := func() bool {
+			a := normGen(r, tab)
+			w := Widen(tab, a, k)
+			// extensive: a ⊑ Widen(a)
+			if !Leq(tab, a, w) {
+				t.Logf("k=%d not extensive: %s ⋢ %s", k, a.String(tab), w.String(tab))
+				return false
+			}
+			// idempotent: Widen(Widen(a)) == Widen(a), byte-identical
+			if !Equal(Widen(tab, w, k), w) {
+				t.Logf("k=%d not idempotent: %s", k, w.String(tab))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// TestMergeLeqMonotone checks monotonicity where the engine needs it:
+// on the widened subdomain, merge is monotone in each argument
+// (wa ⊑ wb ⇒ merge(wa, wc) ⊑ merge(wb, wc)). Unrestricted
+// Leq-monotonicity of Widen does NOT hold — the uniform-list closure
+// trades it for associativity on the image. Counterexample at k = 3:
+//
+//	a = [list(list(int))|[]] ⊑ b = list(list(any)), but
+//	Widen(a) = [g|list(g)] ⋢ Widen(b) = list(list(any))
+//
+// because collapsing a's chain spends depth budget on the joined
+// element (g) while b's nested lists keep theirs. The fixpoint never
+// compares across that boundary: the table stores only widened
+// elements, every contribution is widened by abstractArgs before it
+// meets the table, and there merge is the semilattice join.
+func TestMergeLeqMonotone(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(43))
+	for _, k := range lawDepths {
+		f := func() bool {
+			wa := Widen(tab, normGen(r, tab), k)
+			wc := Widen(tab, normGen(r, tab), k)
+			// wb = merge(wa, ·) guarantees wa ⊑ wb inside the subdomain.
+			wb := lubW(tab, wa, Widen(tab, normGen(r, tab), k), k)
+			if !Leq(tab, wa, wb) {
+				t.Logf("k=%d merge not extensive: %s ⋢ %s", k, wa.String(tab), wb.String(tab))
+				return false
+			}
+			if !Leq(tab, lubW(tab, wa, wc, k), lubW(tab, wb, wc, k)) {
+				t.Logf("k=%d merge not monotone: wa=%s wb=%s wc=%s", k,
+					wa.String(tab), wb.String(tab), wc.String(tab))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// TestLubClosedOnWidened is the closure law: the lub of two widened
+// elements is already widened, so Widen(Lub(Widen(a), Widen(b))) ==
+// Lub(Widen(a), Widen(b)). This is what makes merge a true join on the
+// widened subdomain (rather than merely an upper-bound operator).
+func TestLubClosedOnWidened(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(47))
+	for _, k := range lawDepths {
+		f := func() bool {
+			wa := Widen(tab, normGen(r, tab), k)
+			wb := Widen(tab, normGen(r, tab), k)
+			l := Lub(tab, wa, wb)
+			if !Equal(Widen(tab, l, k), l) {
+				t.Logf("k=%d lub escapes widened subdomain: %s ⊔ %s = %s (widens to %s)",
+					k, wa.String(tab), wb.String(tab), l.String(tab),
+					Widen(tab, l, k).String(tab))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestMergeIdempotentCommutative(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(53))
+	for _, k := range lawDepths {
+		f := func() bool {
+			wa := Widen(tab, normGen(r, tab), k)
+			wb := Widen(tab, normGen(r, tab), k)
+			if !Equal(lubW(tab, wa, wa, k), wa) {
+				t.Logf("k=%d merge not idempotent on %s", k, wa.String(tab))
+				return false
+			}
+			if !Equal(lubW(tab, wa, wb, k), lubW(tab, wb, wa, k)) {
+				t.Logf("k=%d merge not commutative: %s vs %s", k,
+					lubW(tab, wa, wb, k).String(tab), lubW(tab, wb, wa, k).String(tab))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(59))
+	for _, k := range lawDepths {
+		f := func() bool {
+			wa := Widen(tab, normGen(r, tab), k)
+			wb := Widen(tab, normGen(r, tab), k)
+			wc := Widen(tab, normGen(r, tab), k)
+			l := lubW(tab, lubW(tab, wa, wb, k), wc, k)
+			rgt := lubW(tab, wa, lubW(tab, wb, wc, k), k)
+			if !Equal(l, rgt) {
+				t.Logf("k=%d merge not associative:\n  a=%s b=%s c=%s\n  (ab)c=%s a(bc)=%s",
+					k, wa.String(tab), wb.String(tab), wc.String(tab),
+					l.String(tab), rgt.String(tab))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// TestMergePatternLaws lifts the laws to whole patterns, the values the
+// extension table actually stores: mergeP = WidenPattern ∘ LubPattern,
+// compared by canonical Key (the byte string the fuzz oracle diffs).
+func TestMergePatternLaws(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(61))
+	fn := tab.Func("p", 3)
+	genPat := func(k int) *Pattern {
+		args := make([]*Term, 3)
+		for i := range args {
+			args[i] = Normalize(genAbs(r, tab, 4))
+		}
+		return WidenPattern(tab, NewPattern(fn, args).Canonical(), k)
+	}
+	mergeP := func(a, b *Pattern, k int) *Pattern {
+		return WidenPattern(tab, LubPattern(tab, a, b), k)
+	}
+	for _, k := range []int{3, 4} {
+		f := func() bool {
+			pa, pb, pc := genPat(k), genPat(k), genPat(k)
+			if mergeP(pa, pa, k).Key() != pa.Key() {
+				t.Logf("k=%d pattern merge not idempotent: %s", k, pa.String(tab))
+				return false
+			}
+			if mergeP(pa, pb, k).Key() != mergeP(pb, pa, k).Key() {
+				t.Logf("k=%d pattern merge not commutative: %s / %s",
+					k, pa.String(tab), pb.String(tab))
+				return false
+			}
+			l := mergeP(mergeP(pa, pb, k), pc, k)
+			rgt := mergeP(pa, mergeP(pb, pc, k), k)
+			if l.Key() != rgt.Key() {
+				t.Logf("k=%d pattern merge not associative:\n  a=%s b=%s c=%s\n  (ab)c=%s a(bc)=%s",
+					k, pa.String(tab), pb.String(tab), pc.String(tab),
+					l.String(tab), rgt.String(tab))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}

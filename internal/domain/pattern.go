@@ -578,16 +578,92 @@ func sharePositionPairs(p *Pattern) map[string]bool {
 	return out
 }
 
-// WidenPattern applies the term-depth restriction to every argument.
+// WidenPattern applies Widen — the depth restriction plus the
+// cons-over-list collapse — to every argument. Widening can swallow
+// share-group occurrences (subtree truncation, the list collapse); a
+// var node whose group lost occurrences may be instantiated through the
+// now-invisible alias, so it is soundly widened to any before the
+// canonical renumbering.
 func WidenPattern(tab *term.Tab, p *Pattern, k int) *Pattern {
 	if p == nil {
 		return nil
 	}
 	args := make([]*Term, len(p.Args))
+	changed := false
 	for i, a := range p.Args {
 		args[i] = Widen(tab, a, k)
+		if args[i] != a {
+			changed = true
+		}
 	}
-	return (&Pattern{Fn: p.Fn, Args: args}).Canonical()
+	w := &Pattern{Fn: p.Fn, Args: args}
+	if changed {
+		before := shareGroupCounts(p)
+		if len(before) > 0 {
+			after := shareGroupCounts(w)
+			var dropped map[int]bool
+			for g, n := range before {
+				if after[g] < n {
+					if dropped == nil {
+						dropped = make(map[int]bool)
+					}
+					dropped[g] = true
+				}
+			}
+			if dropped != nil {
+				w = devarifyDropped(w, dropped)
+			}
+		}
+	}
+	return w.Canonical()
+}
+
+// shareGroupCounts tallies share-group occurrences per group id.
+func shareGroupCounts(p *Pattern) map[int]int {
+	var out map[int]int
+	var walk func(t *Term)
+	walk = func(t *Term) {
+		if t.Share != 0 {
+			if out == nil {
+				out = make(map[int]int)
+			}
+			out[t.Share]++
+		}
+		for _, c := range t.children() {
+			walk(c)
+		}
+	}
+	for _, a := range p.Args {
+		walk(a)
+	}
+	return out
+}
+
+// devarifyDropped widens var nodes of the given share groups to any
+// (their swallowed co-occurrences may instantiate them invisibly).
+func devarifyDropped(p *Pattern, groups map[int]bool) *Pattern {
+	var rew func(t *Term) *Term
+	rew = func(t *Term) *Term {
+		out := *t
+		if t.Share != 0 && groups[t.Share] && t.Kind == Var {
+			out.Kind = Any
+		}
+		if t.Kind == Struct {
+			out.Args = make([]*Term, len(t.Args))
+			for i, a := range t.Args {
+				out.Args[i] = rew(a)
+			}
+		}
+		if t.Kind == List {
+			out.Elem = rew(t.Elem)
+		}
+		return &out
+	}
+	args := make([]*Term, len(p.Args))
+	for i, a := range p.Args {
+		args[i] = rew(a)
+	}
+	return &Pattern{Fn: p.Fn, Args: args}
 }
 
 // ParseAbs parses a test-notation abstract pattern such as

@@ -30,15 +30,20 @@ type Violation struct {
 	// Kind is one of "soundness" (a concrete answer escapes some
 	// strategy's abstract summary), "bottom-success" (a strategy
 	// claims failure but the query succeeds), "strategy-divergence"
-	// (strict mode only: worklist and parallel results are not
-	// byte-identical, or the worklist summary is not below the naive
-	// one), "metamorphic-reorder", or "metamorphic-rename".
+	// (strict mode: worklist, naive and parallel results are not
+	// byte-identical), "metamorphic-reorder", or "metamorphic-rename".
 	Kind    string `json:"kind"`
 	Seed    int64  `json:"seed,omitempty"`
 	Source  string `json:"source"`
 	Query   string `json:"query"`
 	Detail  string `json:"detail"`
 	Clauses int    `json:"clauses"`
+	// DivergedPred and DivergedPair identify the first diverging table
+	// entry of a strategy-divergence: the calling pattern whose row
+	// differs, and the two summaries ("bottom" / "missing" when one
+	// side lacks the row entirely). Empty for other kinds.
+	DivergedPred string   `json:"diverged_pred,omitempty"`
+	DivergedPair []string `json:"diverged_pair,omitempty"`
 }
 
 // Stats summarizes one oracle run over a case.

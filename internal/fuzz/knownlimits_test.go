@@ -11,62 +11,32 @@ import (
 	"awam/internal/term"
 )
 
-// nonConfluentSrc is a counterexample FuzzSoundnessSource discovered
-// (a mutated qsort whose partition lost its body and whose first
-// clause calls qsort on an unbound L1): the fixpoint reached depends
-// on iteration order. Different schedules of the parallel engine — and
-// the worklist engine — land on different, individually sound,
-// post-fixpoints, because lub/widen interleaving is not confluent for
-// this program. The byte-identity contract between worklist and
-// parallel-N therefore only holds for schedule-confluent programs;
-// making the domain operations confluent (so the least fixpoint is
-// schedule-independent) is tracked as an open roadmap item.
-const nonConfluentSrc = `qsort([X|L], R, R0) :- partition(L, X, b1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
+// confluenceRegressionSrc is the counterexample FuzzSoundnessSource
+// discovered before the widening was restructured into an upper
+// closure (a mutated qsort whose partition lost its body and whose
+// first clause calls qsort on an unbound L1). Under the old domain the
+// fixpoint reached depended on iteration order: whether a deep cons
+// chain was widened to list(e) — silently admitting [] and changing
+// base-clause reachability downstream — depended on the schedule's
+// accumulated chain depth, so worklist, naive and parallel-N landed on
+// different, individually sound, post-fixpoints (typically 3-6
+// byte-level divergences in 20 parallel runs). The uniform-list
+// closure removed the nil injection, and this file pins the program as
+// a byte-identity regression test.
+const confluenceRegressionSrc = `qsort([X|L], R, R0) :- partition(L, X, b1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
 qsort([], R, R).
 partition([X|L], Y, L1, [X|L2]).
 partition([], _G0, [], []).
 `
 
-const nonConfluentQuery = "qsort([3,1,2], R, [])"
+const confluenceRegressionQuery = "qsort([3,1,2], R, [])"
 
-// TestKnownNonConfluence pins what IS guaranteed on the counterexample:
-// every strategy, under every schedule, must still produce a sound
-// summary — the oracle in non-strict mode verifies exactly that. The
-// test also records (without failing) whether the byte-identity gap is
-// still present, so whoever fixes confluence notices and can promote
-// StrictCross to the source-fuzz harness.
-func TestKnownNonConfluence(t *testing.T) {
-	c := Case{Source: nonConfluentSrc, Queries: []string{nonConfluentQuery}}
-	opt := DefaultOptions()
-	opt.StrictCross = false
-	// The mutilated partition makes the concrete search explode; a few
-	// thousand steps observe plenty of answers.
-	opt.ConcreteSteps = 20_000
-	opt.MaxSolutions = 4
-	var diverged int
-	for i := 0; i < 20; i++ {
-		v, st, err := Check(c, opt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if v != nil {
-			t.Fatalf("non-confluent program must still be sound under every strategy: %+v", v)
-		}
-		diverged += st.Diverged
-	}
-	if diverged == 0 {
-		t.Log("no worklist/parallel divergence observed in 20 runs; if lub/widen became confluent, consider enabling StrictCross in FuzzSoundnessSource")
-	} else {
-		t.Logf("observed %d worklist/parallel divergences across 20 runs (known non-confluence)", diverged)
-	}
-}
-
-// TestWorklistSelfDeterminism pins the sequential engines' contract on
-// the same adversarial program: repeated worklist (and naive) runs
-// must be byte-identical — only across-schedule comparison is exempt.
-func TestWorklistSelfDeterminism(t *testing.T) {
+// analyzeRegression runs one strategy on the pinned program and
+// returns the marshaled table.
+func analyzeRegression(t *testing.T, strat core.Strategy, par int) string {
+	t.Helper()
 	tab := term.NewTab()
-	prog, err := parser.ParseProgram(tab, nonConfluentSrc)
+	prog, err := parser.ParseProgram(tab, confluenceRegressionSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +44,7 @@ func TestWorklistSelfDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	goals, err := parser.ParseGoal(tab, nonConfluentQuery)
+	goals, err := parser.ParseGoal(tab, confluenceRegressionQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,24 +56,67 @@ func TestWorklistSelfDeterminism(t *testing.T) {
 		argAbs[i] = domain.AbstractConcrete(tab, a, shares)
 	}
 	cp := domain.WidenPattern(tab, domain.NewPattern(fn, argAbs), 4)
+	cfg := core.DefaultConfig()
+	cfg.Strategy = strat
+	cfg.Parallelism = par
+	res, err := core.NewWith(mod, cfg).Analyze(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Marshal()
+}
+
+// TestConfluenceRegression: on the historical counterexample, every
+// strategy under every schedule must now produce the byte-identical
+// table. Parallel legs are repeated because a single run exercises
+// only one schedule; 20 rounds of parallel-1/2/4 was enough to show
+// several divergent schedules under the old domain.
+func TestConfluenceRegression(t *testing.T) {
+	want := analyzeRegression(t, core.StrategyWorklist, 0)
+	if !strings.Contains(want, "qsort") {
+		t.Fatal("marshal output missing the entry predicate")
+	}
+	if got := analyzeRegression(t, core.StrategyNaive, 0); got != want {
+		t.Fatalf("naive diverges from worklist:\nworklist:\n%s\nnaive:\n%s", want, got)
+	}
+	for round := 0; round < 20; round++ {
+		for _, par := range []int{1, 2, 4} {
+			if got := analyzeRegression(t, core.StrategyParallel, par); got != want {
+				t.Fatalf("parallel-%d diverges from worklist on round %d:\nworklist:\n%s\nparallel:\n%s",
+					par, round, want, got)
+			}
+		}
+	}
+	// The strict oracle must agree: full cross-strategy byte-identity
+	// plus soundness of the shared result against concrete answers.
+	c := Case{Source: confluenceRegressionSrc, Queries: []string{confluenceRegressionQuery}}
+	opt := DefaultOptions()
+	// The mutilated partition makes the concrete search explode; a few
+	// thousand steps observe plenty of answers.
+	opt.ConcreteSteps = 20_000
+	opt.MaxSolutions = 4
+	v, _, err := Check(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("strict oracle violation on pinned program: %+v", v)
+	}
+}
+
+// TestWorklistSelfDeterminism pins the sequential engines' contract on
+// the same program: repeated worklist (and naive) runs must be
+// byte-identical run to run.
+func TestWorklistSelfDeterminism(t *testing.T) {
 	for _, strat := range []core.Strategy{core.StrategyWorklist, core.StrategyNaive} {
 		var first string
 		for i := 0; i < 10; i++ {
-			cfg := core.DefaultConfig()
-			cfg.Strategy = strat
-			res, err := core.NewWith(mod, cfg).Analyze(cp)
-			if err != nil {
-				t.Fatal(err)
-			}
-			m := res.Marshal()
+			m := analyzeRegression(t, strat, 0)
 			if i == 0 {
 				first = m
 			} else if m != first {
 				t.Fatalf("strategy %v nondeterministic on run %d", strat, i)
 			}
-		}
-		if !strings.Contains(first, "qsort") {
-			t.Fatal("marshal output missing the entry predicate")
 		}
 	}
 }

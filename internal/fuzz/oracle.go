@@ -30,13 +30,12 @@ type Options struct {
 	// against the concrete answers.
 	CrossStrategies bool
 	// StrictCross escalates cross-strategy disagreement to a
-	// violation: worklist and parallel-N must be byte-identical and
-	// the worklist summary must be ⊑ the naive one. This holds for
-	// schedule-confluent programs (all of the generated corpus and the
-	// bench suite) but is NOT a theorem: lub/widen interleaving order
-	// can land different schedules on different — individually sound —
-	// post-fixpoints (see knownlimits_test.go for a counterexample the
-	// source fuzzer found). Leave it off when fuzzing arbitrary text.
+	// violation: worklist, naive and parallel-N results must be
+	// byte-identical. Since the widening was restructured into an
+	// upper closure (merge = widen ∘ lub is an idempotent,
+	// commutative, associative join on the widened subdomain — see
+	// domain/laws_test.go) this is a theorem for arbitrary programs,
+	// so it defaults on everywhere, including source-level fuzzing.
 	StrictCross bool
 	// MutateSummary, when non-nil, post-processes the analyzer's
 	// success pattern before the soundness check. It exists for fault
@@ -218,16 +217,26 @@ type altSummary struct {
 
 // crossCheck runs the other fixpoint strategies on the same entry
 // pattern and returns their summaries for the soundness check. Under
-// strict mode it additionally enforces the schedule-confluence
-// contract: worklist and parallel-N byte-identical, worklist summary
-// ⊑ naive summary. Outside strict mode a byte-level disagreement only
-// increments Stats.Diverged — the strategies may legitimately land on
-// different sound post-fixpoints when lub/widen interleaving is not
-// confluent for the program.
+// strict mode it enforces the schedule-confluence contract: worklist,
+// naive and parallel-N tables must all be byte-identical. Outside
+// strict mode a byte-level disagreement only increments Stats.Diverged
+// (each strategy's summary is still individually checked for
+// soundness); that mode survives as an escape hatch for fault
+// injection and for bisecting a confluence regression.
 func crossCheck(tab *term.Tab, fn term.Functor, succWL *domain.Pattern,
 	resWL *core.Result, run func(core.Strategy, int) (*core.Result, error),
 	viol func(kind, query, detail string) *Violation, q string,
 	strict bool, st *Stats) ([]altSummary, *Violation, error) {
+
+	divergence := func(label string, other *core.Result) *Violation {
+		pred, pair := FirstDivergence(resWL, other)
+		v := viol("strategy-divergence", q, fmt.Sprintf(
+			"worklist and %s results are not byte-identical; first divergence at %s: %s vs %s",
+			label, pred, pair[0], pair[1]))
+		v.DivergedPred = pred
+		v.DivergedPair = pair[:]
+		return v
+	}
 
 	var alts []altSummary
 	for _, par := range []int{2, 4} {
@@ -240,8 +249,7 @@ func crossCheck(tab *term.Tab, fn term.Functor, succWL *domain.Pattern,
 		}
 		if resWL.Marshal() != resPar.Marshal() {
 			if strict {
-				return nil, viol("strategy-divergence", q, fmt.Sprintf(
-					"worklist and parallel-%d results are not byte-identical", par)), nil
+				return nil, divergence(fmt.Sprintf("parallel-%d", par), resPar), nil
 			}
 			st.Diverged++
 		}
@@ -254,20 +262,65 @@ func crossCheck(tab *term.Tab, fn term.Functor, succWL *domain.Pattern,
 	if err != nil {
 		return nil, nil, fmt.Errorf("fuzz: naive analyze %q: %w", q, err)
 	}
-	succNaive := resNaive.SuccessFor(fn)
-	if strict && succWL != nil {
-		if succNaive == nil {
-			return nil, viol("strategy-divergence", q,
-				"worklist finds a success pattern but naive claims failure"), nil
+	if resWL.Marshal() != resNaive.Marshal() {
+		if strict {
+			return nil, divergence("naive", resNaive), nil
 		}
-		if !domain.LeqPattern(tab, succWL, succNaive) {
-			return nil, viol("strategy-divergence", q, fmt.Sprintf(
-				"worklist summary %s not ⊑ naive summary %s",
-				succWL.String(tab), succNaive.String(tab))), nil
+		st.Diverged++
+	}
+	alts = append(alts, altSummary{"naive", resNaive.SuccessFor(fn)})
+	return alts, nil, nil
+}
+
+// FirstDivergence locates the first table entry on which two analysis
+// results disagree, keyed by calling pattern. It returns the calling
+// pattern and the two summaries ("missing" when one table lacks the
+// entry, "bottom" for a nil summary). Entries are compared in a's
+// presentation order, then b is scanned for entries absent from a.
+func FirstDivergence(a, b *core.Result) (string, [2]string) {
+	sumStr := func(r *core.Result, e *core.Entry) string {
+		if e == nil {
+			return "missing"
+		}
+		if e.Succ == nil {
+			return "bottom"
+		}
+		return e.Succ.String(r.Tab)
+	}
+	bByKey := make(map[string]*core.Entry, len(b.Entries))
+	for _, e := range b.Entries {
+		bByKey[e.CP.Key()] = e
+	}
+	seen := make(map[string]bool, len(a.Entries))
+	for _, e := range a.Entries {
+		key := e.CP.Key()
+		seen[key] = true
+		be := bByKey[key]
+		as, bs := sumStr(a, e), sumStr(b, be)
+		if as != bs {
+			return e.CP.String(a.Tab), [2]string{as, bs}
 		}
 	}
-	alts = append(alts, altSummary{"naive", succNaive})
-	return alts, nil, nil
+	for _, e := range b.Entries {
+		if !seen[e.CP.Key()] {
+			return e.CP.String(b.Tab), [2]string{"missing", sumStr(b, e)}
+		}
+	}
+	// Same keyed rows: the byte difference is in presentation order.
+	al, bl := strings.Split(a.Marshal(), "\n"), strings.Split(b.Marshal(), "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return "(presentation order)", [2]string{x, y}
+		}
+	}
+	return "", [2]string{"", ""}
 }
 
 // CheckMetamorphic applies the metamorphic oracle to a case: reversing

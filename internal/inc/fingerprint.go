@@ -19,7 +19,11 @@ import (
 // only invalidation this design needs. v2 replaced the disassembly-text
 // hash input with the binary encoding below (same coverage, far cheaper
 // to compute — fingerprinting is on the warm path of every request).
-const fpFormat = "awam-scc-fp 2"
+// v3 salts the schedule-confluent widening semantics: the uniform-list
+// closure changes computed summaries (e.g. [f(g)|list(g)] now presents
+// as [g|list(g)]), so records written by the pre-closure analyzer must
+// never satisfy a post-closure run, and vice versa.
+const fpFormat = "awam-scc-fp 3"
 
 // fingerprint computes every component's content address, bottom-up.
 // A fingerprint covers:
@@ -37,11 +41,17 @@ const fpFormat = "awam-scc-fp 2"
 // Undefined pseudo-components hash their name/arity: defining the
 // predicate later replaces the pseudo-fingerprint with a code hash and
 // thereby dirties every caller.
-func (p *Plan) fingerprint(context string) {
+func (p *Plan) fingerprint(context string) { p.fingerprintWith(fpFormat, context) }
+
+// fingerprintWith is fingerprint with an explicit schema name. It
+// exists so tests can key records under a different format generation
+// and prove the salt isolates them; production code always hashes
+// fpFormat.
+func (p *Plan) fingerprintWith(format, context string) {
 	var bw binWriter
 	for _, scc := range p.SCCs {
 		bw.buf = bw.buf[:0]
-		bw.str(fpFormat)
+		bw.str(format)
 		bw.str(context)
 		for _, fn := range scc.Members {
 			if scc.Undefined {

@@ -7,17 +7,19 @@ package specialize_test
 // wall time may differ. This file enforces that promise differentially
 // over every committed program corpus: the generated fuzz seeds, the
 // raw-source fuzz corpus, the Table 1 + extended benchmark suites, and
-// the known non-confluence counterexample.
+// the historical non-confluence counterexample.
 //
 // Strategy coverage: the worklist comparison is exact (Marshal + Steps
 // + Opcodes; the sequential engine is fully deterministic). Parallel-2
 // and parallel-4 compare Marshal only — the step totals of a parallel
-// run are schedule-dependent in both engines — and only on programs the
-// generic engine itself presents confluently this run (generic parallel
-// == generic worklist), mirroring the fuzz oracle's cross-strategy
-// gate. The interner counters are deliberately NOT compared: the
-// pre-interning specialization exists to eliminate interner traffic, so
-// those counters are legitimately lower.
+// run are schedule-dependent in both engines. Since the widening
+// became an upper closure the generic engine is schedule-confluent on
+// every program, so parallel results are additionally pinned against
+// the generic worklist (a divergence there is a confluence regression,
+// not a reason to skip) and every ablation leg is compared under the
+// parallel strategy too. The interner counters are deliberately NOT
+// compared: the pre-interning specialization exists to eliminate
+// interner traffic, so those counters are legitimately lower.
 
 import (
 	"bufio"
@@ -38,10 +40,12 @@ import (
 	"awam/internal/wam"
 )
 
-// nonConfluentSrc is the knownlimits counterexample (see
-// internal/fuzz/knownlimits_test.go): schedules land on different sound
-// post-fixpoints, so it is compared under the worklist only.
-const nonConfluentSrc = `qsort([X|L], R, R0) :- partition(L, X, b1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
+// confluenceRegressionSrc is the historical non-confluence
+// counterexample (see internal/fuzz/knownlimits_test.go): under the
+// pre-closure domain its schedules landed on different sound
+// post-fixpoints. It is now byte-identical under every strategy and is
+// exercised with the full parallel comparison like any other program.
+const confluenceRegressionSrc = `qsort([X|L], R, R0) :- partition(L, X, b1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
 qsort([], R, R).
 partition([X|L], Y, L1, [X|L2]).
 partition([], _G0, [], []).
@@ -128,20 +132,20 @@ func diffProgram(t *testing.T, src string, parallel bool) {
 	if !parallel {
 		return
 	}
-	full := buildSpec(mod, specialize.Options{Fuse: true, PreIntern: true})
 	for _, workers := range []int{2, 4} {
 		genPar := analyzeWith(t, mod, core.StrategyParallel, workers, nil)
 		if genPar.Marshal() != wl.Marshal() {
-			// Generic parallel itself diverged from the worklist: the
-			// program is not schedule-confluent, so no cross-engine
-			// comparison is meaningful at this worker count.
-			t.Logf("parallel-%d: generic engine not confluent on this program; skipping", workers)
+			t.Errorf("parallel-%d: generic engine diverged from its own worklist (confluence regression)\n--- worklist ---\n%s--- parallel ---\n%s",
+				workers, wl.Marshal(), genPar.Marshal())
 			continue
 		}
-		specPar := analyzeWith(t, mod, core.StrategyParallel, workers, full)
-		if got := specPar.Marshal(); got != wl.Marshal() {
-			t.Errorf("parallel-%d/full: Marshal differs\n--- generic ---\n%s--- specialized ---\n%s",
-				workers, wl.Marshal(), got)
+		for _, leg := range ablationLegs {
+			spec := buildSpec(mod, leg.opts)
+			specPar := analyzeWith(t, mod, core.StrategyParallel, workers, spec)
+			if got := specPar.Marshal(); got != wl.Marshal() {
+				t.Errorf("parallel-%d/%s: Marshal differs\n--- generic ---\n%s--- specialized ---\n%s",
+					workers, leg.name, wl.Marshal(), got)
+			}
 		}
 	}
 }
@@ -227,11 +231,12 @@ func TestDifferentialFuzzSources(t *testing.T) {
 	}
 }
 
-// TestDifferentialNonConfluent pins the knownlimits counterexample:
-// even on a program whose parallel schedules diverge, the specialized
-// worklist must replicate the generic worklist exactly.
-func TestDifferentialNonConfluent(t *testing.T) {
-	diffProgram(t, nonConfluentSrc, false)
+// TestDifferentialConfluenceRegression pins the historical
+// counterexample with the full comparison, parallel legs included: the
+// program that once separated schedules must now be byte-identical
+// across every engine and strategy.
+func TestDifferentialConfluenceRegression(t *testing.T) {
+	diffProgram(t, confluenceRegressionSrc, true)
 }
 
 // readCorpusFile parses the "go test fuzz v1" encoding: a header line
