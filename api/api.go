@@ -3,6 +3,7 @@
 // the versioned prefix /v1 (the unversioned routes remain as aliases):
 //
 //	POST /v1/analyze    AnalyzeRequest   -> AnalyzeResponse
+//	POST /v1/backward   BackwardRequest  -> BackwardResponse
 //	POST /v1/optimize   OptimizeRequest  -> OptimizeResponse
 //	POST /v1/store/has  StoreHasRequest  -> StoreHasResponse
 //	POST /v1/store/get  StoreGetRequest  -> StoreGetResponse
@@ -79,6 +80,56 @@ type AnalyzeResponse struct {
 	// Incremental is the cache's share of this analysis.
 	Incremental *Incremental `json:"incremental,omitempty"`
 	// Cache is the shared summary cache's cumulative state.
+	Cache Cache `json:"cache"`
+	// ElapsedMS is the analysis wall time; Coalesced marks responses
+	// served by joining an identical in-flight request.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	Coalesced bool  `json:"coalesced,omitempty"`
+}
+
+// BackwardRequest is the POST /v1/backward body: a demand query — for
+// each goal predicate and everything it transitively demands, infer the
+// weakest call pattern under which success cannot be refuted and every
+// builtin is error-free.
+type BackwardRequest struct {
+	// Source is the Prolog program text (required).
+	Source string `json:"source"`
+	// Goals are the demand entry points as "name/arity" indicators;
+	// empty roots the query at main/0 when the program defines it, else
+	// at every source predicate.
+	Goals []string `json:"goals,omitempty"`
+	// TimeoutMS bounds the analysis wall time; 0 selects the server
+	// default, larger values are clamped to the server maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps bounds the backward transfer steps; 0 means the engine
+	// default (up to the server clamp).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Depth overrides the widening depth bound; 0 keeps the default.
+	Depth int `json:"depth,omitempty"`
+}
+
+// BackwardStats are the run statistics of one backward analysis.
+type BackwardStats struct {
+	Steps        int64 `json:"steps"`
+	Iterations   int   `json:"iterations"`
+	VisitedSCCs  int   `json:"visited_sccs"`
+	TotalSCCs    int   `json:"total_sccs"`
+	ReusedSCCs   int   `json:"reused_sccs"`
+	ExecutedSCCs int   `json:"executed_sccs"`
+	CondenseMS   int64 `json:"condense_ms"`
+	ForwardMS    int64 `json:"forward_ms"`
+	SolveMS      int64 `json:"solve_ms"`
+}
+
+// BackwardResponse is the POST /v1/backward success body.
+type BackwardResponse struct {
+	// Demands maps each visited "name/arity" to its weakest demand.
+	Demands map[string]awam.Demand `json:"demands"`
+	// Stats are the run statistics (for coalesced requests: the shared
+	// analysis).
+	Stats BackwardStats `json:"stats"`
+	// Cache is the shared summary cache's cumulative state; backward
+	// records share its tiers under their own format salt.
 	Cache Cache `json:"cache"`
 	// ElapsedMS is the analysis wall time; Coalesced marks responses
 	// served by joining an identical in-flight request.

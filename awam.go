@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"awam/internal/backward"
 	"awam/internal/compiler"
 	"awam/internal/core"
 	"awam/internal/domain"
@@ -78,6 +79,12 @@ type System struct {
 	// options).
 	specOnce sync.Once
 	spec     *specialize.Program
+
+	// bwdEng is the private backward-analysis engine, built lazily on the
+	// first AnalyzeBackward without WithBackwardStore; its in-memory
+	// store makes repeat demand queries on this System warm by default.
+	bwdOnce sync.Once
+	bwdEng  *backward.Engine
 }
 
 // specProgram builds (once) the specialized abstract transfer streams

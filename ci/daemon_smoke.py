@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """End-to-end smoke for awamd: POST the qsort benchmark to a running
 daemon and assert its per-predicate summaries equal a batch
-`awam analyze -worklist` run on the same source.
+`awam analyze -worklist` run on the same source, then POST the same
+source to /v1/backward and assert the demands equal a batch
+`awam backward` run — and that an immediately repeated demand query is
+served warm from the daemon's store (zero components re-executed).
 
 Usage: daemon_smoke.py http://127.0.0.1:8347
 Run from the repository root (invokes `go run ./cmd/awam`).
@@ -71,6 +74,62 @@ def batch_modes():
     return out
 
 
+def daemon_demands(base):
+    body = json.dumps(
+        {"source": QSORT, "goals": ["qsort/3"], "timeout_ms": 5000}
+    ).encode()
+    req = urllib.request.Request(
+        base + "/v1/backward", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        out = json.load(resp)
+    demands = out.get("demands")
+    if not demands:
+        sys.exit(f"daemon returned no demands: {out}")
+    calls = {p: d["Call"] for p, d in demands.items() if d.get("Callable")}
+    return calls, out.get("stats") or {}
+
+
+def batch_demands():
+    with tempfile.NamedTemporaryFile("w", suffix=".pl", delete=False) as f:
+        f.write(QSORT)
+        path = f.name
+    text = subprocess.run(
+        ["go", "run", "./cmd/awam", "backward", "-goal", "qsort/3", path],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    # "demand qsort/3 qsort(nv, any, any)" lines; "bottom" marks no
+    # safe call (skipped, like non-Callable daemon demands).
+    out = {}
+    for line in text.splitlines():
+        m = re.match(r"^demand\s+(\S+)\s+(.*)$", line.strip())
+        if not m or m.group(2) == "bottom":
+            continue
+        out[m.group(1)] = m.group(2)
+    if not out:
+        sys.exit(f"could not parse batch backward output:\n{text}")
+    return out
+
+
+def check_backward(base):
+    got, cold = daemon_demands(base)
+    want = batch_demands()
+    if "qsort/3" not in want or "partition/4" not in want:
+        sys.exit(f"batch backward output missing expected predicates: {sorted(want)}")
+    if got != want:
+        sys.exit(f"daemon demands {got} != batch demands {want}")
+    if cold.get("executed_sccs", 0) <= 0:
+        sys.exit(f"cold demand query executed no components: {cold}")
+    # The repeat query must be served from the daemon's shared store.
+    regot, warm = daemon_demands(base)
+    if regot != got:
+        sys.exit(f"warm demands {regot} != cold demands {got}")
+    if warm.get("executed_sccs", -1) != 0:
+        sys.exit(f"warm demand query re-executed components: {warm}")
+    print(f"daemon demands match batch backward for {len(want)} predicates, "
+          f"warm repeat re-executed 0/{cold['executed_sccs']} components: OK")
+
+
 def main():
     if len(sys.argv) != 2:
         sys.exit(__doc__)
@@ -87,6 +146,7 @@ def main():
     if "main/0" not in got:
         sys.exit(f"daemon response missing main/0; has {sorted(got)}")
     print(f"daemon modes match batch analyze for {len(want)} predicates: OK")
+    check_backward(sys.argv[1])
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@
 //	benchtab -table observe    # table traffic + working set per benchmark
 //	benchtab -table optimize   # machine-runtime speedups from the pass pipeline
 //	benchtab -table specialize # specialized transfer stream ablation
+//	benchtab -table backward   # demand queries: cold vs store-warm vs one-edit
 //	benchtab -table all        # everything
 //	benchtab -quick            # smaller timing samples
 //	benchtab -json out.json    # machine-readable report (BENCH_PR3.json)
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, optimize, specialize, all")
+	table := flag.String("table", "all", "which table to produce: 1, 2, ablation, observe, optimize, specialize, backward, all")
 	quick := flag.Bool("quick", false, "use short timing samples")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this file and exit")
 	label := flag.String("label", "PR3", "revision label recorded in the -json report")
@@ -113,6 +114,13 @@ func main() {
 			os.Exit(1)
 		}
 		harness.WriteSpecializeTable(os.Stdout, entries)
+	case "backward":
+		entry, err := harness.MeasureBackward(512, *quick, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		harness.WriteBackwardTable(os.Stdout, []harness.BackwardEntry{*entry})
 	case "all":
 		harness.WriteTable1(os.Stdout, rows)
 		fmt.Println()

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	fuzzdiff [-seed N] [-n COUNT] [-json FILE] [-keep-going] [-strict=false] [-meta] [-progress N]
+//	fuzzdiff [-seed N] [-n COUNT] [-json FILE] [-keep-going] [-strict=false] [-meta] [-backward] [-progress N]
 //
 // Exit status is 1 if any violation was found. A soak of a few million
 // cases is a weekend job; -n 0 runs until interrupted.
@@ -33,6 +33,7 @@ func main() {
 		keepGoing = flag.Bool("keep-going", false, "continue after a violation instead of stopping")
 		strict    = flag.Bool("strict", true, "require byte-identical worklist/naive/parallel results (schedule-confluence contract)")
 		meta      = flag.Bool("meta", true, "also run metamorphic checks (clause reorder, predicate rename)")
+		backward  = flag.Bool("backward", false, "also run the forward/backward consistency oracle (demands must admit forward success)")
 		progress  = flag.Int64("progress", 1000, "print a progress line every N cases (0 = quiet)")
 	)
 	flag.Parse()
@@ -92,6 +93,19 @@ loop:
 			v, err = fuzz.CheckMetamorphic(c, opt)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fuzzdiff: seed %d: metamorphic infrastructure error: %v\n", caseSeed, err)
+				violations++
+				if !*keepGoing {
+					break
+				}
+				continue
+			}
+		}
+		if v == nil && *backward {
+			var bst fuzz.Stats
+			v, bst, err = fuzz.CheckBackward(c, opt)
+			total.Add(bst)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fuzzdiff: seed %d: backward infrastructure error: %v\n", caseSeed, err)
 				violations++
 				if !*keepGoing {
 					break

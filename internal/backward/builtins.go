@@ -1,0 +1,369 @@
+package backward
+
+import (
+	"awam/internal/domain"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// bspec is the backward-transfer entry of one builtin: the demand its
+// arguments must satisfy for the call to be error-free and
+// non-refutable, which positions it may bind, and the type its success
+// guarantees at each position. A nil demand/succ entry means top.
+type bspec struct {
+	demand []*domain.Term
+	// arith marks arguments demanded as evaluable arithmetic
+	// expressions (every variable an integer, every operator known)
+	// instead of a plain type demand.
+	arith []bool
+	// out marks binding positions: a fresh variable there is produced
+	// by the builtin rather than consumed, so it takes no demand and
+	// discharges against succ instead.
+	out  []bool
+	succ []*domain.Term
+}
+
+// builtinGoal is the backward transfer of one builtin goal; false means
+// no call can be shown safe through the clause.
+func (s *solver) builtinGoal(c term.Clause, i int, g *term.Term, id wam.BuiltinID, e env) bool {
+	anyLeaf := domain.Top()
+	intg := domain.MkLeaf(domain.Intg)
+	switch id {
+	case wam.BIFail:
+		return false // the clause never succeeds
+	case wam.BITrue, wam.BIWrite, wam.BINl, wam.BIHalt, wam.BIAssert, wam.BIRetract,
+		wam.BINotUnify, wam.BINotEq, wam.BITermLt, wam.BITermLe, wam.BITermGt, wam.BITermGe:
+		// Side effects, order tests and the negative checks: never an
+		// instantiation error, never a binding, and failure is invisible
+		// to the abstract domain — nothing to demand or discharge.
+		return true
+	case wam.BIUnify:
+		return s.unifyGoal(c, i, g.Args[0], g.Args[1], e)
+	case wam.BIEq:
+		// ==/2 binds nothing; only a syntactic mismatch refutes it.
+		return !definiteMismatch(g.Args[0], g.Args[1])
+	case wam.BILt, wam.BILe, wam.BIGt, wam.BIGe, wam.BIArithEq, wam.BIArithNe:
+		contrib := make(map[*term.VarRef]*domain.Term)
+		return s.imposeArith(g.Args[0], contrib) &&
+			s.imposeArith(g.Args[1], contrib) &&
+			s.meetIn(contrib, e)
+	case wam.BIIs:
+		return s.applySpec(c, i, g, bspec{
+			demand: []*domain.Term{intg, nil},
+			arith:  []bool{false, true},
+			out:    []bool{true, false},
+			succ:   []*domain.Term{intg, nil},
+		}, e)
+	case wam.BIVar:
+		return s.typeTest(g, domain.MkLeaf(domain.Var), e)
+	case wam.BINonvar:
+		return s.typeTest(g, domain.MkLeaf(domain.NV), e)
+	case wam.BIAtom:
+		return s.typeTest(g, domain.MkLeaf(domain.Atom), e)
+	case wam.BIInteger:
+		return s.typeTest(g, intg, e)
+	case wam.BIAtomic:
+		return s.typeTest(g, domain.MkLeaf(domain.Const), e)
+	case wam.BIFunctor:
+		nv := domain.MkLeaf(domain.NV)
+		cons := domain.MkLeaf(domain.Const)
+		return s.applySpec(c, i, g, bspec{
+			demand: []*domain.Term{nv, cons, intg},
+			out:    []bool{true, true, true},
+			succ:   []*domain.Term{nv, cons, intg},
+		}, e)
+	case wam.BIArg:
+		return s.applySpec(c, i, g, bspec{
+			demand: []*domain.Term{intg, domain.MkLeaf(domain.NV), anyLeaf},
+			out:    []bool{false, false, true},
+			succ:   []*domain.Term{intg, domain.MkLeaf(domain.NV), nil},
+		}, e)
+	case wam.BICompare:
+		return s.applySpec(c, i, g, bspec{
+			demand: []*domain.Term{domain.MkLeaf(domain.Var), anyLeaf, anyLeaf},
+			out:    []bool{true, false, false},
+			succ:   []*domain.Term{domain.MkLeaf(domain.Atom), nil, nil},
+		}, e)
+	case wam.BILength:
+		listAny := domain.MkListT(domain.Top())
+		return s.applySpec(c, i, g, bspec{
+			demand: []*domain.Term{listAny, intg},
+			out:    []bool{true, true},
+			succ:   []*domain.Term{listAny, intg},
+		}, e)
+	}
+	// An unmodelled builtin: demand nothing, guarantee nothing. Sound
+	// only for non-binding builtins; every current ID is handled above.
+	return true
+}
+
+// typeTest handles the var/nonvar/atom/integer/atomic family: the
+// argument is demanded to be in the tested class, and nothing is bound.
+func (s *solver) typeTest(g *term.Term, leaf *domain.Term, e env) bool {
+	contrib := make(map[*term.VarRef]*domain.Term)
+	return s.impose(leaf, g.Args[0], contrib) && s.meetIn(contrib, e)
+}
+
+// applySpec runs the generic demand/out/succ transfer: in-positions
+// (and out-positions holding an already-constrained term) take the
+// demand; a producible variable in an out-position is produced by the
+// builtin and discharges its residual demand against the success type.
+func (s *solver) applySpec(c term.Clause, i int, g *term.Term, sp bspec, e env) bool {
+	contrib := make(map[*term.VarRef]*domain.Term)
+	produced := make([]bool, len(g.Args))
+	for j, t := range g.Args {
+		if sp.arith != nil && sp.arith[j] {
+			if !s.imposeArith(t, contrib) {
+				return false
+			}
+			continue
+		}
+		if sp.out[j] && t.Kind == term.KVar && s.producible(t.Ref, c, i, g, j) {
+			produced[j] = true
+			continue
+		}
+		d := sp.demand[j]
+		if d == nil {
+			d = domain.Top()
+		}
+		if !s.impose(d, t, contrib) {
+			return false
+		}
+	}
+	for j, t := range g.Args {
+		if !produced[j] {
+			continue
+		}
+		st := sp.succ[j]
+		if st == nil {
+			st = domain.Top()
+		}
+		r := e.get(t.Ref)
+		if !isTop(r) && !domain.Leq(s.tab, st, r) {
+			return false // the produced value may violate a later demand
+		}
+		delete(e, t.Ref)
+	}
+	return s.meetIn(contrib, e)
+}
+
+// imposeArith demands that t be an evaluable arithmetic expression:
+// integers evaluate, variables must hold integers, and compound terms
+// must be applications of the machine's operators over evaluable
+// arguments. Atoms (including []) and unknown operators would raise a
+// type error, so they refute error-freedom outright.
+func (s *solver) imposeArith(t *term.Term, contrib map[*term.VarRef]*domain.Term) bool {
+	switch t.Kind {
+	case term.KInt:
+		return true
+	case term.KVar:
+		cur := contrib[t.Ref]
+		if cur == nil {
+			cur = domain.Top()
+		}
+		m := domain.Meet(s.tab, cur, domain.MkLeaf(domain.Intg))
+		if m.Kind == domain.Empty {
+			return false
+		}
+		contrib[t.Ref] = m
+		return true
+	case term.KStruct:
+		if !s.arithOps[t.Fn] {
+			return false
+		}
+		for _, a := range t.Args {
+			if !s.imposeArith(a, contrib) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// arithFunctors interns the operator set of the concrete evaluator
+// (internal/machine): backward error-freedom must accept exactly the
+// expressions is/2 and the comparisons can evaluate.
+func arithFunctors(tab *term.Tab) map[term.Functor]bool {
+	ops := map[term.Functor]bool{}
+	for _, name := range []string{"-", "+", "abs"} {
+		ops[tab.Func(name, 1)] = true
+	}
+	for _, name := range []string{"+", "-", "*", "//", "/", "mod", "rem", "min", "max", ">>", "<<"} {
+		ops[tab.Func(name, 2)] = true
+	}
+	return ops
+}
+
+// definiteMismatch reports whether two terms can be decided non-identical
+// syntactically (==/2 must fail). Variables decide nothing.
+func definiteMismatch(x, y *term.Term) bool {
+	if x.Kind == term.KVar || y.Kind == term.KVar {
+		return false
+	}
+	if x.Kind != y.Kind {
+		return true
+	}
+	switch x.Kind {
+	case term.KInt:
+		return x.Int != y.Int
+	case term.KAtom:
+		return x.Fn != y.Fn
+	case term.KStruct:
+		if x.Fn != y.Fn {
+			return true
+		}
+		for i := range x.Args {
+			if definiteMismatch(x.Args[i], y.Args[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unifyGoal is the backward transfer of X = T. Freshness decides the
+// direction of information flow: a variable with no earlier occurrence
+// is unbound when the goal runs, so unification with it always succeeds
+// and merely transfers the residual demand to the other side; an
+// already-occurring variable is conservatively demanded to match the
+// other side's shape before the goal.
+func (s *solver) unifyGoal(c term.Clause, i int, x, y *term.Term, e env) bool {
+	if y.Kind == term.KVar && x.Kind != term.KVar {
+		x, y = y, x
+	}
+	if x.Kind == term.KVar {
+		if y.Kind == term.KVar {
+			return s.unifyVars(c, i, x, y, e)
+		}
+		if s.freshVar(x.Ref, c, i, y) {
+			// X is unbound: X = T always succeeds, binding X to T's value.
+			// The residual demand on X becomes a demand on T.
+			contrib := make(map[*term.VarRef]*domain.Term)
+			if !s.impose(e.get(x.Ref), y, contrib) {
+				return false
+			}
+			delete(e, x.Ref)
+			return s.meetIn(contrib, e)
+		}
+		// X already occurs: demand its value match T's shape, which both
+		// guarantees the unification and bounds the values T's variables
+		// receive from it.
+		nx := domain.Meet(s.tab, e.get(x.Ref), s.absOf(y))
+		if nx.Kind == domain.Empty {
+			return false
+		}
+		pv := make(map[*term.VarRef]*domain.Term)
+		s.project(nx, y, pv)
+		for _, v := range varsOf(y, nil) {
+			if r := e.get(v); !isTop(r) && !domain.Leq(s.tab, pv[v], r) {
+				return false
+			}
+			delete(e, v)
+		}
+		e[x.Ref] = nx
+		return true
+	}
+	// Both sides non-variable: decompose structurally.
+	switch {
+	case x.Kind == term.KInt && y.Kind == term.KInt:
+		return x.Int == y.Int
+	case x.Kind == term.KAtom && y.Kind == term.KAtom:
+		return x.Fn == y.Fn
+	case x.Kind == term.KStruct && y.Kind == term.KStruct && x.Fn == y.Fn:
+		for j := range x.Args {
+			if !s.unifyGoal(c, i, x.Args[j], y.Args[j], e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false // definite functor or kind clash
+}
+
+// unifyVars handles X = Y for two variables.
+func (s *solver) unifyVars(c term.Clause, i int, x, y *term.Term, e env) bool {
+	if x.Ref == y.Ref {
+		return true
+	}
+	xf := s.freshVar(x.Ref, c, i, y)
+	yf := s.freshVar(y.Ref, c, i, x)
+	switch {
+	case xf && yf:
+		// Two unbound variables alias; neither holds a value yet, so the
+		// residual demands stay put and headDemand's local-variable check
+		// decides whether an unbound variable can satisfy them.
+		return true
+	case xf:
+		m := domain.Meet(s.tab, e.get(y.Ref), e.get(x.Ref))
+		if m.Kind == domain.Empty {
+			return false
+		}
+		delete(e, x.Ref)
+		if isTop(m) {
+			delete(e, y.Ref)
+		} else {
+			e[y.Ref] = m
+		}
+		return true
+	case yf:
+		m := domain.Meet(s.tab, e.get(x.Ref), e.get(y.Ref))
+		if m.Kind == domain.Empty {
+			return false
+		}
+		delete(e, y.Ref)
+		if isTop(m) {
+			delete(e, x.Ref)
+		} else {
+			e[x.Ref] = m
+		}
+		return true
+	default:
+		// Both occur earlier: after X = Y they hold one common value, so
+		// each must satisfy both demands beforehand.
+		m := domain.Meet(s.tab, e.get(x.Ref), e.get(y.Ref))
+		if m.Kind == domain.Empty {
+			return false
+		}
+		e[x.Ref] = m
+		e[y.Ref] = m
+		return true
+	}
+}
+
+// freshVar reports whether v has no occurrence before body position i
+// (head included) nor inside other — i.e. it is certainly an unbound
+// variable when the goal at i runs.
+func (s *solver) freshVar(v *term.VarRef, c term.Clause, i int, other *term.Term) bool {
+	if c.Head != nil && occurs(c.Head, v) {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if occurs(c.Body[j], v) {
+			return false
+		}
+	}
+	return other == nil || !occurs(other, v)
+}
+
+// producible reports whether the out-position variable v may be treated
+// as produced by the builtin: it must not be bound by an earlier body
+// goal (whose demand is only computed later in the right-to-left walk,
+// so a produced-value compatibility constraint could not reach it) nor
+// occur in another argument of g itself. A head occurrence is fine —
+// deleting the residual demand just surfaces the position as `any` in
+// the head pattern, exactly the output-mode reading: the caller may
+// pass the argument unbound.
+func (s *solver) producible(v *term.VarRef, c term.Clause, i int, g *term.Term, skip int) bool {
+	for j := 0; j < i; j++ {
+		if occurs(c.Body[j], v) {
+			return false
+		}
+	}
+	for j, a := range g.Args {
+		if j != skip && occurs(a, v) {
+			return false
+		}
+	}
+	return true
+}

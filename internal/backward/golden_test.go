@@ -1,0 +1,51 @@
+package backward
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"awam/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDemandGolden pins the exact Marshal output for the Table 1
+// programs: the demand set of each program under its default goals must
+// be byte-identical to its golden file (regenerate with -update). These
+// are the values README and DESIGN §3.15 quote — qsort's consumed first
+// argument, deriv's output third argument, nreverse-as-generator — so a
+// transfer change that shifts any of them must be a deliberate edit
+// here, not an accident.
+func TestDemandGolden(t *testing.T) {
+	for _, name := range []string{
+		"qsort", "nreverse", "log10", "ops8", "times10", "divide10",
+		"tak", "serialise", "queens_8", "query", "zebra",
+	} {
+		t.Run(name, func(t *testing.T) {
+			p, ok := bench.ByName(name)
+			if !ok {
+				t.Fatalf("no bench program %q", name)
+			}
+			_, res := analyzeBwd(t, p.Source)
+			got := res.Marshal()
+			golden := filepath.Join("testdata", name+".demand")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("demands for %s drifted:\ngot:\n%s\nwant:\n%s", name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package backward
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"awam/internal/domain"
+	"awam/internal/inc"
+	"awam/internal/term"
+)
+
+// A demand record is the cached artifact for one component: one line
+// per member, in member order, under the shared version header:
+//
+//	awam-bwd 1
+//	demand part/4 part(nv, any, any, any)
+//	demand qsort/3 qsort(nv, any, any)
+//
+// "bottom" stands for a nil demand. Patterns are stored as text
+// (domain.PatternText) and re-parsed into the consuming run's symbol
+// table, exactly like forward SCC records.
+
+// ErrBadRecord reports a malformed or foreign demand record; the engine
+// treats it as a cache miss and rewrites the record after solving.
+var ErrBadRecord = errors.New("backward: malformed demand record")
+
+func demandText(tab *term.Tab, p *domain.Pattern) string {
+	if p == nil {
+		return "bottom"
+	}
+	return domain.PatternText(tab, p)
+}
+
+// encodeDemands serializes the converged demands of one component.
+func encodeDemands(tab *term.Tab, scc *inc.SCC, demands map[term.Functor]*domain.Pattern) []byte {
+	var b strings.Builder
+	b.WriteString(marshalHeader)
+	b.WriteByte('\n')
+	for _, m := range scc.Members {
+		fmt.Fprintf(&b, "demand %s %s\n", tab.FuncString(m), demandText(tab, demands[m]))
+	}
+	return []byte(b.String())
+}
+
+// decodeDemands parses a record produced by encodeDemands, validating
+// that it covers exactly scc's members in order — a mismatch means
+// corruption or a fingerprint collision and decodes as a miss.
+func decodeDemands(tab *term.Tab, scc *inc.SCC, data []byte) ([]*domain.Pattern, error) {
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != len(scc.Members)+1 {
+		return nil, fmt.Errorf("%w: %d lines for %d members", ErrBadRecord, len(lines), len(scc.Members))
+	}
+	if strings.TrimSpace(lines[0]) != marshalHeader {
+		return nil, fmt.Errorf("%w: not an %s record", ErrBadRecord, marshalHeader)
+	}
+	out := make([]*domain.Pattern, len(scc.Members))
+	for i, m := range scc.Members {
+		fields := strings.SplitN(strings.TrimSpace(lines[i+1]), " ", 3)
+		if len(fields) != 3 || fields[0] != "demand" || fields[1] != tab.FuncString(m) {
+			return nil, fmt.Errorf("%w: line %d: want demand for %s", ErrBadRecord, i+2, tab.FuncString(m))
+		}
+		if fields[2] == "bottom" {
+			continue
+		}
+		p, err := domain.ParseAbsQuick(tab, fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, i+2, err)
+		}
+		if p == nil || p.Fn != m {
+			return nil, fmt.Errorf("%w: line %d: pattern is not %s", ErrBadRecord, i+2, tab.FuncString(m))
+		}
+		out[i] = p
+	}
+	return out, nil
+}

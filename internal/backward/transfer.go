@@ -1,0 +1,427 @@
+package backward
+
+import (
+	"strings"
+
+	"awam/internal/domain"
+	"awam/internal/term"
+	"awam/internal/wam"
+)
+
+// solver computes per-clause demands over one expanded program. The
+// demand of a clause is the weakest calling pattern under which the
+// analysis cannot refute the clause: head matching may succeed, every
+// builtin is sufficiently instantiated (no moding error), and every
+// body call satisfies its callee's demand. Goals are walked RIGHT TO
+// LEFT: env carries, per variable, the demand the remaining (later)
+// goals impose on its value at that program point, and each goal either
+// discharges those demands (when its success is known to produce a
+// value below them) or pushes its own requirements further left.
+type solver struct {
+	tab      *term.Tab
+	prog     *term.Program
+	builtins map[term.Functor]wam.BuiltinID
+	depth    int
+	// demands holds committed demands for lower components and, during a
+	// component's gfp, the current iterate for its members. Undefined
+	// predicates are present with a nil (bottom) demand.
+	demands map[term.Functor]*domain.Pattern
+	// succ holds forward success patterns (under all-any entries) used
+	// to discharge demands across binding goals: a goal's success
+	// guarantees later demands only when its success type is below them.
+	succ map[term.Functor]*domain.Pattern
+	// arithOps is the concrete evaluator's operator set (arithFunctors).
+	arithOps map[term.Functor]bool
+	steps    *int64
+}
+
+// env maps each clause variable to the demand the goals to the right of
+// the cursor impose on it; absent means top (nothing demanded).
+type env map[*term.VarRef]*domain.Term
+
+func (e env) get(v *term.VarRef) *domain.Term {
+	if t := e[v]; t != nil {
+		return t
+	}
+	return domain.Top()
+}
+
+func isTop(t *domain.Term) bool { return t.Kind == domain.Any }
+
+// clauseDemand returns the demand pattern of one clause, or nil when no
+// call can be shown safe through it (the clause contains fail, calls an
+// undefined or bottom-demand predicate, or demands collide to empty).
+func (s *solver) clauseDemand(c term.Clause) *domain.Pattern {
+	e := make(env)
+	for i := len(c.Body) - 1; i >= 0; i-- {
+		*s.steps++
+		g := c.Body[i]
+		if g.Kind != term.KAtom && g.Kind != term.KStruct {
+			return nil // meta-call or malformed goal: nothing guaranteed
+		}
+		fn := g.Fn
+		if fn.Arity == 0 {
+			switch fn.Name {
+			case s.tab.Cut, s.tab.True:
+				continue
+			case s.tab.Fail:
+				return nil // the clause never succeeds
+			}
+		}
+		if id, isB := s.builtins[fn]; isB {
+			if !s.builtinGoal(c, i, g, id, e) {
+				return nil
+			}
+			continue
+		}
+		if isNotAux(s.tab, fn) {
+			// \+ G (expanded to $not<n>): succeeds without binding anything
+			// and demands nothing from G — negation as finite failure gives
+			// no instantiation guarantee either way (DESIGN §3.15).
+			continue
+		}
+		if !s.userGoal(g, fn, e) {
+			return nil
+		}
+	}
+	return s.headDemand(c, e)
+}
+
+// isNotAux reports whether fn is a negation auxiliary predicate
+// ($not<n>) introduced by control expansion.
+func isNotAux(tab *term.Tab, fn term.Functor) bool {
+	return strings.HasPrefix(tab.Name(fn.Name), "$not")
+}
+
+// userGoal imposes the callee's demand on the goal arguments and
+// discharges the variables the call may bind.
+func (s *solver) userGoal(g *term.Term, fn term.Functor, e env) bool {
+	d, known := s.demands[fn]
+	if !known || d == nil {
+		return false // undefined predicate or bottom-demand callee
+	}
+	contrib := make(map[*term.VarRef]*domain.Term)
+	for j, arg := range g.Args {
+		if !s.impose(d.Args[j], arg, contrib) {
+			return false
+		}
+	}
+	sp := s.succ[fn]
+	if sp == nil {
+		return false // the forward analysis says the callee cannot succeed
+	}
+	sv := make(map[*term.VarRef]*domain.Term)
+	for j, arg := range g.Args {
+		s.project(sp.Args[j], arg, sv)
+	}
+	// A call may bind any of its variables, so all of them discharge.
+	return s.discharge(varsOf(g, nil), contrib, sv, e)
+}
+
+// discharge processes the binding variables of a goal: the residual
+// demand accumulated from later goals must be covered by the goal's
+// success type (else no call can be shown safe through this clause),
+// and the variable's pre-goal demand becomes the goal's own
+// contribution.
+func (s *solver) discharge(vars []*term.VarRef, contrib, sv map[*term.VarRef]*domain.Term, e env) bool {
+	for _, v := range vars {
+		r := e.get(v)
+		if !isTop(r) {
+			succ := sv[v]
+			if succ == nil {
+				succ = domain.Top()
+			}
+			if !domain.Leq(s.tab, succ, r) {
+				return false // the binding may violate a later demand
+			}
+		}
+		if c := contrib[v]; c != nil {
+			e[v] = c
+		} else {
+			delete(e, v)
+		}
+	}
+	return true
+}
+
+// meetIn folds a non-binding goal's contributions into the running
+// demands.
+func (s *solver) meetIn(contrib map[*term.VarRef]*domain.Term, e env) bool {
+	for v, c := range contrib {
+		m := domain.Meet(s.tab, e.get(v), c)
+		if m.Kind == domain.Empty {
+			return false
+		}
+		e[v] = m
+	}
+	return true
+}
+
+// impose requires goal argument t to satisfy demand r, accumulating
+// per-variable requirements (met across occurrences) into contrib.
+// Constant and structure arguments are checked against r directly —
+// at the class level of the domain, so an atom satisfies an atom
+// demand even when the callee matches a different constant.
+func (s *solver) impose(r *domain.Term, t *term.Term, contrib map[*term.VarRef]*domain.Term) bool {
+	r = domain.Normalize(r)
+	switch r.Kind {
+	case domain.Any:
+		return true
+	case domain.Empty:
+		return false
+	}
+	switch t.Kind {
+	case term.KVar:
+		cur := contrib[t.Ref]
+		if cur == nil {
+			cur = domain.Top()
+		}
+		m := domain.Meet(s.tab, cur, r)
+		if m.Kind == domain.Empty {
+			return false
+		}
+		contrib[t.Ref] = m
+		return true
+	case term.KInt:
+		return domain.Leq(s.tab, domain.MkLeaf(domain.Intg), r)
+	case term.KAtom:
+		return domain.Leq(s.tab, s.constLeaf(t), r)
+	case term.KStruct:
+		switch r.Kind {
+		case domain.NV:
+			return true
+		case domain.Ground:
+			for _, a := range t.Args {
+				if !s.impose(r, a, contrib) {
+					return false
+				}
+			}
+			return true
+		case domain.Struct:
+			if r.Fn != t.Fn {
+				return false
+			}
+			for i, a := range t.Args {
+				if !s.impose(r.Args[i], a, contrib) {
+					return false
+				}
+			}
+			return true
+		case domain.List:
+			if t.Fn != s.tab.ConsFunctor() {
+				return false
+			}
+			return s.impose(r.Elem, t.Args[0], contrib) && s.impose(r, t.Args[1], contrib)
+		}
+		return false
+	}
+	return false
+}
+
+func (s *solver) constLeaf(t *term.Term) *domain.Term {
+	if t.Fn.Name == s.tab.Nil {
+		return domain.MkLeaf(domain.Nil)
+	}
+	return domain.MkLeaf(domain.Atom)
+}
+
+// project distributes a success (or demand) type over the syntactic
+// shape of a goal argument, recording per-variable value bounds: when
+// the call respects the pattern, the run-time value at each variable
+// occurrence is below the projected type.
+func (s *solver) project(st *domain.Term, t *term.Term, out map[*term.VarRef]*domain.Term) {
+	if st == nil {
+		st = domain.Top()
+	}
+	st = domain.Normalize(st)
+	switch t.Kind {
+	case term.KVar:
+		cur := out[t.Ref]
+		if cur == nil {
+			cur = domain.Top()
+		}
+		out[t.Ref] = domain.Meet(s.tab, cur, st)
+	case term.KStruct:
+		for i, a := range t.Args {
+			s.project(s.projectArg(st, t, i), a, out)
+		}
+	}
+}
+
+// projectArg gives the type of the i-th argument of struct t under
+// value bound st.
+func (s *solver) projectArg(st *domain.Term, t *term.Term, i int) *domain.Term {
+	switch st.Kind {
+	case domain.Struct:
+		if st.Fn == t.Fn {
+			return st.Args[i]
+		}
+	case domain.List:
+		if t.Fn == s.tab.ConsFunctor() {
+			if i == 0 {
+				return st.Elem
+			}
+			return st // the tail is again a list
+		}
+	case domain.Ground:
+		return st // subterms of a ground term are ground
+	}
+	return domain.Top()
+}
+
+// absOf abstracts a syntactic term with unconstrained variables: the
+// value bound to a variable unified against t is below this type.
+func (s *solver) absOf(t *term.Term) *domain.Term {
+	switch t.Kind {
+	case term.KVar:
+		return domain.Top()
+	case term.KInt:
+		return domain.MkLeaf(domain.Intg)
+	case term.KAtom:
+		return s.constLeaf(t)
+	case term.KStruct:
+		args := make([]*domain.Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = s.absOf(a)
+		}
+		return domain.MkStructT(t.Fn, args...)
+	}
+	return domain.Top()
+}
+
+// headDemand abstracts the clause head under the final demands: the
+// first occurrence of each variable carries its accumulated demand,
+// repeated occurrences demand a fresh variable (so head unification is
+// guaranteed to bind rather than test), and constants demand their
+// class. An output-like argument — a structure serving purely as a
+// binding template, see outputLike — demands an unbound variable
+// instead of its shape. Local variables never bound before their first
+// demanding goal must be satisfiable by a fresh unbound variable, or no
+// call is safe.
+func (s *solver) headDemand(c term.Clause, e env) *domain.Pattern {
+	fn, ok := term.Indicator(c.Head)
+	if !ok {
+		return nil
+	}
+	seen := make(map[*term.VarRef]bool)
+	var abs func(t *term.Term) *domain.Term
+	abs = func(t *term.Term) *domain.Term {
+		switch t.Kind {
+		case term.KVar:
+			if seen[t.Ref] {
+				return domain.MkLeaf(domain.Var)
+			}
+			seen[t.Ref] = true
+			return e.get(t.Ref)
+		case term.KInt:
+			return domain.MkLeaf(domain.Intg)
+		case term.KAtom:
+			return s.constLeaf(t)
+		case term.KStruct:
+			args := make([]*domain.Term, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = abs(a)
+			}
+			return domain.MkStructT(t.Fn, args...)
+		}
+		return domain.Top()
+	}
+	varLeaf := domain.MkLeaf(domain.Var)
+	args := make([]*domain.Term, fn.Arity)
+	for i := range args {
+		if t := c.Head.Args[i]; t.Kind == term.KStruct && s.outputLike(t, c.Head, e) {
+			args[i] = varLeaf
+			continue
+		}
+		args[i] = abs(c.Head.Args[i])
+	}
+	for v, r := range e {
+		if !seen[v] && !isTop(r) && !domain.Leq(s.tab, varLeaf, r) {
+			// A body-local variable is a fresh unbound variable when its
+			// demanding goal runs; a demand no variable satisfies (ground
+			// for an arithmetic operand, say) means the goal must error.
+			return nil
+		}
+	}
+	return domain.WidenPattern(s.tab, domain.NewPattern(fn, args), s.depth)
+}
+
+// outputLike reports whether head argument t is purely a binding
+// template: a structure whose variables occur nowhere else in the head
+// and whose residual demands all admit an unbound variable. An unbound
+// call argument then unifies with a fresh copy of t — always
+// successfully, leaving t's variables unbound, which every later demand
+// tolerates — so the position's weakest demand is an unbound variable
+// rather than t's shape (the classic deriv third argument). The two
+// choices are incomparable; a structure that is also consumed (a
+// variable demanded nv, or shared with an input argument) keeps the
+// shape demand.
+func (s *solver) outputLike(t, head *term.Term, e env) bool {
+	varLeaf := domain.MkLeaf(domain.Var)
+	for _, v := range varsOf(t, nil) {
+		if countVar(head, v) != countVar(t, v) {
+			return false
+		}
+		if r := e.get(v); !isTop(r) && !domain.Leq(s.tab, varLeaf, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// countVar counts the occurrences of v in t.
+func countVar(t *term.Term, v *term.VarRef) int {
+	switch t.Kind {
+	case term.KVar:
+		if t.Ref == v {
+			return 1
+		}
+	case term.KStruct:
+		n := 0
+		for _, a := range t.Args {
+			n += countVar(a, v)
+		}
+		return n
+	}
+	return 0
+}
+
+// varsOf appends the distinct variables of t to out in first-occurrence
+// order.
+func varsOf(t *term.Term, out []*term.VarRef) []*term.VarRef {
+	seen := make(map[*term.VarRef]bool, len(out))
+	for _, v := range out {
+		seen[v] = true
+	}
+	var walk func(t *term.Term)
+	walk = func(t *term.Term) {
+		switch t.Kind {
+		case term.KVar:
+			if !seen[t.Ref] {
+				seen[t.Ref] = true
+				out = append(out, t.Ref)
+			}
+		case term.KStruct:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return out
+}
+
+// occurs reports whether variable v occurs in t.
+func occurs(t *term.Term, v *term.VarRef) bool {
+	switch t.Kind {
+	case term.KVar:
+		return t.Ref == v
+	case term.KStruct:
+		for _, a := range t.Args {
+			if occurs(a, v) {
+				return true
+			}
+		}
+	}
+	return false
+}

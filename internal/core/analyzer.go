@@ -391,6 +391,16 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, entry *domain.Pattern) (*
 	return a.analyze([]*domain.Pattern{entry})
 }
 
+// AnalyzeEntriesContext runs the fixpoint from an explicit entry set —
+// the hook alternate analyses use to obtain success patterns for an
+// exact predicate set (internal/backward seeds it with an all-any
+// pattern per predicate of a demanded cone). Entries are widened at
+// ingest like any caller-supplied pattern.
+func (a *Analyzer) AnalyzeEntriesContext(ctx context.Context, entries []*domain.Pattern) (*Result, error) {
+	a.ctx = ctx
+	return a.analyze(entries)
+}
+
 func (a *Analyzer) analyze(entries []*domain.Pattern) (*Result, error) {
 	if err := a.cfg.Validate(); err != nil {
 		return nil, err

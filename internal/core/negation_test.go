@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+)
+
+// These tests pin the forward analysis's deliberately coarse treatment
+// of negation as failure. \+ G expands to
+//
+//	'$notN'(V...) :- G, !, fail.
+//	'$notN'(V...).
+//
+// so the fact clause makes the auxiliary's success pattern the identity
+// on its call pattern: \+ G never binds the shared variables and never
+// refutes success, regardless of what G does. This matches the standard
+// sound treatment of negation in abstract interpretation of logic
+// programs (Lu's analyses of normal programs make the same choice): a
+// sound strengthening would need proofs about G's *failure*, which a
+// success-pattern domain cannot express. The backward analysis relies
+// on the same contract from the other side — it demands nothing from a
+// negated goal (see internal/backward and DESIGN §3.15) — so a change
+// here must revisit both directions together.
+
+// TestNegationIdentity: \+ G passes the call pattern through untouched —
+// no bindings escape, whatever G would do to its arguments.
+func TestNegationIdentity(t *testing.T) {
+	tab, mod := buildMod(t, `
+p(X) :- \+ bindit(X).
+bindit(1).
+`)
+	res := analyzeFrom(t, tab, mod, "p(any)")
+	if got := successString(t, res, tab, tab.Func("p", 1)); got != "p(any)" {
+		t.Errorf("success = %s, want p(any): \\+ must not export bindings", got)
+	}
+}
+
+// TestNegationKeepsPriorBindings: bindings made before \+ survive it —
+// identity means identity, not top.
+func TestNegationKeepsPriorBindings(t *testing.T) {
+	tab, mod := buildMod(t, `
+p(X) :- X = 1, \+ q(X).
+q(2).
+`)
+	res := analyzeFrom(t, tab, mod, "p(any)")
+	if got := successString(t, res, tab, tab.Func("p", 1)); got != "p(int)" {
+		t.Errorf("success = %s, want p(int)", got)
+	}
+}
+
+// TestNegationNeverRefutes: the coarse cases, one per row. Forward
+// analysis keeps \+ G satisfiable even when G certainly succeeds (so
+// \+ G certainly fails) and when G certainly fails (so \+ G certainly
+// succeeds) — both collapse to the same identity transfer.
+func TestNegationNeverRefutes(t *testing.T) {
+	cases := []struct {
+		name, src, entry, want string
+		arity                  int
+	}{
+		{
+			// q(a) is a fact, so \+ q(a) concretely fails; analysis keeps p.
+			name:  "negated_goal_certainly_succeeds",
+			src:   "p :- \\+ q(a).\nq(a).",
+			entry: "p",
+			want:  "p",
+		},
+		{
+			// q has no clauses for b, so \+ q(b) concretely succeeds.
+			name:  "negated_goal_certainly_fails",
+			src:   "p :- \\+ q(b).\nq(a).",
+			entry: "p",
+			want:  "p",
+		},
+		{
+			// Double negation: still the identity, still satisfiable.
+			name:  "double_negation",
+			src:   "p(X) :- \\+ \\+ bindit(X).\nbindit(1).",
+			entry: "p(any)",
+			want:  "p(any)",
+			arity: 1,
+		},
+		{
+			// A negated conjunction shares several variables; none of them
+			// picks up the conjunction's internal bindings.
+			name:  "negated_conjunction",
+			src:   "p(X, Y) :- \\+ (q(X), r(Y)).\nq(1).\nr(a).",
+			entry: "p(any, any)",
+			want:  "p(any, any)",
+			arity: 2,
+		},
+		{
+			// Negation over an undefined predicate: \+ missing(X) concretely
+			// errors or succeeds depending on the system; the analysis stays
+			// at the identity rather than refuting.
+			name:  "negated_undefined",
+			src:   "p(X) :- \\+ missing(X).",
+			entry: "p(any)",
+			want:  "p(any)",
+			arity: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tab, mod := buildMod(t, c.src)
+			res := analyzeFrom(t, tab, mod, c.entry)
+			got := successString(t, res, tab, tab.Func("p", c.arity))
+			if got != c.want {
+				t.Errorf("success = %s, want %s", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package domain
+
+import "awam/internal/term"
+
+// Meet returns a lower bound of two types — the gfp-direction companion
+// to Lub, used by the backward analysis (internal/backward) to combine
+// demands imposed on the same run-time value. It under-approximates the
+// greatest lower bound: whenever the rules below cannot name the exact
+// glb they return empty, which over-demands and is therefore sound for
+// the backward direction (a stronger demand can only shrink the set of
+// calls declared safe, never admit an unsafe one). Share groups of the
+// result are cleared; demands carry no aliasing (DESIGN §3.15).
+func Meet(tab *term.Tab, a, b *Term) *Term {
+	a, b = Normalize(a), Normalize(b)
+	if Leq(tab, a, b) {
+		return stripShare(a)
+	}
+	if Leq(tab, b, a) {
+		return stripShare(b)
+	}
+	if r, ok := meetAsym(tab, a, b); ok {
+		return r
+	}
+	if r, ok := meetAsym(tab, b, a); ok {
+		return r
+	}
+	// Incomparable leaves with no structural rule (var∧nv, atom∧int,
+	// const∧struct, ...): the only common lower bound the subdomain can
+	// express is empty.
+	return bottom
+}
+
+// meetAsym applies the structural meet rules with a on the left; the
+// caller tries both argument orders, which keeps Meet commutative by
+// construction.
+func meetAsym(tab *term.Tab, a, b *Term) (*Term, bool) {
+	switch {
+	case a.Kind == Struct && b.Kind == Struct && a.Fn == b.Fn:
+		args := make([]*Term, len(a.Args))
+		for i := range args {
+			args[i] = Meet(tab, a.Args[i], b.Args[i])
+		}
+		return Normalize(MkStructT(a.Fn, args...)), true
+	case a.Kind == List && b.Kind == List:
+		return Normalize(MkListT(Meet(tab, a.Elem, b.Elem))), true
+	case a.IsCons(tab) && b.Kind == List:
+		// A non-empty list meets an alpha-list pointwise: the head against
+		// the element, the tail against the whole list type.
+		h := Meet(tab, a.Args[0], b.Elem)
+		t := Meet(tab, a.Args[1], b)
+		return Normalize(MkStructT(a.Fn, h, t)), true
+	case a.Kind == Ground && b.Kind == Struct:
+		args := make([]*Term, len(b.Args))
+		for i := range args {
+			args[i] = Meet(tab, b.Args[i], a)
+		}
+		return Normalize(MkStructT(b.Fn, args...)), true
+	case a.Kind == Ground && b.Kind == List:
+		return Normalize(MkListT(Meet(tab, b.Elem, a))), true
+	case (a.Kind == Atom || a.Kind == Const) && b.Kind == List:
+		// [] is the only term that is both an atom/constant and a list.
+		return MkLeaf(Nil), true
+	}
+	return nil, false
+}
+
+// MeetPattern meets two patterns of the same predicate pointwise. A nil
+// pattern (bottom) is absorbing, and a pattern with an empty argument
+// denotes no satisfiable call at all and collapses to nil.
+func MeetPattern(tab *term.Tab, p, q *Pattern) *Pattern {
+	if p == nil || q == nil {
+		return nil
+	}
+	if p.Fn != q.Fn {
+		panic("domain: meet of patterns of different predicates")
+	}
+	args := make([]*Term, len(p.Args))
+	for i := range args {
+		args[i] = Meet(tab, p.Args[i], q.Args[i])
+		if args[i].Kind == Empty {
+			return nil
+		}
+	}
+	return (&Pattern{Fn: p.Fn, Args: args}).Canonical()
+}

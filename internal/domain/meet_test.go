@@ -1,0 +1,136 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awam/internal/term"
+)
+
+// meetSamples is the curated carrier used for the glb-maximality check:
+// enough shape variety to exercise every structural rule in meetAsym.
+func meetSamples(t *testing.T, tab *term.Tab) []*Term {
+	srcs := []string{
+		"empty", "var", "[]", "atom", "int", "const", "g", "nv", "any",
+		"list(g)", "list(int)", "list(atom)", "list(any)", "list(var)",
+		"[g|list(g)]", "[int|list(int)]", "[any|list(any)]", "[any|var]",
+		"f(g)", "f(any)", "f(atom, int)", "f(var, g)", "h(g)",
+		"[g|[]]", "[g|[g|[]]]", "list(list(g))", "[list(g)|list(list(g))]",
+	}
+	out := make([]*Term, len(srcs))
+	for i, s := range srcs {
+		out[i] = absT(t, tab, s)
+	}
+	return out
+}
+
+// TestMeetLowerBound: Meet(a,b) ⊑ a and ⊑ b, and Meet is commutative and
+// idempotent — the algebraic contract the backward engine's demand
+// combination relies on (DESIGN §3.15).
+func TestMeetLowerBound(t *testing.T) {
+	tab := term.NewTab()
+	r := rand.New(rand.NewSource(17))
+	f := func() bool {
+		a := Normalize(genAbs(r, tab, 4))
+		b := Normalize(genAbs(r, tab, 4))
+		m := Meet(tab, a, b)
+		if !Leq(tab, m, a) || !Leq(tab, m, b) {
+			t.Logf("meet not lower bound: %s ∧ %s = %s", a.String(tab), b.String(tab), m.String(tab))
+			return false
+		}
+		if !Equal(m, Meet(tab, b, a)) {
+			t.Logf("meet not commutative: %s ∧ %s", a.String(tab), b.String(tab))
+			return false
+		}
+		aa := Meet(tab, a, a)
+		if !Leq(tab, a, aa) || !Leq(tab, aa, a) {
+			t.Logf("meet not idempotent on %s: got %s", a.String(tab), aa.String(tab))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeetGlbOnSamples: over the curated carrier, every common lower
+// bound of a and b is below Meet(a,b) — i.e. within the sample set the
+// under-approximation is actually the glb.
+func TestMeetGlbOnSamples(t *testing.T) {
+	tab := term.NewTab()
+	samples := meetSamples(t, tab)
+	for _, a := range samples {
+		for _, b := range samples {
+			m := Meet(tab, a, b)
+			if !Leq(tab, m, a) || !Leq(tab, m, b) {
+				t.Fatalf("meet not lower bound: %s ∧ %s = %s", a.String(tab), b.String(tab), m.String(tab))
+			}
+			for _, c := range samples {
+				if Leq(tab, c, a) && Leq(tab, c, b) && !Leq(tab, c, m) {
+					t.Errorf("meet not maximal: %s ⊑ %s and %s but ⋢ %s ∧ %s = %s",
+						c.String(tab), a.String(tab), b.String(tab), a.String(tab), b.String(tab), m.String(tab))
+				}
+			}
+		}
+	}
+}
+
+func TestMeetCases(t *testing.T) {
+	tab := term.NewTab()
+	cases := []struct{ a, b, want string }{
+		{"any", "g", "g"},
+		{"var", "nv", "empty"},
+		{"var", "g", "empty"},
+		{"atom", "int", "empty"},
+		{"atom", "list(g)", "[]"},
+		{"const", "list(int)", "[]"},
+		{"int", "list(int)", "empty"},
+		{"g", "list(any)", "list(g)"},
+		{"g", "list(var)", "[]"},
+		{"g", "f(any, var)", "empty"},
+		{"g", "f(any, int)", "f(g, int)"},
+		{"nv", "list(g)", "list(g)"},
+		{"list(atom)", "list(int)", "[]"},
+		{"list(any)", "list(g)", "list(g)"},
+		{"[any|list(any)]", "list(g)", "[g|list(g)]"},
+		{"[any|var]", "list(g)", "empty"},
+		{"[g|[]]", "[g|[g|[]]]", "empty"},
+		{"f(g)", "h(g)", "empty"},
+		{"f(atom, any)", "f(int, g)", "empty"},
+		{"f(const, any)", "f(atom, g)", "f(atom, g)"},
+	}
+	for _, c := range cases {
+		a, b, want := absT(t, tab, c.a), absT(t, tab, c.b), absT(t, tab, c.want)
+		got := Meet(tab, a, b)
+		if !Equal(Normalize(got), Normalize(want)) {
+			t.Errorf("Meet(%s, %s) = %s, want %s", c.a, c.b, got.String(tab), c.want)
+		}
+	}
+}
+
+func TestMeetPattern(t *testing.T) {
+	tab := term.NewTab()
+	parse := func(src string) *Pattern {
+		p, err := ParseAbs(tab, src)
+		if err != nil {
+			t.Fatalf("ParseAbs(%q): %v", src, err)
+		}
+		return p
+	}
+	p := parse("p(any, g)")
+	q := parse("p(nv, any)")
+	m := MeetPattern(tab, p, q)
+	if m == nil || !m.Equal(parse("p(nv, g)")) {
+		t.Errorf("MeetPattern = %s, want p(nv, g)", m.String(tab))
+	}
+	// Bottom is absorbing.
+	if MeetPattern(tab, nil, p) != nil || MeetPattern(tab, p, nil) != nil {
+		t.Error("MeetPattern with nil must be nil")
+	}
+	// An unsatisfiable argument collapses the whole pattern.
+	if m := MeetPattern(tab, parse("p(var, any)"), parse("p(g, any)")); m != nil {
+		t.Errorf("MeetPattern(var∧g) = %s, want bottom", m.String(tab))
+	}
+}

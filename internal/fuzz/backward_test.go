@@ -1,0 +1,58 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"awam/internal/bench"
+)
+
+// TestPropertyBackwardConsistency is the forward/backward consistency
+// property over the full benchmark suite (Table 1 and the extended
+// programs — the same corpus the source fuzzer seeds from) and a slice
+// of the generated corpus: analyzing forward from every non-bottom
+// inferred demand must report a non-bottom success pattern. See
+// CheckBackward for the oracle.
+func TestPropertyBackwardConsistency(t *testing.T) {
+	opt := DefaultOptions()
+	for _, p := range bench.AllPrograms() {
+		p := p
+		t.Run("bench/"+p.Name, func(t *testing.T) {
+			t.Parallel()
+			v, st, err := CheckBackward(Case{Source: p.Source}, opt)
+			if err != nil {
+				t.Fatalf("oracle infrastructure error: %v", err)
+			}
+			if v != nil {
+				b, _ := json.MarshalIndent(v, "", "  ")
+				t.Fatalf("backward consistency violation:\n%s", b)
+			}
+			if st.Queries == 0 && st.Skipped == 0 {
+				t.Error("oracle checked nothing")
+			}
+		})
+	}
+
+	const cases = 96
+	const shards = 8
+	cfg := DefaultGenConfig()
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("gen/shard%02d", s), func(t *testing.T) {
+			t.Parallel()
+			for i := s; i < cases; i += shards {
+				seed := int64(baseSeed + i)
+				c := Generate(seed, cfg)
+				v, _, err := CheckBackward(c, opt)
+				if err != nil {
+					t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, c.Source)
+				}
+				if v != nil {
+					b, _ := json.MarshalIndent(v, "", "  ")
+					t.Fatalf("backward consistency violation (seed %d):\n%s", seed, b)
+				}
+			}
+		})
+	}
+}

@@ -31,7 +31,9 @@ type Violation struct {
 	// strategy's abstract summary), "bottom-success" (a strategy
 	// claims failure but the query succeeds), "strategy-divergence"
 	// (strict mode: worklist, naive and parallel results are not
-	// byte-identical), "metamorphic-reorder", or "metamorphic-rename".
+	// byte-identical), "metamorphic-reorder", "metamorphic-rename", or
+	// "backward-consistency" (a forward analysis from an inferred
+	// weakest demand refutes success).
 	Kind    string `json:"kind"`
 	Seed    int64  `json:"seed,omitempty"`
 	Source  string `json:"source"`

@@ -41,8 +41,12 @@ const maxFuzzSource = 1 << 12
 // FuzzSoundnessSource feeds raw (source, query) pairs to the oracle —
 // the corpus starts from the paper's Table 1 programs and mutates from
 // there. Unparsable or uncompilable inputs are skipped; inputs that
-// parse must satisfy the soundness oracle.
+// parse must satisfy the soundness oracle. With FUZZ_BACKWARD set, each
+// input additionally runs the forward/backward consistency oracle
+// (CheckBackward) — opt-in because it analyzes forward once per visited
+// predicate, a multiple of the base oracle's cost per exec.
 func FuzzSoundnessSource(f *testing.F) {
+	checkBackward := os.Getenv("FUZZ_BACKWARD") != ""
 	for _, p := range bench.AllPrograms() {
 		if p.Query != "" {
 			f.Add(p.Source, p.Query)
@@ -70,6 +74,11 @@ func FuzzSoundnessSource(f *testing.F) {
 		}
 		if v != nil {
 			reportViolation(t, c, v, opt)
+		}
+		if checkBackward {
+			if bv, _, err := CheckBackward(c, opt); err == nil && bv != nil {
+				reportViolation(t, c, bv, opt)
+			}
 		}
 	})
 }

@@ -79,6 +79,10 @@ type BenchReport struct {
 	// (off / flatten / fuse / full; absent before the specializer
 	// existed).
 	Specialize []SpecializeEntry `json:"specialize,omitempty"`
+	// Backward holds the demand-driven backward engine measurements:
+	// cold versus store-warm demand queries and a one-edit re-query on
+	// the wide workload (absent before the backward engine existed).
+	Backward []BackwardEntry `json:"backward,omitempty"`
 }
 
 // benchConfigs are the engine configurations the JSON report sweeps on
@@ -246,6 +250,11 @@ func MeasureBenchJSON(label string, quick bool, seed int64, progress io.Writer) 
 			return nil, err
 		}
 		rep.Specialize = se
+		be, err := MeasureBackward(512, quick, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.Backward = append(rep.Backward, *be)
 	}
 	return rep, nil
 }

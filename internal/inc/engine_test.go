@@ -1,4 +1,4 @@
-package inc
+package inc_test
 
 import (
 	"context"
@@ -7,11 +7,43 @@ import (
 
 	"awam/internal/bench"
 	"awam/internal/cache"
+	"awam/internal/compiler"
 	"awam/internal/core"
 	"awam/internal/fuzz"
+	"awam/internal/inc"
 	"awam/internal/parser"
 	"awam/internal/term"
+	"awam/internal/wam"
 )
+
+// mustCompile and analyzeWorklist mirror the in-package test helpers;
+// this file lives in inc_test so it can use the fuzz generator (fuzz
+// now depends on backward, which depends on inc).
+func mustCompile(t *testing.T, src string) (*term.Tab, *wam.Module) {
+	t.Helper()
+	tab := term.NewTab()
+	prog, err := parser.ParseProgram(tab, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := compiler.Compile(tab, prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return tab, mod
+}
+
+func analyzeWorklist(t *testing.T, src string) (*term.Tab, *core.Result) {
+	t.Helper()
+	tab, mod := mustCompile(t, src)
+	cfg := core.DefaultConfig()
+	cfg.Strategy = core.StrategyWorklist
+	res, err := core.NewWith(mod, cfg).AnalyzeAllContext(context.Background())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return tab, res
+}
 
 func newDirStore(dir string) (*cache.Store, error) {
 	return cache.NewStore(0, dir)
@@ -28,7 +60,7 @@ func scratchMarshal(t *testing.T, src string) string {
 
 // runEngine analyzes src through the engine (fresh tab/module each
 // call, as the daemon would).
-func runEngine(t *testing.T, e *Engine, src string) *Result {
+func runEngine(t *testing.T, e *inc.Engine, src string) *inc.Result {
 	t.Helper()
 	_, mod := mustCompile(t, src)
 	res, err := e.AnalyzeAll(context.Background(), mod, core.DefaultConfig())
@@ -46,7 +78,7 @@ func TestWarmRunByteIdentical(t *testing.T) {
 	for _, prog := range bench.AllPrograms() {
 		t.Run(prog.Name, func(t *testing.T) {
 			want := scratchMarshal(t, prog.Source)
-			e := NewEngine(nil)
+			e := inc.NewEngine(nil)
 
 			cold := runEngine(t, e, prog.Source)
 			if cold.Marshal() != want {
@@ -95,7 +127,7 @@ flat(X, Y) :- rev(X, Y).
 `
 	edited := base + "\nlen(weird, weird).\n"
 
-	e := NewEngine(nil)
+	e := inc.NewEngine(nil)
 	runEngine(t, e, base)
 	warm := runEngine(t, e, edited)
 	if got, want := warm.Marshal(), scratchMarshal(t, edited); got != want {
@@ -145,7 +177,7 @@ mid(X) :- leafa(X).
 top(X) :- mid(X).
 other(X) :- leafb(X).
 `
-	e := NewEngine(nil)
+	e := inc.NewEngine(nil)
 	runEngine(t, e, base)
 	warm := runEngine(t, e, edited)
 	if got, want := warm.Marshal(), scratchMarshal(t, edited); got != want {
@@ -187,7 +219,7 @@ func TestIncrementalFuzzCorpus(t *testing.T) {
 			t.Logf("seed %d: no mutable predicate, skipped", seed)
 			continue
 		}
-		e := NewEngine(nil)
+		e := inc.NewEngine(nil)
 		runEngine(t, e, c.Source)
 		warm := runEngine(t, e, mutated)
 		if got, want := warm.Marshal(), scratchMarshal(t, mutated); got != want {
@@ -236,13 +268,13 @@ func TestEngineDiskPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runEngine(t, NewEngine(s1), prog.Source)
+	runEngine(t, inc.NewEngine(s1), prog.Source)
 
 	s2, err := newDirStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm := runEngine(t, NewEngine(s2), prog.Source)
+	warm := runEngine(t, inc.NewEngine(s2), prog.Source)
 	if warm.WarmSCCs != len(warm.Plan.SCCs) {
 		t.Fatalf("after restart: %d/%d SCCs warm", warm.WarmSCCs, len(warm.Plan.SCCs))
 	}
@@ -258,7 +290,7 @@ func TestEngineDiskPersistence(t *testing.T) {
 // must not warm an analysis under another.
 func TestEngineConfigIsolation(t *testing.T) {
 	prog, _ := bench.ByName("qsort")
-	e := NewEngine(nil)
+	e := inc.NewEngine(nil)
 	_, mod := mustCompile(t, prog.Source)
 	if _, err := e.AnalyzeAll(context.Background(), mod, core.DefaultConfig()); err != nil {
 		t.Fatal(err)

@@ -67,6 +67,16 @@ type Plan struct {
 // deterministic — nodes in definition order, neighbors in code order —
 // so the same module always yields the same plan and fingerprints.
 func NewPlan(mod *wam.Module, context string) *Plan {
+	return NewPlanFormat(mod, fpFormat, context)
+}
+
+// NewPlanFormat is NewPlan with an explicit fingerprint schema name.
+// Alternate analyses that reuse the condensation but compute different
+// facts over it — the backward engine keys its plans under
+// "awam-bwd-fp 1" — salt their fingerprints with a distinct format so
+// the two record universes can never satisfy each other's cache probes,
+// even through a shared store.
+func NewPlanFormat(mod *wam.Module, format, context string) *Plan {
 	p := &Plan{
 		Mod:     mod,
 		PredSCC: make(map[term.Functor]int),
@@ -74,7 +84,7 @@ func NewPlan(mod *wam.Module, context string) *Plan {
 	}
 	nodes, adj := callAdjacency(mod, p.spans)
 	p.condense(nodes, adj)
-	p.fingerprint(context)
+	p.fingerprintWith(format, context)
 	return p
 }
 

@@ -9,6 +9,8 @@
 //
 //	POST /v1/analyze    {"source": "...", "timeout_ms"?, "max_steps"?, "depth"?}
 //	                    -> per-predicate summaries + run stats + cache stats
+//	POST /v1/backward   {"source": "...", "goals"?, "timeout_ms"?, "max_steps"?, "depth"?}
+//	                    -> per-predicate weakest demands + run stats + cache stats
 //	POST /v1/optimize   {"source": "...", "passes"?, "gate_goals"?, ...}
 //	                    -> differentially-gated optimizer report (+ disasm)
 //	POST /v1/store/has  batched summary-fabric presence probe (store.go)
@@ -81,6 +83,9 @@ type Config struct {
 	// Analyze overrides the analysis pipeline (tests inject failures and
 	// slowness here); nil selects the real Load + AnalyzeContext path.
 	Analyze func(ctx context.Context, source string, opts ...awam.AnalyzeOption) (*awam.Analysis, error)
+	// Backward overrides the demand-query pipeline the same way; nil
+	// selects the real Load + AnalyzeBackwardContext path.
+	Backward func(ctx context.Context, source string, opts ...awam.BackwardOption) (*awam.BackwardAnalysis, error)
 }
 
 // Server handles the analysis endpoints. Create with New, mount with
@@ -90,22 +95,34 @@ type Server struct {
 	cache awam.Store
 	sem   chan struct{}
 
-	mu      sync.Mutex
-	flights map[string]*flight
+	mu         sync.Mutex
+	flights    map[string]*flight
+	bwdFlights map[string]*bwdFlight
 
 	// Counters for /metrics.
-	requestsOK, requestsErr      atomic.Int64
-	analysesRun, analysesDup     atomic.Int64
-	optimizesRun                 atomic.Int64
-	inflight                     atomic.Int64
-	storeHas, storeGet, storePut atomic.Int64
-	recordsServed, recordsStored atomic.Int64
+	requestsOK, requestsErr         atomic.Int64
+	analysesRun, analysesDup        atomic.Int64
+	backwardsRun, backwardsDup      atomic.Int64
+	backwardSteps                   atomic.Int64
+	backwardVisited, backwardReused atomic.Int64
+	optimizesRun                    atomic.Int64
+	inflight                        atomic.Int64
+	storeHas, storeGet, storePut    atomic.Int64
+	recordsServed, recordsStored    atomic.Int64
 }
 
 // flight is one in-progress analysis shared by coalesced requests.
 type flight struct {
 	done chan struct{}
 	resp *analyzeResponse
+	err  error
+}
+
+// bwdFlight is one in-progress demand query shared by coalesced
+// requests.
+type bwdFlight struct {
+	done chan struct{}
+	resp *backwardResponse
 	err  error
 }
 
@@ -137,10 +154,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxTimeout = 60 * time.Second
 	}
 	return &Server{
-		cfg:     cfg,
-		cache:   cfg.Cache,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		flights: make(map[string]*flight),
+		cfg:        cfg,
+		cache:      cfg.Cache,
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		flights:    make(map[string]*flight),
+		bwdFlights: make(map[string]*bwdFlight),
 	}, nil
 }
 
@@ -149,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/backward", s.handleBackward)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/store/has", s.handleStoreHas)
 	mux.HandleFunc("POST /v1/store/get", s.handleStoreGet)
@@ -444,6 +463,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"awamd_requests_total{result=\"error\"}", "", "", s.requestsErr.Load()},
 		{"awamd_analyses_total", "Analyses actually executed.", "counter", s.analysesRun.Load()},
 		{"awamd_analyses_coalesced_total", "Requests served by joining an identical in-flight analysis.", "counter", s.analysesDup.Load()},
+		{"awamd_backward_analyses_total", "Backward demand queries actually executed.", "counter", s.backwardsRun.Load()},
+		{"awamd_backward_coalesced_total", "Backward requests served by joining an identical in-flight query.", "counter", s.backwardsDup.Load()},
+		{"awamd_backward_steps_total", "Backward abstract transfer steps executed.", "counter", s.backwardSteps.Load()},
+		{"awamd_backward_visited_sccs_total", "Call-graph components visited by backward queries (the demanded cones).", "counter", s.backwardVisited.Load()},
+		{"awamd_backward_reused_sccs_total", "Backward components served from the summary store.", "counter", s.backwardReused.Load()},
 		{"awamd_optimizes_total", "Optimizer pipeline runs executed.", "counter", s.optimizesRun.Load()},
 		{"awamd_inflight_analyses", "Analyses currently running.", "gauge", s.inflight.Load()},
 		{"awamd_cache_hits_total", "Summary-store record hits (any tier).", "counter", cs.Hits},
